@@ -1,0 +1,128 @@
+"""Comparison — InsightAlign vs. the Section II baseline tuners.
+
+Every method gets the same budget of 10 *real flow evaluations* on each of
+two unseen designs:
+
+- InsightAlign spends the budget evaluating its top-10 zero-shot beam
+  candidates (no exploration needed — the aligned model already knows);
+- random search / Bayesian optimization / ant colony / policy-gradient RL
+  explore the design from scratch, paying evaluations to learn;
+- matrix factorization ranks candidates from the same offline archive but
+  without design insights (mean-design fallback on unseen designs).
+
+Expected shape: InsightAlign's best-of-budget beats every
+exploration-based tuner on every design (10 evaluations is nowhere near
+enough to explore a 2^40 space from scratch — the paper's core argument
+about compute budgets).  Matrix factorization, the other offline method, is
+the serious rival: it matches InsightAlign on *typical* designs whose
+optima resemble the archive's average, but falls behind where
+design-specific structure matters (congested or activity-extreme designs),
+which is precisely the gap insight conditioning exists to close.
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    AntColonyTuner,
+    BayesOptTuner,
+    FistTuner,
+    MatrixFactorRecommender,
+    PolicyGradientTuner,
+    RandomSearchTuner,
+    TransferBoTuner,
+    fit_prior_mean,
+    recipe_importance,
+)
+from repro.baselines.common import CachingObjective, TuningBudget
+from repro.core.beam import beam_search
+from repro.core.qor import QoRIntention
+from repro.flow.runner import run_flow
+from repro.recipes.apply import apply_recipe_set
+from repro.recipes.catalog import default_catalog
+
+from common import fold_model_for, get_crossval, get_dataset, run_once
+
+HELDOUT = ["D4", "D14", "D17"]
+BUDGET = 10
+
+
+def test_baseline_comparison_equal_budget(benchmark):
+    dataset = get_dataset()
+    crossval = get_crossval()
+    catalog = default_catalog()
+
+    def run_all():
+        table = {}
+        for design in HELDOUT:
+            normalizer = dataset.normalizer_for(design)
+
+            def objective(bits, design=design, normalizer=normalizer):
+                params = apply_recipe_set(list(bits), catalog)
+                result = run_flow(design, params, seed=0)
+                return normalizer.score(result.qor, QoRIntention())
+
+            train = dataset.restricted_to(
+                [d for d in dataset.designs() if d != design]
+            )
+            prior_weights, prior_intercept = fit_prior_mean(train)
+            scores = {}
+            budget = TuningBudget(evaluations=BUDGET)
+            for name, tuner in [
+                ("random search", RandomSearchTuner(seed=1)),
+                ("bayesian opt", BayesOptTuner(seed=1, initial_random=4)),
+                ("ant colony", AntColonyTuner(seed=1)),
+                ("policy-gradient RL", PolicyGradientTuner(seed=1)),
+                ("FIST (tree+importance)",
+                 FistTuner(recipe_importance(train), seed=1)),
+                ("transfer BO (PPATuner-ish)",
+                 TransferBoTuner(prior_weights, prior_intercept, seed=1)),
+            ]:
+                record = tuner.tune(CachingObjective(objective), budget)
+                scores[name] = record.best_score
+            mf = MatrixFactorRecommender(iterations=15, seed=1).fit(train)
+            mf_sets = mf.recommend(None, k=BUDGET)
+            scores["matrix factorization"] = max(
+                objective(bits) for bits in mf_sets
+            )
+
+            model = fold_model_for(crossval, design)
+            beam_sets = [
+                c.recipe_set for c in beam_search(
+                    model, dataset.insight_for(design), beam_width=BUDGET
+                )
+            ]
+            scores["InsightAlign zero-shot"] = max(
+                objective(bits) for bits in beam_sets
+            )
+            table[design] = scores
+        return table
+
+    table = run_once(benchmark, run_all)
+
+    methods = list(next(iter(table.values())))
+    print("\n=== Baseline comparison (budget: 10 flow evaluations) ===")
+    print(f"{'method':<24} " + " ".join(f"{d:>8}" for d in HELDOUT))
+    for method in methods:
+        print(f"{method:<24} "
+              + " ".join(f"{table[d][method]:>8.3f}" for d in HELDOUT))
+    for design in HELDOUT:
+        best_known = dataset.scores_for(design).max()
+        print(f"(best known {design}: {best_known:+.3f})")
+
+    # Shape: zero-shot InsightAlign beats every exploration-based tuner on
+    # every design, and matches/beats matrix factorization on the designs
+    # where design-specific structure matters (with a bounded gap elsewhere).
+    exploration = ("random search", "bayesian opt", "ant colony",
+                   "policy-gradient RL", "FIST (tree+importance)")
+    ia_scores = []
+    mf_scores = []
+    for design in HELDOUT:
+        ia = table[design]["InsightAlign zero-shot"]
+        ia_scores.append(ia)
+        mf_scores.append(table[design]["matrix factorization"])
+        for method in exploration:
+            assert ia >= table[design][method] - 0.10, (design, method)
+    assert max(np.array(ia_scores) - np.array(mf_scores)) > 0.0, (
+        "matrix factorization dominated InsightAlign on every design"
+    )
+    assert np.mean(ia_scores) >= np.mean(mf_scores) - 0.30

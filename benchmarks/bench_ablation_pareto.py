@@ -1,0 +1,49 @@
+"""Analysis — Pareto coverage of zero-shot recommendations.
+
+The compound score (eq. 4) optimizes one scalarization, but the
+surrounding literature (PPATuner, PTPT) judges tuners by Pareto coverage.
+This bench measures, for the Figure 5 designs, how much of the archive's
+(power, TNS) Pareto hypervolume the 5 zero-shot recommendations capture.
+
+Expected shape: coverage near (or beyond) 1.0 — the recommendations land
+on or past the archive's trade-off front even though they were selected by
+a scalarized objective, because the dominant-weight axis (power) is pushed
+hard while TNS is kept in check.
+"""
+
+import numpy as np
+
+from repro.core.pareto import coverage_ratio, pareto_front, qor_points
+
+from common import get_crossval, get_dataset, run_once
+
+DESIGNS = ("D4", "D6", "D11", "D14")
+
+
+def test_pareto_coverage_of_recommendations(benchmark):
+    dataset = get_dataset()
+    result = run_once(benchmark, get_crossval)
+
+    print("\n=== Pareto coverage of zero-shot recommendations ===")
+    print(f"{'Design':<7} {'archive front':>13} {'rec points':>10} "
+          f"{'coverage':>9}")
+    ratios = {}
+    for design in DESIGNS:
+        row = result.row(design)
+        archive = qor_points([p.qor for p in dataset.by_design(design)])
+        recommended = qor_points(row.recommended_qors)
+        # Reference: slightly beyond the archive's worst corner.
+        reference = (archive[:, 0].max() * 1.05 + 1e-9,
+                     archive[:, 1].max() * 1.05 + 1e-9)
+        ratio = coverage_ratio(recommended, archive, reference)
+        ratios[design] = ratio
+        front_size = len(pareto_front(archive))
+        print(f"{design:<7} {front_size:>13} {len(recommended):>10} "
+              f"{ratio:>9.3f}")
+
+    mean_ratio = float(np.mean(list(ratios.values())))
+    print(f"mean coverage: {mean_ratio:.3f}")
+    # Five recommended points must capture the large majority of the
+    # hypervolume that ~176 archive points accumulated.
+    assert mean_ratio > 0.75
+    assert min(ratios.values()) > 0.5

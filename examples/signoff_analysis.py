@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Signoff-grade analysis: multi-corner timing + IR drop on one design.
+
+Goes beyond the single-corner QoR the recommender optimizes: runs SS/TT/FF
+static timing (setup signs off at the slow corner, hold at the fast one)
+and a static IR-drop analysis whose droop map is rendered as a terminal
+heatmap next to the placement-density map.
+
+Run:  python examples/signoff_analysis.py [design]   (default D1)
+"""
+
+import sys
+
+import numpy as np
+
+from repro.cts.tree import CtsParams, synthesize_clock_tree
+from repro.flow.parameters import FlowParameters
+from repro.flow.runner import _fresh_netlist
+from repro.netlist.profiles import get_profile
+from repro.placement.placer import place
+from repro.power.irdrop import analyze_ir_drop
+from repro.timing.constraints import default_constraints
+from repro.timing.corners import run_multi_corner_sta
+from repro.viz import ascii_heatmap
+
+
+def main() -> None:
+    design = sys.argv[1] if len(sys.argv) > 1 else "D1"
+    profile = get_profile(design)
+    params = FlowParameters()
+    netlist = _fresh_netlist(profile, seed=0)
+    placement = place(netlist, params.placer, seed=0)
+    tree = synthesize_clock_tree(netlist, params.cts, seed=0)
+    constraints = default_constraints(netlist)
+
+    print(f"== Multi-corner signoff for {design} "
+          f"({profile.category}, {profile.node}) ==")
+    report = run_multi_corner_sta(netlist, constraints, tree)
+    print(f"{'corner':>7} {'WNS (ps)':>10} {'TNS (ps)':>12} "
+          f"{'hold WNS (ps)':>14} {'violations':>11}")
+    for corner, timing in report.reports.items():
+        print(f"{corner:>7} {timing.wns_ps:>10.1f} {timing.tns_ps:>12.1f} "
+              f"{timing.hold_wns_ps:>14.1f} {timing.violating_endpoints:>11}")
+    print(f"setup signs off at '{report.setup_corner}', "
+          f"hold at '{report.hold_corner}'; "
+          f"all corners met: {report.meets_all_corners()}")
+
+    print(f"\n== IR drop ==")
+    ir = analyze_ir_drop(netlist, tree, placement.grid)
+    print(f"worst droop {ir.worst_droop_mv:.2f} mV "
+          f"({100 * ir.worst_droop_mv / (ir.vdd * 1000):.2f}% of Vdd)   "
+          f"mean {ir.mean_droop_mv:.2f} mV   "
+          f"worst delay derate x{ir.worst_derate:.3f}")
+    print(ascii_heatmap(ir.droop_mv, title=f"\n{design}: IR droop (mV)"))
+
+    cells = [c for c in netlist.cells.values() if not c.is_clock_cell]
+    xs = np.array([c.position[0] for c in cells])
+    ys = np.array([c.position[1] for c in cells])
+    areas = np.array([c.area_um2 for c in cells])
+    density = placement.grid.density_map(xs, ys, areas, blockage_penalty=False)
+    print(ascii_heatmap(density, title=f"{design}: placement density"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""InsightAlign: transferable physical design recipe recommendation.
+
+This package reproduces the DAC 2025 paper *"InsightAlign: A Transferable
+Physical Design Recipe Recommender Based on Design Insights"* (Hsiao et al.)
+as a self-contained Python library.  Because the paper's substrate — a
+commercial P&R tool and 17 proprietary industrial designs — is unavailable,
+the package ships a complete simulated physical-design stack (technology
+library, netlist generation, placement, clock-tree synthesis, global routing,
+static timing analysis, power analysis) whose recipe-to-QoR response has the
+same structure the paper's recommender learns from.
+
+Top-level layout:
+
+- :mod:`repro.techlib` .. :mod:`repro.flow` — the simulated EDA substrate.
+- :mod:`repro.recipes` — the 40-recipe catalog (paper Table II).
+- :mod:`repro.insights` — the 72-dimension design-insight vector (Table I).
+- :mod:`repro.nn` — a minimal reverse-mode autograd framework (PyTorch
+  substitute) powering the transformer decoder.
+- :mod:`repro.core` — the paper's contribution: the InsightAlign model
+  (Table III), margin-based DPO alignment (Algorithm 1), beam-search
+  recommendation, and online fine-tuning.
+- :mod:`repro.baselines` — the Section II comparators (BO, ACO,
+  matrix factorization, RL, random search).
+
+Quickstart::
+
+    from repro import InsightAlign, build_offline_dataset, design_profiles
+
+    dataset = build_offline_dataset(seed=0)
+    model = InsightAlign.align_offline(dataset, holdout=("D4",))
+    recs = model.recommend(dataset.insight_for("D4"), k=5)
+"""
+
+__version__ = "1.0.0"
+
+# Lazy top-level exports: keeps `import repro` cheap and avoids importing the
+# full stack when a caller only needs one substrate.
+_EXPORTS = {
+    "InsightAlign": ("repro.core.recommender", "InsightAlign"),
+    "OfflineDataset": ("repro.core.dataset", "OfflineDataset"),
+    "build_offline_dataset": ("repro.core.dataset", "build_offline_dataset"),
+    "QoRIntention": ("repro.core.qor", "QoRIntention"),
+    "compound_scores": ("repro.core.qor", "compound_scores"),
+    "design_profiles": ("repro.netlist.profiles", "design_profiles"),
+    "default_catalog": ("repro.recipes.catalog", "default_catalog"),
+}
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(list(globals()) + list(_EXPORTS))
+
+__all__ = [
+    "InsightAlign",
+    "OfflineDataset",
+    "build_offline_dataset",
+    "QoRIntention",
+    "compound_scores",
+    "design_profiles",
+    "default_catalog",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Baseline recipe-tuning strategies (the paper's Section II comparators).
+
+Every baseline shares one interface: given an objective function over binary
+recipe sets (QoR score, higher better) and an evaluation budget, return the
+evaluated (recipe set, score) history.  This lets the comparison benches run
+InsightAlign and each baseline under identical budgets.
+
+- :mod:`random_search` — uniform random subsets (the floor).
+- :mod:`bayesopt` — Gaussian-process surrogate + expected improvement.
+- :mod:`aco` — ant colony optimization with per-bit pheromones.
+- :mod:`matrix_factor` — latent-factor (design x recipe) QoR prediction.
+- :mod:`rl_tuner` — REINFORCE policy gradient over independent bit policies.
+- :mod:`fist` — feature-importance sampling + tree ensembles (FIST).
+- :mod:`transfer_bo` — GP-EI with a cross-design transferred prior
+  (PPATuner-style transfer learning).
+"""
+
+from repro.baselines.common import EvalRecord, TuningBudget
+from repro.baselines.random_search import RandomSearchTuner
+from repro.baselines.bayesopt import BayesOptTuner
+from repro.baselines.aco import AntColonyTuner
+from repro.baselines.matrix_factor import MatrixFactorRecommender
+from repro.baselines.rl_tuner import PolicyGradientTuner
+from repro.baselines.fist import FistTuner, recipe_importance
+from repro.baselines.transfer_bo import TransferBoTuner, fit_prior_mean
+
+__all__ = [
+    "EvalRecord",
+    "TuningBudget",
+    "RandomSearchTuner",
+    "BayesOptTuner",
+    "AntColonyTuner",
+    "MatrixFactorRecommender",
+    "PolicyGradientTuner",
+    "FistTuner",
+    "recipe_importance",
+    "TransferBoTuner",
+    "fit_prior_mean",
+]

@@ -1,0 +1,66 @@
+"""Shared baseline infrastructure: budgets, histories, objectives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+Objective = Callable[[Tuple[int, ...]], float]
+
+
+@dataclass(frozen=True)
+class TuningBudget:
+    """Evaluation budget shared by all tuners (flow runs are the cost)."""
+
+    evaluations: int = 25
+
+    def __post_init__(self) -> None:
+        if self.evaluations < 1:
+            raise ValueError(f"budget must be >= 1, got {self.evaluations}")
+
+
+@dataclass
+class EvalRecord:
+    """History of one tuning session."""
+
+    recipe_sets: List[Tuple[int, ...]] = field(default_factory=list)
+    scores: List[float] = field(default_factory=list)
+
+    def add(self, recipe_set: Tuple[int, ...], score: float) -> None:
+        self.recipe_sets.append(tuple(recipe_set))
+        self.scores.append(float(score))
+
+    @property
+    def best_score(self) -> float:
+        return max(self.scores) if self.scores else float("-inf")
+
+    @property
+    def best_recipe_set(self) -> Tuple[int, ...]:
+        if not self.scores:
+            raise ValueError("no evaluations recorded")
+        return self.recipe_sets[int(np.argmax(self.scores))]
+
+    def best_so_far(self) -> np.ndarray:
+        """Running maximum (convergence curve)."""
+        return np.maximum.accumulate(np.asarray(self.scores, dtype=np.float64))
+
+    def __len__(self) -> int:
+        return len(self.scores)
+
+
+class CachingObjective:
+    """Wraps an objective so duplicate recipe sets don't burn budget."""
+
+    def __init__(self, objective: Objective) -> None:
+        self._objective = objective
+        self._cache: dict = {}
+        self.calls = 0
+
+    def __call__(self, recipe_set: Tuple[int, ...]) -> float:
+        key = tuple(recipe_set)
+        if key not in self._cache:
+            self.calls += 1
+            self._cache[key] = float(self._objective(key))
+        return self._cache[key]

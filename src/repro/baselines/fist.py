@@ -1,0 +1,201 @@
+"""FIST-style tuner: feature-importance sampling + tree-based prediction.
+
+Models the approach of Xie et al., "FIST: A feature-importance sampling and
+tree-based method for automatic design flow parameter tuning" (ASP-DAC'20):
+
+1. Learn per-recipe *importance* from an offline archive (impurity
+   reduction when splitting on that recipe bit across designs).
+2. During online tuning, sample candidate recipe sets with probability
+   biased toward flipping the important bits, and predict scores with a
+   regression-tree ensemble fitted on everything evaluated so far, picking
+   the argmax-predicted candidate to evaluate next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.common import EvalRecord, Objective, TuningBudget
+from repro.core.dataset import OfflineDataset
+from repro.core.qor import QoRIntention
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class _TreeNode:
+    feature: int = -1
+    threshold: float = 0.5
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+    value: float = 0.0
+
+
+class RegressionTree:
+    """A small CART regressor over binary feature vectors."""
+
+    def __init__(self, max_depth: int = 4, min_samples: int = 4,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        self.max_depth = max_depth
+        self.min_samples = min_samples
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._root: Optional[_TreeNode] = None
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "RegressionTree":
+        self._root = self._build(features, targets, depth=0)
+        return self
+
+    def _build(self, features, targets, depth) -> _TreeNode:
+        node = _TreeNode(value=float(targets.mean()))
+        if depth >= self.max_depth or len(targets) < self.min_samples:
+            return node
+        best_gain = 1e-9
+        best_feature = -1
+        base_sse = float(((targets - targets.mean()) ** 2).sum())
+        # Random feature subset (forest-style decorrelation).
+        n_features = features.shape[1]
+        candidates = self._rng.choice(
+            n_features, size=max(1, n_features // 2), replace=False
+        )
+        for feature in candidates:
+            mask = features[:, feature] > 0.5
+            if mask.sum() == 0 or mask.sum() == len(targets):
+                continue
+            left, right = targets[~mask], targets[mask]
+            sse = float(((left - left.mean()) ** 2).sum()
+                        + ((right - right.mean()) ** 2).sum())
+            gain = base_sse - sse
+            if gain > best_gain:
+                best_gain = gain
+                best_feature = int(feature)
+        if best_feature < 0:
+            return node
+        mask = features[:, best_feature] > 0.5
+        node.feature = best_feature
+        node.left = self._build(features[~mask], targets[~mask], depth + 1)
+        node.right = self._build(features[mask], targets[mask], depth + 1)
+        return node
+
+    def predict_one(self, bits: np.ndarray) -> float:
+        node = self._root
+        if node is None:
+            raise RuntimeError("predict before fit")
+        while node.feature >= 0:
+            node = node.right if bits[node.feature] > 0.5 else node.left
+        return node.value
+
+
+class TreeEnsemble:
+    """Bagged regression trees."""
+
+    def __init__(self, n_trees: int = 12, seed: int = 0, max_depth: int = 4):
+        self.n_trees = n_trees
+        self.seed = seed
+        self.max_depth = max_depth
+        self._trees: List[RegressionTree] = []
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> "TreeEnsemble":
+        self._trees = []
+        rng = derive_rng(self.seed, "ensemble")
+        n = len(targets)
+        for index in range(self.n_trees):
+            sample = rng.integers(0, n, size=n)
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                rng=derive_rng(self.seed, "tree", index),
+            )
+            tree.fit(features[sample], targets[sample])
+            self._trees.append(tree)
+        return self
+
+    def predict_one(self, bits: np.ndarray) -> float:
+        if not self._trees:
+            raise RuntimeError("predict before fit")
+        return float(np.mean([t.predict_one(bits) for t in self._trees]))
+
+
+def recipe_importance(
+    dataset: OfflineDataset, intention: QoRIntention = QoRIntention()
+) -> np.ndarray:
+    """Per-recipe importance: |mean score with bit on - off|, design-averaged."""
+    sample = dataset.by_design(dataset.designs()[0])[0]
+    n_recipes = len(sample.recipe_set)
+    totals = np.zeros(n_recipes)
+    counts = np.zeros(n_recipes)
+    for design in dataset.designs():
+        bits = np.array([p.recipe_set for p in dataset.by_design(design)],
+                        dtype=np.float64)
+        scores = dataset.scores_for(design, intention)
+        for recipe in range(n_recipes):
+            on = bits[:, recipe] > 0.5
+            if on.sum() == 0 or on.sum() == len(scores):
+                continue
+            totals[recipe] += abs(scores[on].mean() - scores[~on].mean())
+            counts[recipe] += 1
+    importance = np.where(counts > 0, totals / np.maximum(counts, 1), 0.0)
+    if importance.max() > 0:
+        importance = importance / importance.max()
+    return importance
+
+
+class FistTuner:
+    """Feature-importance sampling + tree-ensemble tuning loop."""
+
+    def __init__(
+        self,
+        importance: Sequence[float],
+        seed: int = 0,
+        initial_random: int = 4,
+        candidates_per_round: int = 120,
+        max_size: int = 8,
+    ) -> None:
+        self.importance = np.asarray(importance, dtype=np.float64)
+        self.seed = seed
+        self.initial_random = initial_random
+        self.candidates_per_round = candidates_per_round
+        self.max_size = max_size
+
+    def tune(self, objective: Objective, budget: TuningBudget) -> EvalRecord:
+        rng = derive_rng(self.seed, "fist")
+        n = len(self.importance)
+        probs = 0.04 + 0.30 * self.importance  # importance-biased bit prob
+        record = EvalRecord()
+        seen = set()
+
+        def sample_set() -> Tuple[int, ...]:
+            for _ in range(50):
+                draws = rng.random(n) < probs
+                if draws.sum() > self.max_size:
+                    keep = rng.choice(np.flatnonzero(draws),
+                                      size=self.max_size, replace=False)
+                    draws = np.zeros(n, dtype=bool)
+                    draws[keep] = True
+                bits = tuple(int(b) for b in draws)
+                if bits not in seen:
+                    return bits
+            flipped = list(bits)
+            flipped[int(rng.integers(n))] ^= 1
+            return tuple(flipped)
+
+        while len(record) < min(self.initial_random, budget.evaluations):
+            bits = sample_set()
+            seen.add(bits)
+            record.add(bits, objective(bits))
+
+        while len(record) < budget.evaluations:
+            features = np.array(record.recipe_sets, dtype=np.float64)
+            targets = np.array(record.scores)
+            model = TreeEnsemble(seed=self.seed + len(record)).fit(
+                features, targets
+            )
+            pool = [sample_set() for _ in range(self.candidates_per_round)]
+            predicted = [
+                model.predict_one(np.asarray(bits, dtype=np.float64))
+                for bits in pool
+            ]
+            best = pool[int(np.argmax(predicted))]
+            seen.add(best)
+            record.add(best, objective(best))
+        return record

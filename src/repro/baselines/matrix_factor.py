@@ -1,0 +1,134 @@
+"""Matrix-factorization recipe recommender (APEX-style latent factors).
+
+Learns latent vectors for designs and recipes from the offline archive by
+ridge-regularized alternating least squares on the model
+
+    score(design d, recipe set R) = mu + b_d + sum_{r in R} (u_d . v_r + c_r)
+
+then recommends, for a (seen or unseen) design, the top recipe sets among a
+candidate pool by predicted score.  Unseen designs get the *average* design
+vector — the method's documented transferability weakness (Section II:
+"lacks domain-specific insights").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import OfflineDataset
+from repro.core.qor import QoRIntention
+from repro.errors import TrainingError
+from repro.utils.rng import derive_rng
+
+
+class MatrixFactorRecommender:
+    """ALS latent-factor model over (design, recipe-set) scores."""
+
+    def __init__(
+        self,
+        latent_dim: int = 8,
+        ridge: float = 0.5,
+        iterations: int = 30,
+        seed: int = 0,
+    ) -> None:
+        self.latent_dim = latent_dim
+        self.ridge = ridge
+        self.iterations = iterations
+        self.seed = seed
+        self._design_vectors: Dict[str, np.ndarray] = {}
+        self._recipe_vectors: Optional[np.ndarray] = None
+        self._recipe_bias: Optional[np.ndarray] = None
+        self._design_bias: Dict[str, float] = {}
+        self._mu: float = 0.0
+        self._n_recipes: int = 0
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        dataset: OfflineDataset,
+        intention: QoRIntention = QoRIntention(),
+    ) -> "MatrixFactorRecommender":
+        designs = dataset.designs()
+        if not designs:
+            raise TrainingError("empty dataset")
+        rng = derive_rng(self.seed, "matrix-factor")
+        sample = dataset.by_design(designs[0])[0]
+        self._n_recipes = len(sample.recipe_set)
+        k = self.latent_dim
+        u = {d: rng.normal(0, 0.1, size=k) for d in designs}
+        v = rng.normal(0, 0.1, size=(self._n_recipes, k))
+        c = np.zeros(self._n_recipes)
+        b = {d: 0.0 for d in designs}
+
+        rows = []
+        for design in designs:
+            scores = dataset.scores_for(design, intention)
+            for point, score in zip(dataset.by_design(design), scores):
+                rows.append((design, np.array(point.recipe_set, float), score))
+        self._mu = float(np.mean([s for _, _, s in rows]))
+
+        for _ in range(self.iterations):
+            # Design step: closed-form ridge per design.
+            for design in designs:
+                d_rows = [(r, s) for dd, r, s in rows if dd == design]
+                features = np.array([r @ v for r, _ in d_rows])
+                target = np.array(
+                    [s - self._mu - b[design] - r @ c for (r, s), (_, _) in
+                     zip(((r, s) for r, s in d_rows), d_rows)]
+                )
+                gram = features.T @ features + self.ridge * np.eye(k)
+                u[design] = np.linalg.solve(gram, features.T @ target)
+                residual = target - features @ u[design]
+                b[design] += residual.mean() * 0.5
+            # Recipe step: gradient (ALS on v is dense; SGD-ish is enough).
+            for design, r_bits, score in rows:
+                pred = self._predict_raw(u[design], b[design], v, c, r_bits)
+                err = score - pred
+                mask = r_bits > 0
+                v[mask] += 0.05 * (err * u[design] - self.ridge * 0.01 * v[mask])
+                c[mask] += 0.05 * err
+        self._design_vectors = u
+        self._design_bias = b
+        self._recipe_vectors = v
+        self._recipe_bias = c
+        return self
+
+    def _predict_raw(self, u_d, b_d, v, c, r_bits) -> float:
+        return float(self._mu + b_d + r_bits @ (v @ u_d) + r_bits @ c)
+
+    # ------------------------------------------------------------------
+    def predict(self, design: Optional[str], recipe_set: Sequence[int]) -> float:
+        """Predicted score; unknown designs fall back to the mean vector."""
+        if self._recipe_vectors is None:
+            raise TrainingError("fit() must run before predict()")
+        bits = np.asarray(recipe_set, dtype=np.float64)
+        if design in self._design_vectors:
+            u_d = self._design_vectors[design]
+            b_d = self._design_bias[design]
+        else:
+            u_d = np.mean(list(self._design_vectors.values()), axis=0)
+            b_d = float(np.mean(list(self._design_bias.values())))
+        return self._predict_raw(u_d, b_d, self._recipe_vectors, self._recipe_bias, bits)
+
+    def recommend(
+        self,
+        design: Optional[str],
+        k: int = 5,
+        candidate_pool: int = 400,
+        max_size: int = 6,
+    ) -> List[Tuple[int, ...]]:
+        """Top-k candidate recipe sets by predicted score."""
+        rng = derive_rng(self.seed, "mf-recommend", design or "unknown")
+        candidates = set()
+        while len(candidates) < candidate_pool:
+            size = int(rng.integers(0, max_size + 1))
+            bits = np.zeros(self._n_recipes, dtype=np.int64)
+            if size:
+                bits[rng.choice(self._n_recipes, size=size, replace=False)] = 1
+            candidates.add(tuple(int(x) for x in bits))
+        ranked = sorted(
+            candidates, key=lambda bits: self.predict(design, bits), reverse=True
+        )
+        return ranked[:k]

@@ -1,0 +1,37 @@
+"""Random search: uniform recipe subsets — the floor every method must beat."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.baselines.common import EvalRecord, Objective, TuningBudget
+from repro.utils.rng import derive_rng
+
+
+class RandomSearchTuner:
+    """Samples subsets with sizes drawn from the dataset's own size profile."""
+
+    def __init__(self, n_recipes: int = 40, seed: int = 0,
+                 max_size: int = 6) -> None:
+        self.n_recipes = n_recipes
+        self.seed = seed
+        self.max_size = max_size
+
+    def tune(self, objective: Objective, budget: TuningBudget) -> EvalRecord:
+        rng = derive_rng(self.seed, "random-search")
+        record = EvalRecord()
+        seen = set()
+        while len(record) < budget.evaluations:
+            size = int(rng.integers(0, self.max_size + 1))
+            bits = np.zeros(self.n_recipes, dtype=np.int64)
+            if size:
+                chosen = rng.choice(self.n_recipes, size=size, replace=False)
+                bits[chosen] = 1
+            key: Tuple[int, ...] = tuple(int(b) for b in bits)
+            if key in seen:
+                continue
+            seen.add(key)
+            record.add(key, objective(key))
+        return record

@@ -1,0 +1,81 @@
+"""REINFORCE policy-gradient tuner over independent recipe-bit policies.
+
+The RL baseline family (Agnesina ICCAD'20, FastTuner ISPD'24) refines
+configurations from tool feedback.  This compact variant keeps one Bernoulli
+logit per recipe; each episode samples a recipe set, observes its QoR score,
+and ascends the policy gradient with a moving-average baseline.  No insight
+conditioning — its transfer gap versus InsightAlign is the point of the
+comparison bench.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.baselines.common import EvalRecord, Objective, TuningBudget
+from repro.utils.rng import derive_rng
+
+
+class PolicyGradientTuner:
+    """Factorized-Bernoulli REINFORCE over recipe bits."""
+
+    def __init__(
+        self,
+        n_recipes: int = 40,
+        seed: int = 0,
+        learning_rate: float = 0.35,
+        initial_logit: float = -2.5,
+        baseline_momentum: float = 0.8,
+        max_size: int = 8,
+    ) -> None:
+        self.n_recipes = n_recipes
+        self.seed = seed
+        self.learning_rate = learning_rate
+        self.initial_logit = initial_logit
+        self.baseline_momentum = baseline_momentum
+        self.max_size = max_size
+
+    def tune(self, objective: Objective, budget: TuningBudget) -> EvalRecord:
+        rng = derive_rng(self.seed, "rl-tuner")
+        logits = np.full(self.n_recipes, self.initial_logit)
+        baseline = 0.0
+        baseline_ready = False
+        record = EvalRecord()
+        seen = set()
+        while len(record) < budget.evaluations:
+            probs = 1.0 / (1.0 + np.exp(-logits))
+            bits = self._sample(probs, rng, seen)
+            seen.add(bits)
+            score = objective(bits)
+            record.add(bits, score)
+            if not baseline_ready:
+                baseline = score
+                baseline_ready = True
+            advantage = score - baseline
+            baseline = (
+                self.baseline_momentum * baseline
+                + (1.0 - self.baseline_momentum) * score
+            )
+            chosen = np.asarray(bits, dtype=np.float64)
+            # d log pi / d logit = (a - p) for Bernoulli.
+            logits += self.learning_rate * advantage * (chosen - probs)
+            np.clip(logits, -6.0, 3.0, out=logits)
+        return record
+
+    def _sample(self, probs, rng, seen) -> Tuple[int, ...]:
+        for _ in range(40):
+            draws = rng.random(self.n_recipes) < probs
+            if draws.sum() > self.max_size:
+                keep = rng.choice(
+                    np.flatnonzero(draws), size=self.max_size, replace=False
+                )
+                draws = np.zeros(self.n_recipes, dtype=bool)
+                draws[keep] = True
+            bits = tuple(int(b) for b in draws)
+            if bits not in seen:
+                return bits
+        flipped = list(bits)
+        flipped[int(rng.integers(self.n_recipes))] ^= 1
+        return tuple(flipped)

@@ -1,0 +1,142 @@
+"""Transfer Bayesian optimization (PPATuner / Zhang et al. DAC'22 style).
+
+A Gaussian-process tuner whose prior mean is *transferred* from the offline
+archive: instead of starting from zero knowledge like plain BO, the
+surrogate models the residual between the new design's observations and a
+cross-design mean response learned offline (the average score of each
+recipe bit's presence).  This is the strongest exploration baseline in the
+comparison benches — it narrows, but does not close, the gap to zero-shot
+insight-conditioned recommendation under tight budgets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+from scipy.stats import norm
+
+from repro.baselines.common import EvalRecord, Objective, TuningBudget
+from repro.core.dataset import OfflineDataset
+from repro.core.qor import QoRIntention
+from repro.utils.rng import derive_rng
+
+
+def fit_prior_mean(
+    dataset: OfflineDataset, intention: QoRIntention = QoRIntention()
+) -> Tuple[np.ndarray, float]:
+    """Cross-design linear prior: per-bit score contribution + intercept.
+
+    Ridge regression of the per-design z-scores on recipe bits, pooled over
+    all archive designs.
+    """
+    rows = []
+    targets = []
+    for design in dataset.designs():
+        scores = dataset.scores_for(design, intention)
+        for point, score in zip(dataset.by_design(design), scores):
+            rows.append(point.recipe_set)
+            targets.append(score)
+    features = np.asarray(rows, dtype=np.float64)
+    y = np.asarray(targets, dtype=np.float64)
+    n_features = features.shape[1]
+    gram = features.T @ features + 1.0 * np.eye(n_features)
+    weights = np.linalg.solve(gram, features.T @ (y - y.mean()))
+    return weights, float(y.mean())
+
+
+class TransferBoTuner:
+    """GP-EI over the residual against a transferred linear prior."""
+
+    def __init__(
+        self,
+        prior_weights: np.ndarray,
+        prior_intercept: float,
+        seed: int = 0,
+        initial_random: int = 3,
+        candidate_pool: int = 300,
+        length_scale: float = 3.0,
+        noise: float = 1e-3,
+        max_size: int = 6,
+    ) -> None:
+        self.prior_weights = np.asarray(prior_weights, dtype=np.float64)
+        self.prior_intercept = prior_intercept
+        self.seed = seed
+        self.initial_random = initial_random
+        self.candidate_pool = candidate_pool
+        self.length_scale = length_scale
+        self.noise = noise
+        self.max_size = max_size
+
+    # ------------------------------------------------------------------
+    def prior(self, bits: np.ndarray) -> np.ndarray:
+        return bits @ self.prior_weights + self.prior_intercept
+
+    def tune(self, objective: Objective, budget: TuningBudget) -> EvalRecord:
+        rng = derive_rng(self.seed, "transfer-bo")
+        record = EvalRecord()
+        seen = set()
+
+        # Seed with the prior's own argmax candidates (transfer kick-start)
+        # plus a couple of random probes.
+        pool = self._pool(rng, seen, 400)
+        prior_scores = self.prior(pool)
+        for index in np.argsort(prior_scores)[::-1][: self.initial_random]:
+            bits = tuple(int(b) for b in pool[index])
+            if bits in seen or len(record) >= budget.evaluations:
+                continue
+            seen.add(bits)
+            record.add(bits, objective(bits))
+
+        while len(record) < budget.evaluations:
+            x_train = np.array(record.recipe_sets, dtype=np.float64)
+            y_train = np.array(record.scores, dtype=np.float64)
+            residual = y_train - self.prior(x_train)
+            candidates = self._pool(rng, seen, self.candidate_pool)
+            ei = self._expected_improvement(
+                x_train, residual, candidates, y_train
+            )
+            best = candidates[int(np.argmax(ei))]
+            bits = tuple(int(b) for b in best)
+            seen.add(bits)
+            record.add(bits, objective(bits))
+        return record
+
+    # ------------------------------------------------------------------
+    def _pool(self, rng, seen, count) -> np.ndarray:
+        n = len(self.prior_weights)
+        out: List[Tuple[int, ...]] = []
+        while len(out) < count:
+            size = int(rng.integers(0, self.max_size + 1))
+            bits = np.zeros(n, dtype=np.int64)
+            if size:
+                bits[rng.choice(n, size=size, replace=False)] = 1
+            key = tuple(int(b) for b in bits)
+            if key not in seen:
+                out.append(key)
+        return np.array(out, dtype=np.float64)
+
+    def _kernel(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        sq = (
+            (a ** 2).sum(axis=1)[:, None]
+            + (b ** 2).sum(axis=1)[None, :]
+            - 2.0 * a @ b.T
+        )
+        return np.exp(-sq / (2.0 * self.length_scale ** 2))
+
+    def _expected_improvement(self, x_train, residual, candidates, y_train):
+        std_r = residual.std() or 1.0
+        z = residual / std_r
+        k_tt = self._kernel(x_train, x_train)
+        k_tt[np.diag_indices_from(k_tt)] += self.noise
+        factor = cho_factor(k_tt)
+        k_tc = self._kernel(x_train, candidates)
+        mu_residual = (k_tc.T @ cho_solve(factor, z)) * std_r
+        v = cho_solve(factor, k_tc)
+        var = np.maximum(1e-12, 1.0 - np.einsum("ij,ij->j", k_tc, v))
+        sigma = np.sqrt(var) * std_r
+        mu_total = mu_residual + self.prior(candidates)
+        best = y_train.max()
+        gap = (mu_total - best) / sigma
+        return sigma * (gap * norm.cdf(gap) + norm.pdf(gap))

@@ -1,0 +1,255 @@
+"""Command-line interface: drive the flow, dataset, alignment and
+recommendation from a shell.
+
+Subcommands:
+
+- ``run-flow``   — run one P&R iteration on a design, optionally with
+  recipes, and print the flow summary / timing report / insight report.
+- ``list``       — list designs, recipes, or insights.
+- ``build-dataset`` — build (or extend the cache of) the offline archive.
+- ``align``      — offline-align a model on an archive and save it.
+- ``recommend``  — zero-shot top-K recipe sets for a design from a saved
+  model, optionally evaluating each with real flow runs.
+
+Examples::
+
+    python -m repro.cli run-flow D17 --recipes cong_spread_wide,cts_tight_skew
+    python -m repro.cli build-dataset --out archive.pkl --designs D4,D6,D10
+    python -m repro.cli align --dataset archive.pkl --out model.npz --holdout D4
+    python -m repro.cli recommend --model model.npz --dataset archive.pkl \
+        --design D4 --k 5 --evaluate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.alignment import AlignmentConfig
+from repro.core.dataset import OfflineDataset, build_offline_dataset
+from repro.core.recommender import InsightAlign
+from repro.flow.parameters import FlowParameters
+from repro.flow.report import render_flow_summary, render_timing_report
+from repro.flow.runner import run_flow, _fresh_netlist
+from repro.insights.extractor import InsightExtractor
+from repro.insights.schema import insight_schema
+from repro.netlist.profiles import design_profiles, get_profile
+from repro.recipes.apply import apply_recipe_set
+from repro.recipes.catalog import default_catalog
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="InsightAlign reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run-flow", help="run one P&R iteration")
+    p_run.add_argument("design", help="design name (D1..D17)")
+    p_run.add_argument("--recipes", default="",
+                       help="comma-separated recipe names to load")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--timing", action="store_true",
+                       help="print the worst-path timing report")
+    p_run.add_argument("--insights", action="store_true",
+                       help="print the extracted insight report")
+    p_run.add_argument("--heatmap", action="store_true",
+                       help="render placement density/congestion heatmaps")
+
+    p_stats = sub.add_parser("stats", help="structural netlist statistics")
+    p_stats.add_argument("design", help="design name (D1..D17)")
+    p_stats.add_argument("--seed", type=int, default=0)
+
+    p_list = sub.add_parser("list", help="list designs / recipes / insights")
+    p_list.add_argument("what", choices=["designs", "recipes", "insights"])
+
+    p_ds = sub.add_parser("build-dataset", help="build the offline archive")
+    p_ds.add_argument("--out", required=True, help="output .pkl path")
+    p_ds.add_argument("--designs", default="",
+                      help="comma-separated subset (default: all 17)")
+    p_ds.add_argument("--sets-per-design", type=int, default=176)
+    p_ds.add_argument("--seed", type=int, default=0)
+
+    p_align = sub.add_parser("align", help="offline alignment (Algorithm 1)")
+    p_align.add_argument("--dataset", required=True)
+    p_align.add_argument("--out", required=True, help="output model .npz")
+    p_align.add_argument("--holdout", default="",
+                         help="comma-separated designs to exclude")
+    p_align.add_argument("--epochs", type=int, default=14)
+    p_align.add_argument("--pairs-per-design", type=int, default=160)
+    p_align.add_argument("--lam", type=float, default=2.0)
+    p_align.add_argument("--seed", type=int, default=0)
+
+    p_rec = sub.add_parser("recommend", help="zero-shot recommendation")
+    p_rec.add_argument("--model", required=True, help="saved model .npz")
+    p_rec.add_argument("--dataset", required=True,
+                       help="archive .pkl providing the insight vector")
+    p_rec.add_argument("--design", required=True)
+    p_rec.add_argument("--k", type=int, default=5)
+    p_rec.add_argument("--evaluate", action="store_true",
+                       help="run the flow on each recommendation")
+    p_rec.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _split(csv: str) -> List[str]:
+    return [item.strip() for item in csv.split(",") if item.strip()]
+
+
+def cmd_run_flow(args) -> int:
+    catalog = default_catalog()
+    names = _split(args.recipes)
+    if names:
+        bits = catalog.subset_from_names(names)
+        params = apply_recipe_set(bits, catalog)
+    else:
+        params = FlowParameters()
+    result = run_flow(args.design, params, seed=args.seed)
+    print(render_flow_summary(result))
+    if args.timing and result.timing is not None:
+        netlist = _fresh_netlist(get_profile(args.design), args.seed)
+        # Report against the final timing numbers; the worst path listing
+        # uses the pristine netlist's structure for cell lookups.
+        print(render_timing_report(netlist, result.timing))
+    if args.insights:
+        vector = InsightExtractor().extract(result, get_profile(args.design))
+        print("\n".join(vector.describe()))
+    if args.heatmap:
+        _print_heatmaps(args.design, params, args.seed)
+    return 0
+
+
+def _print_heatmaps(design: str, params: FlowParameters, seed: int) -> None:
+    """Re-run placement on a fresh copy and render its spatial fields."""
+    import numpy as np
+
+    from repro.placement.congestion import rudy_map_fast
+    from repro.placement.placer import (
+        _boxes_fast,
+        _build_connectivity,
+        _routing_supply_per_bin,
+        place,
+    )
+    from repro.viz import ascii_heatmap
+
+    netlist = _fresh_netlist(get_profile(design), seed)
+    placement = place(netlist, params.placer, seed=seed)
+    grid = placement.grid
+    cells = [c for c in netlist.cells.values() if not c.is_clock_cell]
+    xs = np.array([c.position[0] for c in cells])
+    ys = np.array([c.position[1] for c in cells])
+    areas = np.array([c.area_um2 for c in cells])
+    density = grid.density_map(xs, ys, areas, blockage_penalty=False)
+    print(ascii_heatmap(density, title=f"\n{design}: placement density"))
+
+    index_of = {c.name: i for i, c in enumerate(cells)}
+    pin_cell, pin_net, net_sizes, _, _ = _build_connectivity(
+        netlist, index_of, params.placer
+    )
+    steiner = 1.0 + 0.18 * np.log2(np.maximum(2, net_sizes) / 2.0)
+    positions = np.column_stack([xs, ys])
+    boxes, lengths = _boxes_fast(positions, pin_cell, pin_net,
+                                 len(net_sizes), steiner)
+    supply = _routing_supply_per_bin(netlist, grid)
+    congestion = rudy_map_fast(grid, boxes, lengths, supply)
+    print(ascii_heatmap(congestion, title=f"{design}: routing congestion (RUDY)"))
+
+
+def cmd_stats(args) -> int:
+    from repro.netlist.stats import compute_stats
+
+    netlist = _fresh_netlist(get_profile(args.design), args.seed)
+    print(compute_stats(netlist).render())
+    return 0
+
+
+def cmd_list(args) -> int:
+    if args.what == "designs":
+        print(f"{'name':<6} {'node':<6} {'gates':>6}  category")
+        for profile in design_profiles():
+            print(f"{profile.name:<6} {profile.node:<6} "
+                  f"{profile.sim_gate_count:>6}  {profile.category}")
+    elif args.what == "recipes":
+        print(f"{'#':>3} {'name':<26} {'category':<26} description")
+        for index, recipe in enumerate(default_catalog()):
+            print(f"{index:>3} {recipe.name:<26} "
+                  f"{recipe.category.value:<26} {recipe.description}")
+    else:
+        print(f"{'key':<28} {'category':<10} {'kind':<8} description")
+        for field in insight_schema():
+            print(f"{field.key:<28} {field.category:<10} "
+                  f"{field.kind.value:<8} {field.description}")
+    return 0
+
+
+def cmd_build_dataset(args) -> int:
+    designs = _split(args.designs) or None
+    dataset = build_offline_dataset(
+        designs=designs,
+        sets_per_design=args.sets_per_design,
+        seed=args.seed,
+        processes=1,
+        cache_path=args.out,
+        verbose=True,
+    )
+    print(f"wrote {len(dataset)} datapoints over "
+          f"{len(dataset.designs())} designs to {args.out}")
+    return 0
+
+
+def cmd_align(args) -> int:
+    dataset = OfflineDataset.load(args.dataset)
+    config = AlignmentConfig(
+        lam=args.lam, epochs=args.epochs,
+        pairs_per_design=args.pairs_per_design, seed=args.seed,
+    )
+    ia = InsightAlign.align_offline(
+        dataset, holdout=_split(args.holdout), config=config, verbose=True
+    )
+    ia.save(args.out)
+    print(f"saved aligned model to {args.out}")
+    return 0
+
+
+def cmd_recommend(args) -> int:
+    ia = InsightAlign.load(args.model)
+    dataset = OfflineDataset.load(args.dataset)
+    insight = dataset.insight_for(args.design)
+    recommendations = ia.recommend(insight, k=args.k)
+    catalog = default_catalog()
+    normalizer = dataset.normalizer_for(args.design, ia.intention)
+    known_best = dataset.scores_for(args.design, ia.intention).max()
+    print(f"top-{args.k} recipe sets for {args.design} "
+          f"(best known score {known_best:+.3f}):")
+    for rank, rec in enumerate(recommendations, start=1):
+        names = ", ".join(rec.recipe_names) or "(default flow)"
+        line = f"#{rank} logP {rec.log_prob:8.2f}  {names}"
+        if args.evaluate:
+            params = apply_recipe_set(list(rec.recipe_set), catalog)
+            result = run_flow(args.design, params, seed=args.seed)
+            score = normalizer.score(result.qor, ia.intention)
+            line += (f"\n    -> score {score:+.3f}  "
+                     f"power {result.qor['power_mw']:.4f} mW  "
+                     f"TNS {result.qor['tns_ns']:.4f} ns")
+        print(line)
+    return 0
+
+
+_COMMANDS = {
+    "run-flow": cmd_run_flow,
+    "list": cmd_list,
+    "stats": cmd_stats,
+    "build-dataset": cmd_build_dataset,
+    "align": cmd_align,
+    "recommend": cmd_recommend,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Beam search over recipe decisions — Algorithm 1's BEAMSEARCH.
+
+Starting from the SOS-only prefix, each step extends every beam with both
+decisions (select / skip), scores extensions by cumulative log probability
+under the aligned policy, and keeps the top-K sequences.  After n steps the
+K complete recipe sets best aligned with the QoR-optimized policy remain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.model import InsightAlignModel
+
+
+@dataclass(frozen=True)
+class BeamCandidate:
+    """A complete recipe set with its cumulative log probability."""
+
+    recipe_set: Tuple[int, ...]
+    log_prob: float
+
+
+def beam_search(
+    model: InsightAlignModel,
+    insight: np.ndarray,
+    beam_width: int = 5,
+) -> List[BeamCandidate]:
+    """Top-``beam_width`` recipe sets for ``insight``, best first."""
+    if beam_width < 1:
+        raise ValueError(f"beam_width must be >= 1, got {beam_width}")
+    n = model.n_recipes
+    # Beams: (decisions-so-far, cumulative log prob).
+    beams: List[Tuple[List[int], float]] = [([], 0.0)]
+    for t in range(n):
+        extensions: List[Tuple[List[int], float]] = []
+        for prefix, score in beams:
+            padded = np.zeros(n, dtype=np.int64)
+            padded[: len(prefix)] = prefix
+            logits = model.logits(insight, padded).numpy()
+            z = float(np.clip(logits[t], -60.0, 60.0))
+            log_p1 = -np.log1p(np.exp(-z))
+            log_p0 = -np.log1p(np.exp(z))
+            extensions.append((prefix + [1], score + log_p1))
+            extensions.append((prefix + [0], score + log_p0))
+        extensions.sort(key=lambda item: item[1], reverse=True)
+        beams = extensions[:beam_width]
+    return [
+        BeamCandidate(recipe_set=tuple(prefix), log_prob=score)
+        for prefix, score in beams
+    ]
+
+
+def greedy_decode(model: InsightAlignModel, insight: np.ndarray) -> BeamCandidate:
+    """Beam width 1 — the greedy ablation baseline."""
+    return beam_search(model, insight, beam_width=1)[0]
+
+
+def sample_decode(
+    model: InsightAlignModel,
+    insight: np.ndarray,
+    rng: np.random.Generator,
+    temperature: float = 1.0,
+) -> BeamCandidate:
+    """Ancestral sampling from the policy — the stochastic ablation."""
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    n = model.n_recipes
+    decisions: List[int] = []
+    total = 0.0
+    for t in range(n):
+        padded = np.zeros(n, dtype=np.int64)
+        padded[: len(decisions)] = decisions
+        logits = model.logits(insight, padded).numpy()
+        z = float(np.clip(logits[t] / temperature, -60.0, 60.0))
+        p_one = 1.0 / (1.0 + np.exp(-z))
+        choice = 1 if rng.random() < p_one else 0
+        decisions.append(choice)
+        total += np.log(p_one if choice == 1 else 1.0 - p_one)
+    return BeamCandidate(recipe_set=tuple(decisions), log_prob=float(total))

@@ -1,0 +1,79 @@
+"""DPO and margin-based DPO losses — the paper's eq. (1) and eq. (2).
+
+Standard DPO (eq. 1), with the uniform reference policy the paper adopts
+(every sequence has identical reference likelihood, so the reference terms
+cancel inside the difference):
+
+    L_DPO = -log sigma( beta * (log pi(R_w|I) - log pi(R_l|I)) )
+
+Margin-based DPO (eq. 2) scales the required log-likelihood gap with the
+QoR gap.  Algorithm 1 (line 9) orders every pair winner-first before
+evaluating the loss, which makes eq. 2 equivalent to the canonical hinge
+
+    L_MDPO = max(0, lambda * |Q_i - Q_j|
+                    - (log pi(R_w | I) - log pi(R_l | I)))
+
+with (R_w, R_l) the better/worse recipe set.  We implement that ordered
+form directly, so the loss is symmetric in how the caller passes the pair.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import InsightAlignModel
+from repro.core.policy import sequence_log_prob
+from repro.nn.tensor import Tensor
+
+
+def dpo_loss(
+    model: InsightAlignModel,
+    insight: np.ndarray,
+    winner: Sequence[int],
+    loser: Sequence[int],
+    beta: float = 1.0,
+) -> Tensor:
+    """Plain DPO with a uniform reference policy (eq. 1)."""
+    log_w = sequence_log_prob(model, insight, winner)
+    log_l = sequence_log_prob(model, insight, loser)
+    return -((log_w - log_l) * beta).log_sigmoid()
+
+
+def margin_dpo_loss(
+    model: InsightAlignModel,
+    insight: np.ndarray,
+    recipe_i: Sequence[int],
+    recipe_j: Sequence[int],
+    qor_i: float,
+    qor_j: float,
+    lam: float = 2.0,
+) -> Tensor:
+    """Margin-based DPO (eq. 2, winner-first ordered form of Algorithm 1).
+
+    Symmetric in (i, j): the pair is internally ordered by QoR.
+    """
+    if qor_i >= qor_j:
+        winner, loser, margin = recipe_i, recipe_j, lam * (qor_i - qor_j)
+    else:
+        winner, loser, margin = recipe_j, recipe_i, lam * (qor_j - qor_i)
+    log_w = sequence_log_prob(model, insight, winner)
+    log_l = sequence_log_prob(model, insight, loser)
+    hinge_arg = margin - (log_w - log_l)
+    return hinge_arg.clip_min(0.0)
+
+
+def margin_dpo_loss_value(
+    model: InsightAlignModel,
+    insight: np.ndarray,
+    recipe_i: Sequence[int],
+    recipe_j: Sequence[int],
+    qor_i: float,
+    qor_j: float,
+    lam: float = 2.0,
+) -> float:
+    """Loss value without building gradients (for eval loops)."""
+    return float(
+        margin_dpo_loss(model, insight, recipe_i, recipe_j, qor_i, qor_j, lam).item()
+    )

@@ -1,0 +1,82 @@
+"""Evaluation utilities: convergence curves, regret, evaluations-to-target.
+
+Shared by the runtime-performance bench and useful for any tuner
+comparison: all tuning methods (and InsightAlign's own offline-then-online
+loop) reduce to a sequence of (recipe set, score) evaluations, so their
+*sample efficiency* is comparable as best-so-far curves over evaluation
+count — the honest proxy for the paper's "runtime performance" claim, since
+flow evaluations dominate wall-clock in real deployments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+def best_so_far(scores: Sequence[float]) -> np.ndarray:
+    """Running maximum of a score sequence."""
+    array = np.asarray(list(scores), dtype=np.float64)
+    if array.size == 0:
+        return array
+    return np.maximum.accumulate(array)
+
+
+def simple_regret(scores: Sequence[float], optimum: float) -> np.ndarray:
+    """Per-evaluation simple regret vs. a known/best-known optimum."""
+    return optimum - best_so_far(scores)
+
+
+def evaluations_to_target(
+    scores: Sequence[float], target: float
+) -> Optional[int]:
+    """1-based index of the first evaluation reaching ``target``; None if never."""
+    curve = best_so_far(scores)
+    hits = np.flatnonzero(curve >= target)
+    return int(hits[0]) + 1 if hits.size else None
+
+
+def area_under_curve(scores: Sequence[float]) -> float:
+    """Mean of the best-so-far curve — higher = faster convergence."""
+    curve = best_so_far(scores)
+    if curve.size == 0:
+        raise TrainingError("cannot integrate an empty curve")
+    return float(curve.mean())
+
+
+def align_curves(
+    curves: Dict[str, Sequence[float]], length: Optional[int] = None
+) -> Dict[str, np.ndarray]:
+    """Pad/truncate best-so-far curves to a common length (pad = last value)."""
+    processed = {name: best_so_far(values) for name, values in curves.items()}
+    if length is None:
+        length = max((c.size for c in processed.values()), default=0)
+    out = {}
+    for name, curve in processed.items():
+        if curve.size == 0:
+            raise TrainingError(f"curve {name!r} is empty")
+        if curve.size >= length:
+            out[name] = curve[:length]
+        else:
+            pad = np.full(length - curve.size, curve[-1])
+            out[name] = np.concatenate([curve, pad])
+    return out
+
+
+def summarize_convergence(
+    curves: Dict[str, Sequence[float]], target: float
+) -> List[Dict[str, object]]:
+    """Per-method summary rows: final best, AUC, evaluations-to-target."""
+    rows = []
+    for name, values in curves.items():
+        rows.append({
+            "method": name,
+            "final_best": float(best_so_far(values)[-1]),
+            "auc": area_under_curve(values),
+            "evals_to_target": evaluations_to_target(values, target),
+        })
+    rows.sort(key=lambda r: -r["final_best"])
+    return rows

@@ -1,0 +1,184 @@
+"""The InsightAlign model — paper Table III, reproduced exactly.
+
+| Layer                 | Type                   | In        | Out      |
+|-----------------------|------------------------|-----------|----------|
+| Decision Token Embed. | Embedding              | (40, 3)   | (40, 32) |
+| Recipe Pos. Enc.      | Positional Encoding    | (40, 32)  | (40, 32) |
+| Insight Embed.        | Linear x1              | (1, 72)   | (1, 32)  |
+| Transformer Dec.      | Transformer Decoder x1 | (1,32)+(40,32) | (40, 1) |
+| Probabilistic         | Sigmoid x40            | (40, 1)   | (40, 1)  |
+
+Recipes are tokens decided autoregressively: the input at step ``t`` is the
+embedding of the *previous* decision (SOS at t=0) plus the position-t recipe
+encoding; cross attention injects the design-insight embedding; a sigmoid
+head yields P(select recipe_t | decisions_<t, insight).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.insights.schema import INSIGHT_DIMS
+from repro.nn.attention import TransformerDecoderLayer
+from repro.nn.layers import Embedding, Linear, Module, positional_encoding
+from repro.nn.tensor import Tensor
+
+SOS_TOKEN = 2  # vocabulary: 0 = not selected, 1 = selected, 2 = SOS
+
+
+class InsightAlignModel(Module):
+    """Decoder-only recipe-sequence model conditioned on design insights.
+
+    Args:
+        n_recipes: Sequence length (40 in the paper).
+        dim: Model width (32 in the paper).
+        insight_dims: Insight vector width (72 in the paper).
+        seed: Weight-initialization seed.
+    """
+
+    def __init__(
+        self,
+        n_recipes: int = 40,
+        dim: int = 32,
+        insight_dims: int = INSIGHT_DIMS,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_recipes < 1:
+            raise ModelError(f"n_recipes must be positive, got {n_recipes}")
+        self.n_recipes = n_recipes
+        self.dim = dim
+        self.insight_dims = insight_dims
+        self.token_embed = self.add_child(
+            "token_embed", Embedding(3, dim, seed=seed)
+        )
+        self.insight_embed = self.add_child(
+            "insight_embed", Linear(insight_dims, dim, seed=seed + 1)
+        )
+        self.decoder = self.add_child(
+            "decoder", TransformerDecoderLayer(dim, seed=seed + 2)
+        )
+        self.head = self.add_child("head", Linear(dim, 1, seed=seed + 3))
+        # Fixed sinusoidal positional code identifying each recipe slot.
+        self._positions = positional_encoding(n_recipes, dim)
+
+    # ------------------------------------------------------------------
+    def logits(
+        self,
+        insight: np.ndarray,
+        decisions: Optional[np.ndarray] = None,
+        prefix_length: Optional[int] = None,
+    ) -> Tensor:
+        """Selection logits for each recipe step.
+
+        Args:
+            insight: Insight vector, shape ``(insight_dims,)``.
+            decisions: Teacher-forcing decisions in {0,1}, shape
+                ``(n_recipes,)``.  Entries at and after ``prefix_length``
+                are ignored (they sit behind the causal mask anyway).
+                ``None`` is equivalent to all zeros with prefix_length=0.
+            prefix_length: Number of decided steps; logits are returned for
+                all positions, but only positions ``<= prefix_length`` are
+                meaningful during incremental decoding.
+
+        Returns:
+            Tensor of shape ``(n_recipes,)`` — pre-sigmoid logits.
+        """
+        insight = np.asarray(insight, dtype=np.float64)
+        if insight.shape != (self.insight_dims,):
+            raise ModelError(
+                f"insight shape {insight.shape}, expected ({self.insight_dims},)"
+            )
+        if decisions is None:
+            decisions = np.zeros(self.n_recipes, dtype=np.int64)
+        decisions = np.asarray(decisions, dtype=np.int64)
+        if decisions.shape != (self.n_recipes,):
+            raise ModelError(
+                f"decisions shape {decisions.shape}, expected ({self.n_recipes},)"
+            )
+        if np.any((decisions != 0) & (decisions != 1)):
+            raise ModelError("decisions must be binary")
+
+        # Input token at step t is the decision at t-1; SOS at step 0.
+        tokens = np.empty(self.n_recipes, dtype=np.int64)
+        tokens[0] = SOS_TOKEN
+        tokens[1:] = decisions[:-1]
+        x = self.token_embed(tokens) + Tensor(self._positions)
+        memory = self.insight_embed(Tensor(insight.reshape(1, -1)))
+        hidden = self.decoder(x, memory)
+        return self.head(hidden).reshape(self.n_recipes)
+
+    def batched_logits(
+        self,
+        insights: np.ndarray,
+        decisions: np.ndarray,
+    ) -> Tensor:
+        """Batched teacher-forced logits.
+
+        Args:
+            insights: ``(B, insight_dims)`` — one insight vector per row.
+            decisions: ``(B, n_recipes)`` binary decisions per row.
+
+        Returns:
+            Tensor ``(B, n_recipes)`` of pre-sigmoid logits.  Equivalent to
+            stacking :meth:`logits` over rows (verified by tests), but one
+            tensor graph — the training loop's hot path.
+        """
+        insights = np.asarray(insights, dtype=np.float64)
+        decisions = np.asarray(decisions, dtype=np.int64)
+        if insights.ndim != 2 or insights.shape[1] != self.insight_dims:
+            raise ModelError(f"insights shape {insights.shape} invalid")
+        if decisions.shape != (insights.shape[0], self.n_recipes):
+            raise ModelError(f"decisions shape {decisions.shape} invalid")
+        batch = insights.shape[0]
+        tokens = np.empty((batch, self.n_recipes), dtype=np.int64)
+        tokens[:, 0] = SOS_TOKEN
+        tokens[:, 1:] = decisions[:, :-1]
+        x = self.token_embed(tokens) + Tensor(self._positions)
+        memory = self.insight_embed(
+            Tensor(insights.reshape(batch, 1, self.insight_dims))
+        )
+        hidden = self.decoder(x, memory)
+        return self.head(hidden).reshape(batch, self.n_recipes)
+
+    def probabilities(
+        self,
+        insight: np.ndarray,
+        decisions: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """P(select recipe_t | decisions_<t, insight) for every t."""
+        return self.logits(insight, decisions).sigmoid().numpy()
+
+    def architecture_summary(self) -> dict:
+        """Layer/shape audit used by the Table III bench."""
+        return {
+            "decision_token_embedding": {
+                "type": "Embedding",
+                "input": (self.n_recipes, 3),
+                "output": (self.n_recipes, self.dim),
+            },
+            "recipe_positional_encoding": {
+                "type": "PositionalEncoding",
+                "input": (self.n_recipes, self.dim),
+                "output": (self.n_recipes, self.dim),
+            },
+            "insight_embedding": {
+                "type": "Linear x1",
+                "input": (1, self.insight_dims),
+                "output": (1, self.dim),
+            },
+            "transformer_decoder": {
+                "type": "TransformerDecoder x1 (single head)",
+                "input": ((1, self.dim), (self.n_recipes, self.dim)),
+                "output": (self.n_recipes, 1),
+            },
+            "probabilistic": {
+                "type": f"Sigmoid x{self.n_recipes}",
+                "input": (self.n_recipes, 1),
+                "output": (self.n_recipes, 1),
+            },
+            "parameter_count": sum(p.size for p in self.parameters()),
+        }

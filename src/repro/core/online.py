@@ -1,0 +1,237 @@
+"""Online fine-tuning — closed-loop adaptation (paper Section III.G, Fig. 6/7).
+
+Each iteration: the policy proposes K = 5 *new* recipe sets (beam search
+over the current policy, skipping sets already evaluated), the flow runs
+them, and the model updates from the fresh QoR feedback with margin-based
+DPO (pairs drawn from everything observed on this design so far) plus the
+PPO clipped surrogate (advantages = centered batch scores).  Insights are
+refreshed from the best run of each iteration, so the conditioning context
+tracks the design as the paper describes ("additional insights are
+gathered, providing a progressively generalized view of the design").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.beam import beam_search, sample_decode
+from repro.core.dataset import OfflineDataset
+from repro.core.model import InsightAlignModel
+from repro.core.policy import sequence_log_prob, sequence_log_prob_value
+from repro.core.ppo import advantages_from_scores, ppo_loss
+from repro.core.qor import DesignNormalizer, QoRIntention
+from repro.errors import TrainingError
+from repro.flow.runner import run_flow
+from repro.insights.extractor import InsightExtractor
+from repro.netlist.profiles import get_profile
+from repro.nn.optim import Adam, clip_grad_norm
+from repro.nn.tensor import Tensor
+from repro.recipes.apply import apply_recipe_set
+from repro.recipes.catalog import default_catalog
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Hyperparameters of the online fine-tuning loop (K = 5, as the paper)."""
+
+    iterations: int = 10
+    k: int = 5
+    learning_rate: float = 1e-3
+    lam: float = 2.0
+    ppo_weight: float = 0.5
+    ppo_clip: float = 0.2
+    dpo_pairs_per_update: int = 48
+    grad_clip: float = 5.0
+    insight_refresh: float = 0.3
+    explore_samples: int = 1
+    seed: int = 0
+
+
+@dataclass
+class IterationRecord:
+    """Everything one online iteration produced (Fig. 6/7 raw data)."""
+
+    iteration: int
+    recipe_sets: List[Tuple[int, ...]]
+    qors: List[Dict[str, float]]
+    scores: List[float]
+    best_score_so_far: float
+    avg_top5_so_far: float
+    best_power_so_far: float
+    best_tns_so_far: float
+
+
+@dataclass
+class OnlineResult:
+    """Full fine-tuning trajectory for one design."""
+
+    design: str
+    records: List[IterationRecord] = field(default_factory=list)
+    model: Optional[InsightAlignModel] = None
+
+    def trajectory(self, key: str) -> np.ndarray:
+        return np.array([getattr(r, key) for r in self.records])
+
+    @property
+    def all_points(self) -> List[Tuple[int, Dict[str, float], float]]:
+        """(iteration, qor, score) for every evaluated recipe set (Fig. 7)."""
+        out = []
+        for record in self.records:
+            for qor, score in zip(record.qors, record.scores):
+                out.append((record.iteration, qor, score))
+        return out
+
+
+class OnlineFineTuner:
+    """Runs the closed-loop fine-tuning of an aligned model on one design."""
+
+    def __init__(self, config: OnlineConfig = OnlineConfig()) -> None:
+        self.config = config
+
+    def run(
+        self,
+        model: InsightAlignModel,
+        dataset: OfflineDataset,
+        design: str,
+        intention: QoRIntention = QoRIntention(),
+        verbose: bool = False,
+    ) -> OnlineResult:
+        cfg = self.config
+        rng = derive_rng(cfg.seed, "online", design)
+        catalog = default_catalog()
+        extractor = InsightExtractor()
+        profile = get_profile(design)
+        normalizer = dataset.normalizer_for(design, intention)
+        insight = dataset.insight_for(design).copy()
+        optimizer = Adam(model.parameters(), lr=cfg.learning_rate)
+
+        observed: List[Tuple[Tuple[int, ...], float]] = []
+        seen: set = set()
+        result = OnlineResult(design=design)
+        best_overall: Tuple[float, Optional[Dict[str, float]]] = (-np.inf, None)
+
+        for iteration in range(cfg.iterations):
+            proposals = self._propose(model, insight, seen, rng)
+            qors: List[Dict[str, float]] = []
+            scores: List[float] = []
+            best_run = None
+            best_run_score = -np.inf
+            for bits in proposals:
+                params = apply_recipe_set(list(bits), catalog)
+                flow = run_flow(design, params, seed=dataset.seed)
+                score = normalizer.score(flow.qor, intention)
+                qors.append(dict(flow.qor))
+                scores.append(score)
+                observed.append((bits, score))
+                seen.add(bits)
+                if score > best_run_score:
+                    best_run_score = score
+                    best_run = flow
+                if score > best_overall[0]:
+                    best_overall = (score, dict(flow.qor))
+
+            self._update(model, optimizer, insight, proposals, scores, observed, rng)
+
+            if cfg.insight_refresh > 0 and best_run is not None:
+                fresh = extractor.extract(best_run, profile).values
+                insight = (
+                    (1.0 - cfg.insight_refresh) * insight
+                    + cfg.insight_refresh * fresh
+                )
+
+            record = self._record(
+                iteration, proposals, qors, scores, observed, best_overall[1]
+            )
+            result.records.append(record)
+            if verbose:
+                print(
+                    f"{design} iter {iteration}: best so far "
+                    f"{record.best_score_so_far:.3f} "
+                    f"avg-top5 {record.avg_top5_so_far:.3f}"
+                )
+        result.model = model
+        return result
+
+    # ------------------------------------------------------------------
+    def _propose(self, model, insight, seen, rng) -> List[Tuple[int, ...]]:
+        """K fresh recipe sets: beam first, sampling for the remainder."""
+        cfg = self.config
+        picks: List[Tuple[int, ...]] = []
+        for candidate in beam_search(model, insight, beam_width=4 * cfg.k):
+            if candidate.recipe_set not in seen and candidate.recipe_set not in picks:
+                picks.append(candidate.recipe_set)
+            if len(picks) >= cfg.k - cfg.explore_samples:
+                break
+        attempts = 0
+        while len(picks) < cfg.k and attempts < 60:
+            candidate = sample_decode(model, insight, rng, temperature=1.3)
+            attempts += 1
+            if candidate.recipe_set in seen or candidate.recipe_set in picks:
+                continue
+            picks.append(candidate.recipe_set)
+        if not picks:
+            raise TrainingError("online loop could not propose any new recipe set")
+        return picks
+
+    def _update(self, model, optimizer, insight, proposals, scores, observed, rng):
+        """One update: margin-DPO over observed pairs + PPO on the batch."""
+        cfg = self.config
+        old_log_probs = [
+            sequence_log_prob_value(model, insight, bits) for bits in proposals
+        ]
+        # --- margin-DPO on pairs drawn from everything observed so far.
+        losses = []
+        if len(observed) >= 2:
+            count = min(cfg.dpo_pairs_per_update, len(observed) * 2)
+            for _ in range(count):
+                i, j = rng.integers(0, len(observed), size=2)
+                (bits_i, score_i), (bits_j, score_j) = observed[int(i)], observed[int(j)]
+                if abs(score_i - score_j) < 1e-6:
+                    continue
+                if score_i < score_j:
+                    bits_i, bits_j = bits_j, bits_i
+                    score_i, score_j = score_j, score_i
+                gap = (
+                    sequence_log_prob(model, insight, bits_i)
+                    - sequence_log_prob(model, insight, bits_j)
+                )
+                margin = cfg.lam * (score_i - score_j)
+                losses.append((Tensor(np.array(margin)) - gap).clip_min(0.0))
+        # --- PPO on the current batch.
+        if cfg.ppo_weight > 0 and len(proposals) >= 2:
+            advantages = advantages_from_scores(scores)
+            for bits, old_lp, adv in zip(proposals, old_log_probs, advantages):
+                losses.append(
+                    ppo_loss(model, insight, bits, old_lp, float(adv),
+                             clip_epsilon=cfg.ppo_clip) * cfg.ppo_weight
+                )
+        if not losses:
+            return
+        total = losses[0]
+        for item in losses[1:]:
+            total = total + item
+        loss = total / float(len(losses))
+        optimizer.zero_grad()
+        loss.backward()
+        clip_grad_norm(model.parameters(), cfg.grad_clip)
+        optimizer.step()
+
+    def _record(
+        self, iteration, proposals, qors, scores, observed, best_qor
+    ) -> IterationRecord:
+        all_scores = np.array([s for _, s in observed])
+        top5 = np.sort(all_scores)[-5:]
+        return IterationRecord(
+            iteration=iteration,
+            recipe_sets=list(proposals),
+            qors=qors,
+            scores=scores,
+            best_score_so_far=float(all_scores.max()),
+            avg_top5_so_far=float(top5.mean()),
+            best_power_so_far=float(best_qor["power_mw"]),
+            best_tns_so_far=float(best_qor["tns_ns"]),
+        )

@@ -1,0 +1,101 @@
+"""Multi-objective (Pareto) utilities over QoR archives.
+
+The paper's compound score collapses power/TNS into one scalar, but the
+surrounding literature (PPATuner, PTPT) is explicitly Pareto-driven.  These
+helpers extract non-dominated fronts from archives and measure how well a
+recommendation set covers the front — used by the Pareto-coverage bench and
+handy for any multi-objective analysis of flow results.
+
+Conventions: objectives are *minimized*; points are rows of an
+``(n, n_objectives)`` array.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """True if ``a`` Pareto-dominates ``b`` (<= everywhere, < somewhere)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def pareto_front_mask(points: np.ndarray) -> np.ndarray:
+    """Boolean mask of non-dominated rows (O(n^2), fine for archives)."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise TrainingError(f"expected 2-D points, got shape {points.shape}")
+    n = len(points)
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        for j in range(n):
+            if i == j:
+                continue
+            if dominates(points[j], points[i]):
+                mask[i] = False
+                break
+    return mask
+
+
+def pareto_front(points: np.ndarray) -> np.ndarray:
+    """The non-dominated subset of ``points``."""
+    return np.asarray(points)[pareto_front_mask(points)]
+
+
+def hypervolume_2d(points: np.ndarray, reference: Sequence[float]) -> float:
+    """Dominated hypervolume (area) for two minimized objectives.
+
+    ``reference`` is the worst-corner anchor; points at or beyond it
+    contribute nothing.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise TrainingError("hypervolume_2d needs (n, 2) points")
+    ref_x, ref_y = float(reference[0]), float(reference[1])
+    front = pareto_front(points)
+    front = front[(front[:, 0] < ref_x) & (front[:, 1] < ref_y)]
+    if len(front) == 0:
+        return 0.0
+    order = np.argsort(front[:, 0])
+    front = front[order]
+    area = 0.0
+    previous_y = ref_y
+    for x, y in front:
+        if y < previous_y:
+            area += (ref_x - x) * (previous_y - y)
+            previous_y = y
+    return float(area)
+
+
+def coverage_ratio(
+    candidate_points: np.ndarray,
+    archive_points: np.ndarray,
+    reference: Sequence[float],
+) -> float:
+    """Hypervolume of the candidates relative to the archive's front.
+
+    1.0 means the candidate set dominates as much objective space as the
+    whole archive; > 1.0 means it extends beyond the archive's front.
+    """
+    archive_hv = hypervolume_2d(archive_points, reference)
+    if archive_hv <= 0.0:
+        raise TrainingError("archive has zero hypervolume at this reference")
+    return hypervolume_2d(candidate_points, reference) / archive_hv
+
+
+def qor_points(
+    qors: Sequence[Dict[str, float]],
+    metrics: Tuple[str, str] = ("power_mw", "tns_ns"),
+) -> np.ndarray:
+    """Extract an (n, 2) minimized-objective array from QoR dicts."""
+    return np.array(
+        [[q[metrics[0]], q[metrics[1]]] for q in qors], dtype=np.float64
+    )

@@ -1,0 +1,59 @@
+"""PPO surrogate loss for the online fine-tuning phase.
+
+The online loop (paper Section III.G) proposes K recipe sets per iteration,
+observes their QoR, and updates with margin-DPO *and* a PPO clipped
+surrogate.  Here a whole recipe set is one action; its advantage is the
+centered QoR score of the batch; the importance ratio is the sequence-level
+likelihood ratio against the pre-update (behaviour) policy:
+
+    r(phi)  = exp(log pi_phi(R|I) - log pi_old(R|I))
+    L_PPO   = -min(r * A, clip(r, 1-eps, 1+eps) * A)
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.model import InsightAlignModel
+from repro.core.policy import sequence_log_prob
+from repro.nn.tensor import Tensor
+
+
+def ppo_loss(
+    model: InsightAlignModel,
+    insight: np.ndarray,
+    recipe_set: Sequence[int],
+    old_log_prob: float,
+    advantage: float,
+    clip_epsilon: float = 0.2,
+) -> Tensor:
+    """Clipped PPO surrogate for one (recipe set, advantage) sample."""
+    if clip_epsilon <= 0:
+        raise ValueError(f"clip_epsilon must be positive, got {clip_epsilon}")
+    log_new = sequence_log_prob(model, insight, recipe_set)
+    ratio = (log_new - float(old_log_prob)).exp()
+    low, high = 1.0 - clip_epsilon, 1.0 + clip_epsilon
+
+    ratio_value = float(ratio.item())
+    clipped_value = min(high, max(low, ratio_value))
+    # min(r*A, clip(r)*A): pick the branch by value, differentiate through
+    # the unclipped ratio only when it is the active branch (standard PPO).
+    if ratio_value * advantage <= clipped_value * advantage:
+        surrogate = ratio * advantage
+    elif low <= ratio_value <= high:
+        surrogate = ratio * advantage
+    else:
+        surrogate = Tensor(np.array(clipped_value * advantage))
+    return -surrogate
+
+
+def advantages_from_scores(scores: Sequence[float]) -> np.ndarray:
+    """Batch advantages: centered and scale-normalized QoR scores."""
+    array = np.asarray(scores, dtype=np.float64)
+    if array.size == 0:
+        return array
+    centered = array - array.mean()
+    spread = centered.std()
+    return centered / spread if spread > 1e-9 else centered

@@ -1,0 +1,97 @@
+"""Compound QoR score — the paper's eq. (4).
+
+    s = sum_i  w_i * g_i * (m_i - mean(m)_i) / std(m)_i
+
+where the mean and standard deviation of each metric are taken **over all
+datapoints of the same design**, ``g_i`` is +1 for metrics to maximize and
+-1 for metrics to minimize.  Per-design normalization is the whole point:
+absolute TNS/power magnitudes vary by orders of magnitude across designs
+(Table IV), but z-scores are comparable, which is what lets one model rank
+recipes across designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+@dataclass(frozen=True)
+class QoRIntention:
+    """A user-defined QoR objective: weighted metrics with directions.
+
+    ``metrics`` maps a QoR key (see :class:`repro.flow.result.FlowResult`)
+    to ``(weight, maximize)``.  The paper's running example minimizes total
+    power (w=0.7) and TNS (w=0.3).
+    """
+
+    metrics: Tuple[Tuple[str, float, bool], ...] = (
+        ("power_mw", 0.7, False),
+        ("tns_ns", 0.3, False),
+    )
+
+    def __post_init__(self) -> None:
+        if not self.metrics:
+            raise TrainingError("QoR intention must weight at least one metric")
+        for name, weight, _ in self.metrics:
+            if weight < 0:
+                raise TrainingError(f"negative weight {weight} for metric {name}")
+
+    @property
+    def metric_names(self) -> List[str]:
+        return [name for name, _, _ in self.metrics]
+
+
+@dataclass
+class DesignNormalizer:
+    """Per-design mean/std for each metric (frozen once fitted)."""
+
+    mean: Dict[str, float] = field(default_factory=dict)
+    std: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def fit(cls, qors: Sequence[Dict[str, float]], intention: QoRIntention
+            ) -> "DesignNormalizer":
+        if not qors:
+            raise TrainingError("cannot fit a normalizer on zero datapoints")
+        norm = cls()
+        for name in intention.metric_names:
+            values = np.array([q[name] for q in qors], dtype=np.float64)
+            mean = float(values.mean())
+            std = float(values.std())
+            # A (near-)constant metric carries no ranking signal; flooring
+            # the std at a relative epsilon keeps float rounding noise from
+            # exploding into huge z-scores.
+            if std <= 1e-9 * max(1.0, abs(mean)):
+                std = 1.0
+            norm.mean[name] = mean
+            norm.std[name] = std
+        return norm
+
+    def score(self, qor: Dict[str, float], intention: QoRIntention) -> float:
+        total = 0.0
+        for name, weight, maximize in intention.metrics:
+            z = (qor[name] - self.mean[name]) / self.std[name]
+            total += weight * (z if maximize else -z)
+        return total
+
+
+def compound_scores(
+    qors_by_design: Dict[str, List[Dict[str, float]]],
+    intention: QoRIntention = QoRIntention(),
+) -> Dict[str, np.ndarray]:
+    """Score every datapoint of every design with eq. (4).
+
+    Returns ``design -> scores array`` aligned with the input lists.
+    """
+    out: Dict[str, np.ndarray] = {}
+    for design, qors in qors_by_design.items():
+        norm = DesignNormalizer.fit(qors, intention)
+        out[design] = np.array(
+            [norm.score(q, intention) for q in qors], dtype=np.float64
+        )
+    return out

@@ -1,0 +1,153 @@
+"""High-level facade: the API a downstream user drives.
+
+Typical usage::
+
+    from repro import InsightAlign, build_offline_dataset
+
+    dataset = build_offline_dataset(cache_path="archive.pkl")
+    ia = InsightAlign.align_offline(dataset, holdout=("D4",))
+    recs = ia.recommend(dataset.insight_for("D4"), k=5)   # zero-shot
+    tuned = ia.fine_tune_online(dataset, "D4")            # closed loop
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.alignment import AlignmentConfig, AlignmentHistory, AlignmentTrainer
+from repro.core.beam import BeamCandidate, beam_search
+from repro.core.dataset import OfflineDataset
+from repro.core.model import InsightAlignModel
+from repro.core.online import OnlineConfig, OnlineFineTuner, OnlineResult
+from repro.core.qor import QoRIntention
+from repro.recipes.catalog import RecipeCatalog, default_catalog
+
+
+@dataclass
+class Recommendation:
+    """A recommended recipe set, resolved to recipe names."""
+
+    recipe_set: Tuple[int, ...]
+    log_prob: float
+    recipe_names: List[str] = field(default_factory=list)
+
+
+class InsightAlign:
+    """The full recommender: aligned model + catalog + intention."""
+
+    def __init__(
+        self,
+        model: InsightAlignModel,
+        intention: QoRIntention = QoRIntention(),
+        catalog: Optional[RecipeCatalog] = None,
+        history: Optional[AlignmentHistory] = None,
+    ) -> None:
+        self.model = model
+        self.intention = intention
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self.history = history
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def align_offline(
+        cls,
+        dataset: OfflineDataset,
+        intention: QoRIntention = QoRIntention(),
+        holdout: Sequence[str] = (),
+        config: AlignmentConfig = AlignmentConfig(),
+        verbose: bool = False,
+    ) -> "InsightAlign":
+        """Run Algorithm 1's offline alignment, excluding ``holdout`` designs."""
+        train_designs = [d for d in dataset.designs() if d not in set(holdout)]
+        train_set = dataset.restricted_to(train_designs)
+        trainer = AlignmentTrainer(config)
+        model, history = trainer.train(train_set, intention, verbose=verbose)
+        return cls(model=model, intention=intention, history=history)
+
+    # ------------------------------------------------------------------
+    def recommend(
+        self, insight: np.ndarray, k: int = 5
+    ) -> List[Recommendation]:
+        """Zero-shot top-K recipe sets for a (possibly unseen) design."""
+        candidates: List[BeamCandidate] = beam_search(
+            self.model, insight, beam_width=k
+        )
+        names = self.catalog.names()
+        return [
+            Recommendation(
+                recipe_set=c.recipe_set,
+                log_prob=c.log_prob,
+                recipe_names=[
+                    names[i] for i, bit in enumerate(c.recipe_set) if bit
+                ],
+            )
+            for c in candidates
+        ]
+
+    def fine_tune_online(
+        self,
+        dataset: OfflineDataset,
+        design: str,
+        config: OnlineConfig = OnlineConfig(),
+        verbose: bool = False,
+    ) -> OnlineResult:
+        """Closed-loop fine-tuning of this recommender on one design.
+
+        Mutates ``self.model`` (the paper's 'the same model transitions into
+        an online fine-tuning stage').  Clone the model first if the aligned
+        policy must be preserved.
+        """
+        tuner = OnlineFineTuner(config)
+        return tuner.run(
+            self.model, dataset, design, self.intention, verbose=verbose
+        )
+
+    def clone(self) -> "InsightAlign":
+        """Copy with independent weights (for per-design fine-tuning)."""
+        return InsightAlign(
+            model=self.model.clone(),
+            intention=self.intention,
+            catalog=self.catalog,
+            history=self.history,
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Persist weights + intention to an .npz archive."""
+        import numpy as np
+
+        state = self.model.state_dict()
+        meta = {
+            "__meta_n_recipes": np.array(self.model.n_recipes),
+            "__meta_dim": np.array(self.model.dim),
+            "__meta_insight_dims": np.array(self.model.insight_dims),
+            "__meta_metrics": np.array(
+                [(n, str(w), str(int(g))) for n, w, g in self.intention.metrics]
+            ),
+        }
+        np.savez(path, **state, **meta)
+
+    @classmethod
+    def load(cls, path) -> "InsightAlign":
+        """Restore a recommender saved by :meth:`save`."""
+        import numpy as np
+
+        from repro.core.model import InsightAlignModel
+        from repro.core.qor import QoRIntention
+
+        with np.load(path) as archive:
+            entries = {name: archive[name] for name in archive.files}
+        model = InsightAlignModel(
+            n_recipes=int(entries.pop("__meta_n_recipes")),
+            dim=int(entries.pop("__meta_dim")),
+            insight_dims=int(entries.pop("__meta_insight_dims")),
+        )
+        metrics = tuple(
+            (str(name), float(weight), bool(int(maximize)))
+            for name, weight, maximize in entries.pop("__meta_metrics")
+        )
+        model.load_state_dict(entries)
+        return cls(model=model, intention=QoRIntention(metrics=metrics))

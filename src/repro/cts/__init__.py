@@ -1,0 +1,20 @@
+"""Clock-tree synthesis: recursive H-tree construction, skew and latency.
+
+CTS builds a balanced H-tree over the flip-flop positions, inserts clock
+buffers level by level, and reports insertion latency, global/local skew and
+clock-network power inputs.  Its knobs (target skew, buffer drive, sink
+cluster size, useful-skew aggressiveness) mirror the paper's "adjust
+clock-tree synthesis hyperparameters for tradeoffs among timing, skew and
+latency" recipe family (Table II).
+"""
+
+from repro.cts.tree import CtsParams, ClockTree, synthesize_clock_tree
+from repro.cts.skew import SkewReport, analyze_skew
+
+__all__ = [
+    "CtsParams",
+    "ClockTree",
+    "synthesize_clock_tree",
+    "SkewReport",
+    "analyze_skew",
+]

@@ -1,0 +1,65 @@
+"""Skew analysis over a synthesized clock tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.cts.tree import ClockTree
+
+
+@dataclass
+class SkewReport:
+    """Clock-distribution quality metrics.
+
+    ``harmful_skew_paths`` counts launch/capture pairs where the capture
+    flop's clock arrives *earlier* than the launch flop's by more than the
+    threshold — skew that directly erodes setup margin (the paper's Table I
+    "critical paths with harmful clock skew" insight).
+    """
+
+    global_skew_ps: float
+    local_skew_p95_ps: float
+    mean_latency_ps: float
+    max_latency_ps: float
+    harmful_skew_paths: int
+    checked_paths: int
+
+    @property
+    def harmful_fraction(self) -> float:
+        if self.checked_paths == 0:
+            return 0.0
+        return self.harmful_skew_paths / self.checked_paths
+
+
+def analyze_skew(
+    tree: ClockTree,
+    reg_pairs: Iterable[Tuple[str, str]],
+    harmful_threshold_ps: float = 5.0,
+) -> SkewReport:
+    """Summarize skew; ``reg_pairs`` are (launch_ff, capture_ff) path pairs."""
+    values = np.array([tree.latency_ps[name] for name in tree.sink_names])
+    pairs = list(reg_pairs)
+    harmful = 0
+    local_skews = []
+    for launch, capture in pairs:
+        lat_l = tree.latency_ps.get(launch)
+        lat_c = tree.latency_ps.get(capture)
+        if lat_l is None or lat_c is None:
+            continue
+        skew = lat_c - lat_l  # negative = capture clock early = setup loss
+        local_skews.append(abs(skew))
+        if skew < -harmful_threshold_ps:
+            harmful += 1
+    return SkewReport(
+        global_skew_ps=float(values.max() - values.min()) if values.size else 0.0,
+        local_skew_p95_ps=(
+            float(np.percentile(local_skews, 95)) if local_skews else 0.0
+        ),
+        mean_latency_ps=float(values.mean()) if values.size else 0.0,
+        max_latency_ps=float(values.max()) if values.size else 0.0,
+        harmful_skew_paths=harmful,
+        checked_paths=len(pairs),
+    )

@@ -1,0 +1,213 @@
+"""H-tree clock-tree synthesis over placed flip-flops.
+
+The tree is built by recursive geometric bisection (alternating the cut
+axis), creating a buffer at every internal node.  Insertion delay per sink is
+the sum of buffer delays and Elmore wire delays along its root-to-leaf path;
+skew is the spread of insertion delays.  A post-pass balances delays toward
+the mean, modelling the delay-buffer insertion real CTS engines perform, with
+effectiveness governed by :attr:`CtsParams.balance_effort` and the achievable
+floor by :attr:`CtsParams.target_skew_ps`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FlowError
+from repro.netlist.netlist import Netlist
+from repro.techlib.cells import CellFunction
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class CtsParams:
+    """Clock-tree knobs (the paper's Table II "Clock tree" recipe family).
+
+    Attributes:
+        max_cluster_size: Sinks per leaf buffer; smaller = deeper tree,
+            more buffers, lower local skew, more clock power.
+        buffer_drive: Drive strength (2/4/8) of inserted clock buffers;
+            stronger = lower latency and skew, more power.
+        target_skew_ps: Skew floor the balancer aims for.
+        balance_effort: 0..2; how hard the balancer works (runtime/power
+            cost in exchange for skew reduction).
+        useful_skew_gain: 0..1; fraction of available capture-side slack
+            stolen via intentional skew on setup-critical sinks (helps setup
+            timing, risks hold).
+    """
+
+    max_cluster_size: int = 16
+    buffer_drive: int = 4
+    target_skew_ps: float = 12.0
+    balance_effort: float = 1.0
+    useful_skew_gain: float = 0.0
+
+
+@dataclass
+class ClockTree:
+    """Synthesized clock tree and its electrical summary."""
+
+    sink_names: List[str]
+    latency_ps: Dict[str, float]
+    buffer_count: int
+    tree_depth: int
+    wirelength_um: float
+    total_buffer_cap_ff: float
+    total_wire_cap_ff: float
+    useful_skew_ps: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_latency_ps(self) -> float:
+        if not self.latency_ps:
+            return 0.0
+        return float(np.mean(list(self.latency_ps.values())))
+
+    @property
+    def global_skew_ps(self) -> float:
+        if not self.latency_ps:
+            return 0.0
+        values = list(self.latency_ps.values())
+        return float(max(values) - min(values))
+
+
+def synthesize_clock_tree(
+    netlist: Netlist, params: CtsParams, seed: int = 0
+) -> ClockTree:
+    """Build the clock tree for ``netlist`` (placement must have run)."""
+    if netlist.clock is None:
+        raise FlowError(f"{netlist.name}: no clock defined; cannot run CTS")
+    sinks = netlist.sequential_cells()
+    if not sinks:
+        raise FlowError(f"{netlist.name}: clock {netlist.clock.net_name} has no sinks")
+    rng = derive_rng(seed, "cts", netlist.name)
+    node = netlist.library.node
+    drive = params.buffer_drive if params.buffer_drive in (1, 2, 4, 8) else 4
+    buffer_cell = next(
+        c for c in netlist.library.variants(CellFunction.CLKBUF) if c.drive == drive
+    )
+
+    positions = np.array([cell.placed() for cell in sinks])
+    names = [cell.name for cell in sinks]
+    sink_caps = np.array([cell.cell_type.input_cap_ff for cell in sinks])
+
+    builder = _TreeBuilder(
+        node=node,
+        buffer_cell=buffer_cell,
+        max_cluster=max(2, params.max_cluster_size),
+    )
+    source = np.asarray(netlist.clock.source_xy, dtype=np.float64)
+    latencies = np.zeros(len(sinks))
+    builder.build(source, np.arange(len(sinks)), positions, sink_caps, 0, 0.0, latencies)
+
+    latencies = _balance(latencies, params, rng)
+    latency_ps = {name: float(lat) for name, lat in zip(names, latencies)}
+    return ClockTree(
+        sink_names=names,
+        latency_ps=latency_ps,
+        buffer_count=builder.buffer_count,
+        tree_depth=builder.max_depth,
+        wirelength_um=builder.wirelength_um,
+        total_buffer_cap_ff=builder.buffer_count * buffer_cell.input_cap_ff,
+        total_wire_cap_ff=builder.wirelength_um * node.wire_cap_ff_per_um,
+    )
+
+
+class _TreeBuilder:
+    """Recursive bisection H-tree construction with Elmore delays."""
+
+    def __init__(self, node, buffer_cell, max_cluster: int) -> None:
+        self.node = node
+        self.buffer_cell = buffer_cell
+        self.max_cluster = max_cluster
+        self.buffer_count = 0
+        self.max_depth = 0
+        self.wirelength_um = 0.0
+
+    def build(
+        self,
+        driver_xy: np.ndarray,
+        indices: np.ndarray,
+        positions: np.ndarray,
+        sink_caps: np.ndarray,
+        depth: int,
+        arrival_ps: float,
+        latencies: np.ndarray,
+    ) -> None:
+        self.max_depth = max(self.max_depth, depth)
+        centroid = positions[indices].mean(axis=0)
+        segment_um = float(np.abs(driver_xy - centroid).sum())
+        self.wirelength_um += segment_um
+        wire_delay = self._wire_delay_ps(segment_um)
+
+        if len(indices) <= self.max_cluster:
+            # Leaf buffer at the centroid drives the sinks directly.
+            self.buffer_count += 1
+            load = float(sink_caps[indices].sum())
+            local_wire = float(
+                np.abs(positions[indices] - centroid).sum(axis=1).mean()
+            ) if len(indices) > 1 else 2.0
+            self.wirelength_um += local_wire * len(indices)
+            load += local_wire * len(indices) * self.node.wire_cap_ff_per_um
+            buffer_delay = self.buffer_cell.delay_ps(load)
+            for index in indices:
+                stub_um = float(np.abs(positions[index] - centroid).sum())
+                latencies[index] = (
+                    arrival_ps + wire_delay + buffer_delay
+                    + self._wire_delay_ps(stub_um)
+                )
+            return
+
+        # Internal buffer at the centroid drives two child subtrees.
+        self.buffer_count += 1
+        axis = depth % 2
+        order = np.argsort(positions[indices, axis], kind="stable")
+        half = len(indices) // 2
+        left, right = indices[order[:half]], indices[order[half:]]
+        # Load seen by this buffer: two child buffer inputs + child segments.
+        child_wire = sum(
+            float(np.abs(centroid - positions[child].mean(axis=0)).sum())
+            for child in (left, right)
+        )
+        load = (
+            2.0 * self.buffer_cell.input_cap_ff
+            + child_wire * self.node.wire_cap_ff_per_um
+        )
+        buffer_delay = self.buffer_cell.delay_ps(load)
+        arrival = arrival_ps + wire_delay + buffer_delay
+        for child in (left, right):
+            self.build(
+                centroid, child, positions, sink_caps, depth + 1, arrival, latencies
+            )
+
+    def _wire_delay_ps(self, length_um: float) -> float:
+        return (
+            0.5 * self.node.wire_res_ohm_per_um * self.node.wire_cap_ff_per_um
+            * length_um ** 2 / 1000.0
+        )
+
+
+def _balance(latencies: np.ndarray, params: CtsParams, rng) -> np.ndarray:
+    """Pull latencies toward the mean, floored by the achievable target skew.
+
+    Models delay-buffer padding: effort 1.0 removes ~70% of the imbalance,
+    but the residual can never drop below ``target_skew_ps`` (process
+    variation / placement limits), and a small random residue is added so
+    balancing is not magically exact.
+    """
+    if latencies.size <= 1:
+        return latencies
+    mean = latencies.mean()
+    shrink = float(np.clip(0.7 * params.balance_effort, 0.0, 0.97))
+    balanced = mean + (latencies - mean) * (1.0 - shrink)
+    spread = balanced.max() - balanced.min()
+    target = max(1.0, params.target_skew_ps)
+    if spread < target:
+        # Cannot do better than the target floor: re-inflate around the mean.
+        scale = target / max(spread, 1e-9)
+        balanced = mean + (balanced - mean) * scale
+    balanced = balanced + rng.normal(0.0, 0.05 * target, size=latencies.shape)
+    # Balancing inserts delay, never removes it: keep max latency monotone.
+    return balanced + max(0.0, latencies.max() - balanced.max()) * 0.3

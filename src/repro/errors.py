@@ -1,0 +1,33 @@
+"""Exception hierarchy for the InsightAlign reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class NetlistError(ReproError):
+    """Raised for malformed netlists (dangling pins, duplicate names, ...)."""
+
+
+class LibraryError(ReproError):
+    """Raised when a cell type or technology node cannot be resolved."""
+
+
+class FlowError(ReproError):
+    """Raised when a physical-design flow stage fails or is misconfigured."""
+
+
+class RecipeError(ReproError):
+    """Raised for unknown recipes or malformed recipe sets."""
+
+
+class InsightError(ReproError):
+    """Raised when an insight vector does not match the published schema."""
+
+
+class ModelError(ReproError):
+    """Raised for model-architecture or shape violations."""
+
+
+class TrainingError(ReproError):
+    """Raised when alignment / fine-tuning receives unusable data."""

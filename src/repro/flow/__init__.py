@@ -1,0 +1,23 @@
+"""Physical-design flow orchestration: the simulated "commercial P&R tool".
+
+:func:`~repro.flow.runner.run_flow` executes the staged flow the paper's
+Figure 2 shows — placement, clock-tree synthesis, routing, post-route
+optimization, signoff — under a :class:`~repro.flow.parameters.FlowParameters`
+bundle (the knobs that recipes move), recording a per-stage trajectory that
+the insight analyzers consume and returning the final QoR.
+"""
+
+from repro.flow.parameters import FlowParameters, OptParams, TradeoffWeights
+from repro.flow.result import FlowResult, StageSnapshot
+from repro.flow.runner import run_flow
+from repro.flow.stages import FlowStage
+
+__all__ = [
+    "FlowParameters",
+    "OptParams",
+    "TradeoffWeights",
+    "FlowResult",
+    "StageSnapshot",
+    "run_flow",
+    "FlowStage",
+]

@@ -1,0 +1,271 @@
+"""Post-route optimization: sizing, useful skew, hold fixing, power recovery.
+
+The optimizer iterates STA-driven moves, mirroring what a commercial tool's
+post-route opt step does:
+
+1. **Setup sizing** — upsize the worst negative-slack cells (drive up, delay
+   down, power/area up), throttled by ``upsize_fraction`` and the design-
+   intention timing weight.
+2. **Useful skew** — steal capture-side margin on setup-critical flops, up
+   to ``useful_skew_gain`` of the violation (hurts hold).
+3. **Hold fixing** — insert real delay buffers on hold-violating endpoints'
+   D-input nets (the inserted-instance count is the Table I "instance count
+   from hold-time fixes" insight).
+4. **Power recovery** — downsize cells whose worst slack exceeds the margin
+   (leakage + internal energy down), throttled by ``leakage_recovery`` and
+   the power weight.
+
+Vt-swap bias is modeled as a global (delay, leakage) scale pair applied by
+the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cts.tree import ClockTree
+from repro.flow.parameters import OptParams, TradeoffWeights
+from repro.netlist.cell import CellInstance
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.techlib.cells import CellFunction
+from repro.timing.constraints import TimingConstraints
+from repro.timing.graph import build_timing_graph
+from repro.timing.sta import TimingReport, run_sta
+
+
+@dataclass
+class OptResult:
+    """Optimization activity counters + the final timing report."""
+
+    upsized: int = 0
+    downsized: int = 0
+    hold_fix_count: int = 0
+    useful_skew_endpoints: int = 0
+    passes_run: int = 0
+    pre_wns_ps: float = 0.0
+    pre_tns_ps: float = 0.0
+    report: Optional[TimingReport] = None
+    pass_tns_ps: List[float] = field(default_factory=list)
+
+
+def optimize(
+    netlist: Netlist,
+    constraints: TimingConstraints,
+    tree: ClockTree,
+    params: OptParams,
+    tradeoff: TradeoffWeights,
+) -> OptResult:
+    """Run the optimization loop in place on ``netlist``."""
+    result = OptResult()
+    # Vt-swap bias: more low-Vt (bias > 1) is faster but leakier; the power
+    # engine applies the matching leakage multiplier.
+    delay_scale = params.vt_swap_bias ** -0.25
+    report = run_sta(netlist, constraints, tree, delay_scale=delay_scale)
+    result.pre_wns_ps = report.wns_ps
+    result.pre_tns_ps = report.tns_ps
+
+    if params.useful_skew_gain > 0.0:
+        result.useful_skew_endpoints = _apply_useful_skew(
+            report, tree, constraints, params.useful_skew_gain
+        )
+        report = run_sta(netlist, constraints, tree, delay_scale=delay_scale)
+
+    # Early-hold weighting throttles setup sizing to preserve room for pads.
+    setup_throttle = max(0.2, 1.0 - 0.5 * params.early_hold_weight)
+    for _ in range(max(0, params.setup_passes)):
+        result.passes_run += 1
+        moved = _setup_sizing_pass(
+            netlist, report, params, tradeoff, setup_throttle
+        )
+        result.upsized += moved
+        report = run_sta(netlist, constraints, tree, delay_scale=delay_scale)
+        result.pass_tns_ps.append(report.tns_ps)
+        if moved == 0 or report.wns_ps >= 0:
+            break
+
+    if params.hold_effort > 0.0:
+        result.hold_fix_count = _fix_hold(netlist, report, constraints, params)
+        if result.hold_fix_count:
+            report = run_sta(netlist, constraints, tree, delay_scale=delay_scale)
+
+    if params.leakage_recovery > 0.0 and tradeoff.power > 0.0:
+        result.downsized = _power_recovery_pass(
+            netlist, report, constraints, params, tradeoff
+        )
+        if result.downsized:
+            report = run_sta(netlist, constraints, tree, delay_scale=delay_scale)
+
+    result.report = report
+    return result
+
+
+# ----------------------------------------------------------------------
+# Moves
+# ----------------------------------------------------------------------
+def _setup_sizing_pass(
+    netlist: Netlist,
+    report: TimingReport,
+    params: OptParams,
+    tradeoff: TradeoffWeights,
+    throttle: float,
+) -> int:
+    """Upsize the most negative-slack sizable cells; returns move count."""
+    library = netlist.library
+    candidates = [
+        (slack, name) for name, slack in report.cell_slack_ps.items()
+        if slack < 0 and name in netlist.cells
+    ]
+    if not candidates:
+        return 0
+    candidates.sort()
+    timing_pressure = min(2.0, tradeoff.timing / max(tradeoff.power, 0.25))
+    quota = int(
+        np.ceil(len(candidates) * params.upsize_fraction * throttle
+                * min(1.5, 0.5 + 0.5 * timing_pressure))
+    )
+    moved = 0
+    for slack, name in candidates[:quota]:
+        cell = netlist.cells[name]
+        if cell.is_sequential:
+            continue
+        bigger = library.upsize(cell.cell_type)
+        if bigger is None:
+            continue
+        cell.cell_type = bigger
+        moved += 1
+    return moved
+
+
+def _apply_useful_skew(
+    report: TimingReport,
+    tree: ClockTree,
+    constraints: TimingConstraints,
+    gain: float,
+) -> int:
+    """Delay capture clocks of violating endpoints by gain x violation."""
+    cap = 0.2 * constraints.period_ps
+    touched = 0
+    for endpoint, slack in report.endpoint_slack_ps.items():
+        if endpoint.startswith("PO:") or slack >= 0:
+            continue
+        shift = min(cap, gain * (-slack))
+        if shift <= 0:
+            continue
+        tree.useful_skew_ps[endpoint] = tree.useful_skew_ps.get(endpoint, 0.0) + shift
+        touched += 1
+    return touched
+
+
+def _fix_hold(
+    netlist: Netlist,
+    report: TimingReport,
+    constraints: TimingConstraints,
+    params: OptParams,
+) -> int:
+    """Insert delay buffers on hold-violating D inputs; returns buffer count.
+
+    Each pad is a real BUF instance spliced into the endpoint's data net, so
+    it costs leakage/dynamic power and also eats into the endpoint's setup
+    slack — hold fixing is never free.
+    """
+    library = netlist.library
+    pad_cell = library.default_variant(CellFunction.BUF)
+    node = netlist.library.node
+    margin = 1.0 + 4.0 * params.hold_effort
+    inserted = 0
+    for endpoint, hold_slack in list(report.endpoint_hold_slack_ps.items()):
+        if endpoint.startswith("PO:") or hold_slack >= 0:
+            continue
+        cell = netlist.cells.get(endpoint)
+        if cell is None or not cell.is_sequential:
+            continue
+        need_ps = -hold_slack + margin
+        setup_room = report.endpoint_slack_ps.get(endpoint, 0.0)
+        # Never create a setup violation to fix hold.
+        budget_ps = max(0.0, min(need_ps, setup_room - 2.0))
+        pad_delay = pad_cell.delay_ps(cell.cell_type.input_cap_ff)
+        count = int(np.ceil(budget_ps / max(pad_delay, 1e-6)))
+        count = min(count, 8)
+        for _ in range(count):
+            _splice_buffer(netlist, endpoint, pad_cell, node)
+            inserted += 1
+    return inserted
+
+
+def _splice_buffer(netlist: Netlist, endpoint: str, pad_cell, node) -> None:
+    """Splice ``pad_cell`` between the endpoint's data net and its D pin."""
+    cell = netlist.cells[endpoint]
+    data_net_name = next(
+        n for n in cell.input_nets if not netlist.nets[n].is_clock
+    )
+    data_net = netlist.nets[data_net_name]
+    pad_index = sum(1 for c in netlist.cells if c.startswith("holdbuf_"))
+    pad_name = f"holdbuf_{pad_index}"
+    new_net_name = f"holdnet_{pad_index}"
+
+    pad = CellInstance(
+        name=pad_name,
+        cell_type=pad_cell,
+        level=cell.level,
+        cluster=cell.cluster,
+        position=cell.position,
+        switching_activity=cell.switching_activity,
+    )
+    netlist.add_cell(pad)
+    new_net = Net(name=new_net_name, driver=pad_name)
+    new_net.wire_length_um = 2.0
+    new_net.wire_cap_ff = 2.0 * node.wire_cap_ff_per_um
+    new_net.wire_delay_ps = 0.0
+    netlist.add_net(new_net)
+    pad.output_net = new_net_name
+
+    # Retarget: data_net now feeds the pad; the pad feeds the endpoint.
+    data_net.sinks = [
+        (s, p) for (s, p) in data_net.sinks if s != endpoint
+    ]
+    data_net.add_sink(pad_name, 0)
+    new_net.add_sink(endpoint, 0)
+    pad.input_nets = (data_net_name,)
+    clk_nets = tuple(n for n in cell.input_nets if netlist.nets[n].is_clock)
+    cell.input_nets = (new_net_name,) + clk_nets
+
+
+def _power_recovery_pass(
+    netlist: Netlist,
+    report: TimingReport,
+    constraints: TimingConstraints,
+    params: OptParams,
+    tradeoff: TradeoffWeights,
+) -> int:
+    """Downsize comfortably-slack cells; returns move count."""
+    library = netlist.library
+    power_pressure = min(2.0, tradeoff.power / max(tradeoff.timing, 0.25))
+    margin = (
+        params.downsize_slack_margin * constraints.period_ps
+        / max(0.5, power_pressure)
+    )
+    candidates = [
+        (slack, name) for name, slack in report.cell_slack_ps.items()
+        if slack > margin and name in netlist.cells
+    ]
+    if not candidates:
+        return 0
+    candidates.sort(reverse=True)
+    quota = int(np.ceil(
+        len(candidates) * 0.3 * min(2.0, params.leakage_recovery) * power_pressure
+    ))
+    moved = 0
+    for slack, name in candidates[:quota]:
+        cell = netlist.cells[name]
+        if cell.is_sequential:
+            continue
+        smaller = library.downsize(cell.cell_type)
+        if smaller is None:
+            continue
+        cell.cell_type = smaller
+        moved += 1
+    return moved

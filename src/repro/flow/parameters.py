@@ -1,0 +1,98 @@
+"""Flow parameters: every knob the simulated P&R tool exposes.
+
+Recipes (:mod:`repro.recipes`) are bundles of deltas over these defaults.
+The parameter space intentionally mirrors the paper's Table II families:
+
+- design-intention tradeoffs (timing / power / area weights),
+- timing (setup vs. early-hold balance, sizing passes, placement
+  perturbation),
+- clock tree (skew / latency / useful-skew),
+- routing congestion knobs,
+- global-routing hyperparameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cts.tree import CtsParams
+from repro.errors import FlowError
+from repro.placement.placer import PlacerParams
+from repro.routing.groute import RouteParams
+
+
+@dataclass(frozen=True)
+class TradeoffWeights:
+    """Design-intention weights steering the optimizer's cost function."""
+
+    timing: float = 1.0
+    power: float = 1.0
+    area: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name, value in dataclasses.asdict(self).items():
+            if value < 0:
+                raise FlowError(f"tradeoff weight {name} must be >= 0, got {value}")
+
+
+@dataclass(frozen=True)
+class OptParams:
+    """Post-route optimization knobs.
+
+    Attributes:
+        setup_passes: Sizing iterations for setup closure.
+        upsize_fraction: Fraction of negative-slack cells upsized per pass.
+        downsize_slack_margin: Positive slack, as a fraction of the clock
+            period, above which cells are downsized for leakage/dynamic
+            recovery.
+        leakage_recovery: 0..2 aggressiveness of power-down sizing.
+        hold_effort: 0..2; 0 disables hold buffering, higher fixes hold
+            earlier and with more margin.
+        early_hold_weight: Balance between early hold fixing and setup
+            fixing (the Table II "balance weights of early hold- and
+            setup-time fixing" recipe); high values reserve setup margin for
+            later hold pads.
+        useful_skew_gain: 0..1 intentional capture-skew on setup-critical
+            flops (helps setup, risks hold).
+        clock_gating_efficiency: 0..0.9 idle-flop clock gating inserted by
+            the power engine.
+        vt_swap_bias: Leakage multiplier from Vt mix (0.7 = more high-Vt,
+            slower; 1.3 = more low-Vt, faster).  Also scales gate delay
+            inversely.
+    """
+
+    setup_passes: int = 3
+    upsize_fraction: float = 0.35
+    downsize_slack_margin: float = 0.25
+    leakage_recovery: float = 1.0
+    hold_effort: float = 1.0
+    early_hold_weight: float = 0.3
+    useful_skew_gain: float = 0.0
+    clock_gating_efficiency: float = 0.2
+    vt_swap_bias: float = 1.0
+
+
+@dataclass(frozen=True)
+class FlowParameters:
+    """Complete knob bundle for one flow run."""
+
+    placer: PlacerParams = field(default_factory=PlacerParams)
+    cts: CtsParams = field(default_factory=CtsParams)
+    route: RouteParams = field(default_factory=RouteParams)
+    opt: OptParams = field(default_factory=OptParams)
+    tradeoff: TradeoffWeights = field(default_factory=TradeoffWeights)
+
+    def replaced(self, **sections) -> "FlowParameters":
+        """Return a copy with whole sections replaced (placer=, cts=, ...)."""
+        return dataclasses.replace(self, **sections)
+
+    def flat(self) -> Dict[str, float]:
+        """Flatten to ``section.field -> value`` (for logging/baselines)."""
+        out: Dict[str, float] = {}
+        for section_name in ("placer", "cts", "route", "opt", "tradeoff"):
+            section = getattr(self, section_name)
+            for field_name, value in dataclasses.asdict(section).items():
+                out[f"{section_name}.{field_name}"] = float(value)
+        return out

@@ -1,0 +1,110 @@
+"""Human-readable flow and timing reports (tool-log style).
+
+Rendering helpers that turn :class:`~repro.flow.result.FlowResult` and
+:class:`~repro.timing.sta.TimingReport` objects into the kind of text
+summary P&R tools print at the end of a run — used by the CLI and handy in
+notebooks/regressions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.flow.result import FlowResult
+from repro.flow.stages import FlowStage
+from repro.netlist.netlist import Netlist
+from repro.timing.graph import TimingGraph, build_timing_graph
+from repro.timing.sta import TimingReport
+
+
+def render_flow_summary(result: FlowResult) -> str:
+    """Multi-section flow summary: stage trajectory + signoff QoR."""
+    lines: List[str] = []
+    lines.append(f"==== Flow summary: {result.design} " + "=" * 30)
+    place = result.snapshot(FlowStage.PLACEMENT)
+    cts = result.snapshot(FlowStage.CTS)
+    route = result.snapshot(FlowStage.ROUTING)
+    opt = result.snapshot(FlowStage.OPTIMIZATION)
+
+    lines.append("-- placement")
+    lines.append(f"   HPWL             {place.get('hpwl_um'):14.1f} um")
+    lines.append(f"   peak density     {place.get('peak_density'):14.3f}")
+    lines.append(
+        "   congestion       "
+        f"early {place.get('congestion_early'):.2f} / "
+        f"mid {place.get('congestion_mid'):.2f} / "
+        f"late {place.get('congestion_late'):.2f}"
+    )
+    lines.append("-- clock tree")
+    lines.append(f"   global skew      {cts.get('global_skew_ps'):14.2f} ps")
+    lines.append(f"   mean latency     {cts.get('mean_latency_ps'):14.2f} ps")
+    lines.append(f"   buffers          {cts.get('clock_buffers'):14.0f}")
+    lines.append("-- routing")
+    lines.append(f"   overflow         {route.get('overflow_initial'):9.1f} ->"
+                 f" {route.get('overflow_residual'):9.1f}")
+    lines.append(f"   detour ratio     {route.get('detour_ratio'):14.4f}")
+    lines.append("-- optimization")
+    lines.append(f"   upsized / downsized / hold pads   "
+                 f"{opt.get('upsized'):5.0f} / {opt.get('downsized'):5.0f} / "
+                 f"{opt.get('hold_fix_count'):5.0f}")
+    lines.append(f"   TNS {opt.get('pre_opt_tns_ps'):12.1f} -> "
+                 f"{opt.get('post_opt_tns_ps'):10.1f} ps")
+    lines.append("-- signoff QoR")
+    for key in sorted(result.qor):
+        lines.append(f"   {key:<18} {result.qor[key]:16.4f}")
+    if result.power is not None:
+        lines.append("-- power breakdown (unscaled)")
+        lines.append(f"   leakage          {result.power.leakage_mw:14.6f} mW")
+        lines.append(f"   combinational    {result.power.combinational_mw:14.6f} mW")
+        lines.append(f"   sequential       {result.power.sequential_mw:14.6f} mW")
+        lines.append(f"   clock network    {result.power.clock_mw:14.6f} mW")
+    return "\n".join(lines)
+
+
+def render_timing_report(
+    netlist: Netlist,
+    timing: TimingReport,
+    graph: Optional[TimingGraph] = None,
+    max_paths: int = 1,
+) -> str:
+    """PrimeTime-style worst-path breakdown.
+
+    Shows the traced critical path stage by stage: cell, library cell, gate
+    delay, wire delay, cumulative arrival.
+    """
+    if graph is None:
+        graph = build_timing_graph(netlist)
+    lines: List[str] = []
+    lines.append(f"==== Timing report: {netlist.name} " + "=" * 28)
+    lines.append(f"WNS {timing.wns_ps:10.2f} ps   TNS {timing.tns_ps:12.2f} ps"
+                 f"   violating {timing.violating_endpoints}/{timing.endpoint_count}")
+    lines.append(f"hold WNS {timing.hold_wns_ps:10.2f} ps   "
+                 f"hold violating {timing.hold_violating_endpoints}")
+    if not timing.critical_path:
+        lines.append("(no critical path traced)")
+        return "\n".join(lines)
+
+    lines.append("-- worst path (launch -> capture)")
+    lines.append(f"   {'cell':<14} {'lib cell':<12} {'gate ps':>9} "
+                 f"{'wire ps':>9} {'arrival ps':>11}")
+    arrival = 0.0
+    for name in timing.critical_path:
+        cell = netlist.cells.get(name)
+        if cell is None:
+            continue
+        gate = graph.cell_delay_ps.get(name, 0.0)
+        net = netlist.net_of_output(name)
+        wire = net.wire_delay_ps if net is not None else 0.0
+        arrival += gate + wire
+        lines.append(
+            f"   {name:<14} {cell.cell_type.name:<12} {gate:>9.2f} "
+            f"{wire:>9.3f} {arrival:>11.2f}"
+        )
+    endpoint = timing.critical_path[-1]
+    slack = timing.endpoint_slack_ps.get(endpoint)
+    if slack is not None:
+        lines.append(f"   endpoint {endpoint}: slack {slack:.2f} ps")
+    if timing.weak_cell_pct:
+        lines.append(f"   weak cells on critical paths: "
+                     f"{timing.weak_cell_pct:.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Flow results: per-stage trajectory snapshots and final QoR.
+
+Reported magnitudes are scaled by the profile's ``reported_scale`` so the 17
+designs span orders of magnitude (like the paper's Table IV), while the
+underlying simulation physics stays at tractable size.  The compound QoR
+score (eq. 4) z-normalizes per design, so this scaling changes presentation,
+not the learning problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cts.skew import SkewReport
+from repro.flow.stages import FlowStage
+from repro.power.analysis import PowerReport
+from repro.timing.sta import TimingReport
+
+
+@dataclass
+class StageSnapshot:
+    """Metrics recorded as a stage finishes (trajectory, not just signoff).
+
+    ``metrics`` is a flat name->value map; insight analyzers read these by
+    well-known keys (documented per producer in :mod:`repro.flow.runner`).
+    """
+
+    stage: FlowStage
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def get(self, key: str, default: float = 0.0) -> float:
+        return self.metrics.get(key, default)
+
+
+@dataclass
+class FlowResult:
+    """Everything one flow iteration produced.
+
+    Attributes:
+        design: Design name (profile id).
+        qor: Final signoff metrics.  Keys: ``tns_ns``, ``wns_ns``,
+            ``power_mw``, ``area_um2``, ``drc_count``, ``hold_tns_ns``,
+            ``hold_fix_count``, ``wirelength_um``, ``runtime_proxy``.
+        snapshots: Stage trajectory, in execution order.
+        timing: Final timing report (unscaled, ps domain).
+        power: Final power report (unscaled, mW domain).
+        skew: Final skew report.
+    """
+
+    design: str
+    qor: Dict[str, float]
+    snapshots: List[StageSnapshot] = field(default_factory=list)
+    timing: Optional[TimingReport] = None
+    power: Optional[PowerReport] = None
+    skew: Optional[SkewReport] = None
+
+    def snapshot(self, stage: FlowStage) -> StageSnapshot:
+        for snap in self.snapshots:
+            if snap.stage is stage:
+                return snap
+        raise KeyError(f"no snapshot recorded for stage {stage!r}")
+
+    @property
+    def tns_ns(self) -> float:
+        return self.qor["tns_ns"]
+
+    @property
+    def power_mw(self) -> float:
+        return self.qor["power_mw"]

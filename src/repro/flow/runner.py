@@ -1,0 +1,298 @@
+"""Flow runner: execute placement -> CTS -> routing -> opt -> signoff.
+
+This is the stand-in for the commercial P&R tool the paper drives.  Given a
+design profile and a :class:`FlowParameters` bundle, it runs every stage on a
+freshly instantiated netlist, records a trajectory snapshot per stage (the
+raw material for design insights), and returns a :class:`FlowResult` whose
+``qor`` dict carries the signoff metrics.
+
+Reported power / TNS are scaled by the profile's ``reported_scale`` so the
+17 designs span the orders of magnitude the paper's Table IV shows.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Dict, Union
+
+from repro.cts.skew import analyze_skew
+from repro.cts.tree import synthesize_clock_tree
+from repro.flow.opt import optimize
+from repro.flow.parameters import FlowParameters
+from repro.flow.result import FlowResult, StageSnapshot
+from repro.flow.stages import FlowStage
+from repro.netlist.generator import generate_netlist
+from repro.netlist.netlist import Netlist
+from repro.netlist.profiles import DesignProfile, get_profile
+from repro.placement.placer import place
+from repro.power.analysis import analyze_power
+from repro.routing.drc import estimate_drcs
+from repro.routing.groute import global_route
+from repro.timing.constraints import default_constraints
+from repro.timing.sta import run_sta
+
+# Cache of pristine netlists keyed by (profile name, seed): generation is the
+# most expensive step and every recipe evaluation restarts from the same RTL.
+_NETLIST_CACHE: Dict[tuple, bytes] = {}
+
+
+def _fresh_netlist(profile: DesignProfile, seed: int) -> Netlist:
+    key = (profile.name, seed)
+    if key not in _NETLIST_CACHE:
+        _NETLIST_CACHE[key] = pickle.dumps(
+            generate_netlist(profile, seed=seed), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    return pickle.loads(_NETLIST_CACHE[key])
+
+
+def run_flow(
+    design: Union[str, DesignProfile],
+    params: FlowParameters = FlowParameters(),
+    seed: int = 0,
+) -> FlowResult:
+    """Run one full P&R iteration of ``design`` under ``params``.
+
+    Deterministic: the same (design, params, seed) triple always yields the
+    same result, so recipe effects are the only source of QoR differences
+    within a design.
+    """
+    profile = get_profile(design) if isinstance(design, str) else design
+    netlist = _fresh_netlist(profile, seed)
+    constraints = default_constraints(netlist)
+    delay_scale = params.opt.vt_swap_bias ** -0.25
+    snapshots = []
+
+    # ---- Stage 1: placement -------------------------------------------
+    placement = place(netlist, params.placer, seed=seed)
+    pre_route = run_sta(netlist, constraints, None, delay_scale=delay_scale)
+    snapshots.append(StageSnapshot(FlowStage.PLACEMENT, {
+        "hpwl_um": placement.total_hpwl_um,
+        "peak_density": placement.peak_density,
+        "congestion_early": placement.congestion_checkpoints["early"]["peak"],
+        "congestion_mid": placement.congestion_checkpoints["mid"]["peak"],
+        "congestion_late": placement.congestion_checkpoints["late"]["peak"],
+        "congestion_final": placement.peak_congestion,
+        "congestion_hotspot_fraction":
+            placement.final_congestion.get("hotspot_fraction", 0.0),
+        "pre_route_wns_ps": pre_route.wns_ps,
+        "pre_route_tns_ps": pre_route.tns_ps,
+        "pre_route_violations": float(pre_route.violating_endpoints),
+        "endpoint_count": float(pre_route.endpoint_count),
+        "weak_cell_pct": pre_route.weak_cell_pct,
+        "mean_positive_slack_ps": _mean_positive_slack(pre_route),
+        "cell_count": float(netlist.cell_count),
+        "net_count": float(netlist.net_count),
+        "high_fanout_net_fraction": _high_fanout_fraction(netlist),
+        "area_um2_raw": netlist.total_cell_area_um2(),
+        "utilization": netlist.utilization(),
+        "register_ratio": len(netlist.sequential_cells()) / max(1, netlist.cell_count),
+        "avg_fanout": _avg_fanout(netlist),
+        "macro_blockage_fraction": _macro_fraction(netlist),
+        "period_ps": constraints.period_ps,
+    }))
+
+    # ---- Stage 2: clock-tree synthesis --------------------------------
+    tree = synthesize_clock_tree(netlist, params.cts, seed=seed)
+    post_cts = run_sta(netlist, constraints, tree, delay_scale=delay_scale)
+    skew_report = analyze_skew(tree, post_cts.critical_launch_capture)
+    snapshots.append(StageSnapshot(FlowStage.CTS, {
+        "global_skew_ps": tree.global_skew_ps,
+        "mean_latency_ps": tree.mean_latency_ps,
+        "clock_buffers": float(tree.buffer_count),
+        "clock_wirelength_um": tree.wirelength_um,
+        "post_cts_wns_ps": post_cts.wns_ps,
+        "post_cts_tns_ps": post_cts.tns_ps,
+        "harmful_skew_paths": float(post_cts.harmful_skew_paths),
+        "hold_wns_ps": post_cts.hold_wns_ps,
+        "hold_violations": float(post_cts.hold_violating_endpoints),
+        "tree_depth": float(tree.tree_depth),
+    }))
+
+    # ---- Stage 3: global routing ---------------------------------------
+    critical_nets = _critical_net_names(netlist, post_cts)
+    routing = global_route(netlist, placement.grid, params.route,
+                           critical_nets=critical_nets, seed=seed)
+    post_route = run_sta(netlist, constraints, tree, delay_scale=delay_scale)
+    snapshots.append(StageSnapshot(FlowStage.ROUTING, {
+        "overflow_initial": routing.overflow_initial,
+        "overflow_residual": routing.overflow_total,
+        "detour_wirelength_um": routing.detour_wirelength_um,
+        "routed_wirelength_um": routing.routed_wirelength_um,
+        "detour_ratio": routing.detour_ratio,
+        "promoted_nets": float(routing.promoted_nets),
+        "post_route_wns_ps": post_route.wns_ps,
+        "post_route_tns_ps": post_route.tns_ps,
+        "route_congestion_peak": routing.congestion.get("peak", 0.0),
+        "route_congestion_p95": routing.congestion.get("p95", 0.0),
+    }))
+
+    # ---- Stage 4: optimization -----------------------------------------
+    opt_result = optimize(netlist, constraints, tree, params.opt, params.tradeoff)
+    final_timing = opt_result.report
+    snapshots.append(StageSnapshot(FlowStage.OPTIMIZATION, {
+        "upsized": float(opt_result.upsized),
+        "downsized": float(opt_result.downsized),
+        "hold_fix_count": float(opt_result.hold_fix_count),
+        "useful_skew_endpoints": float(opt_result.useful_skew_endpoints),
+        "passes_run": float(opt_result.passes_run),
+        "pre_opt_tns_ps": opt_result.pre_tns_ps,
+        "post_opt_tns_ps": final_timing.tns_ps,
+        "post_opt_wns_ps": final_timing.wns_ps,
+        "tns_improvement_ps": opt_result.pre_tns_ps - final_timing.tns_ps,
+    }))
+
+    # ---- Stage 5: signoff ----------------------------------------------
+    leakage_bias = profile.leakage_bias * params.opt.vt_swap_bias
+    power = analyze_power(
+        netlist, tree,
+        leakage_bias=leakage_bias,
+        clock_gating_efficiency=params.opt.clock_gating_efficiency,
+    )
+    final_skew = analyze_skew(tree, final_timing.critical_launch_capture)
+    drcs = estimate_drcs(routing, placement.peak_density, netlist.cell_count)
+    runtime = _runtime_proxy(params)
+    scale = profile.reported_scale
+
+    qor = {
+        "tns_ns": final_timing.tns_ps * 1e-3 * scale ** 0.5,
+        "wns_ns": final_timing.wns_ps * 1e-3,
+        "hold_tns_ns": final_timing.hold_tns_ps * 1e-3 * scale ** 0.5,
+        "power_mw": power.total_mw * scale,
+        "leakage_mw": power.leakage_mw * scale,
+        "area_um2": netlist.total_cell_area_um2() * scale,
+        "wirelength_um": routing.routed_wirelength_um * scale,
+        "drc_count": float(drcs),
+        "hold_fix_count": float(opt_result.hold_fix_count),
+        "runtime_proxy": runtime,
+    }
+    slack_stats = _endpoint_slack_stats(final_timing, constraints.period_ps)
+    snapshots.append(StageSnapshot(FlowStage.SIGNOFF, {
+        "tns_ps": final_timing.tns_ps,
+        "wns_ps": final_timing.wns_ps,
+        "power_mw_raw": power.total_mw,
+        "dynamic_mw_raw": power.dynamic_mw,
+        "leakage_mw_raw": power.leakage_mw,
+        "leakage_fraction": power.leakage_fraction,
+        "sequential_fraction": power.sequential_fraction,
+        "clock_mw_raw": power.clock_mw,
+        "drc_count": float(drcs),
+        "global_skew_ps": final_skew.global_skew_ps,
+        "harmful_skew_paths": float(final_skew.harmful_skew_paths),
+        "weak_cell_pct": final_timing.weak_cell_pct,
+        "critical_path_stages": float(len(final_timing.critical_path)),
+        "wire_delay_share": _wire_delay_share(netlist, final_timing),
+        "slack_spread_ps": slack_stats["spread"],
+        "near_critical_ratio": slack_stats["near_critical"],
+        "recovery_headroom": slack_stats["headroom"],
+        "endpoint_count": float(final_timing.endpoint_count),
+        "cell_count": float(netlist.cell_count),
+        "area_um2_raw": netlist.total_cell_area_um2(),
+        "runtime_proxy": runtime,
+    }))
+
+    return FlowResult(
+        design=profile.name,
+        qor=qor,
+        snapshots=snapshots,
+        timing=final_timing,
+        power=power,
+        skew=final_skew,
+    )
+
+
+def _mean_positive_slack(report) -> float:
+    import numpy as np
+
+    values = [s for s in report.endpoint_slack_ps.values() if s > 0]
+    return float(np.mean(values)) if values else 0.0
+
+
+def _high_fanout_fraction(netlist: Netlist, threshold: int = 10) -> float:
+    nets = [n for n in netlist.nets.values() if not n.is_clock]
+    if not nets:
+        return 0.0
+    return sum(1 for n in nets if n.fanout > threshold) / len(nets)
+
+
+def _avg_fanout(netlist: Netlist) -> float:
+    nets = [n for n in netlist.nets.values() if not n.is_clock]
+    if not nets:
+        return 0.0
+    return sum(n.fanout for n in nets) / len(nets)
+
+
+def _macro_fraction(netlist: Netlist) -> float:
+    die = netlist.die_width_um * netlist.die_height_um
+    blocked = sum(w * h for (_, _, w, h) in netlist.blockages)
+    return min(1.0, blocked / die) if die > 0 else 0.0
+
+
+def _wire_delay_share(netlist: Netlist, report) -> float:
+    """Wire fraction of the worst path's delay (0..1)."""
+    if not report.critical_path:
+        return 0.0
+    wire = 0.0
+    gate = 0.0
+    for name in report.critical_path:
+        cell = netlist.cells.get(name)
+        if cell is None:
+            continue
+        net = netlist.net_of_output(name)
+        if net is not None:
+            wire += net.wire_delay_ps
+        from repro.timing.graph import output_load_ff
+
+        gate += cell.cell_type.delay_ps(output_load_ff(netlist, name))
+    total = wire + gate
+    return wire / total if total > 0 else 0.0
+
+
+def _endpoint_slack_stats(report, period_ps: float) -> dict:
+    import numpy as np
+
+    slacks = np.array(list(report.endpoint_slack_ps.values()))
+    if slacks.size == 0:
+        return {"spread": 0.0, "near_critical": 0.0, "headroom": 0.0}
+    wns = slacks.min()
+    near = float((slacks <= wns + 0.10 * period_ps).mean())
+    headroom = float((slacks > 0.20 * period_ps).mean())
+    return {
+        "spread": float(slacks.std()),
+        "near_critical": near,
+        "headroom": headroom,
+    }
+
+
+def _critical_net_names(netlist: Netlist, report) -> list:
+    """Output nets of the cells on traced critical paths, worst first."""
+    names = []
+    for cell_name in report.critical_path:
+        cell = netlist.cells.get(cell_name)
+        if cell is not None and cell.output_net:
+            names.append(cell.output_net)
+    # Extend with nets of most-negative-slack cells.
+    ranked = sorted(report.cell_slack_ps.items(), key=lambda kv: kv[1])
+    for cell_name, slack in ranked[:200]:
+        if slack >= 0:
+            break
+        cell = netlist.cells.get(cell_name)
+        if cell is not None and cell.output_net:
+            names.append(cell.output_net)
+    seen = set()
+    unique = []
+    for name in names:
+        if name not in seen:
+            seen.add(name)
+            unique.append(name)
+    return unique
+
+
+def _runtime_proxy(params: FlowParameters) -> float:
+    """Relative wall-clock cost of the chosen efforts (1.0 = default flow)."""
+    return (
+        0.35 * params.placer.effort
+        + 0.15 * params.route.effort
+        + 0.10 * params.cts.balance_effort
+        + 0.30 * (params.opt.setup_passes / 3.0)
+        + 0.10 * params.opt.hold_effort
+    )

@@ -1,0 +1,25 @@
+"""Flow stage identifiers, in execution order."""
+
+from __future__ import annotations
+
+import enum
+
+
+class FlowStage(enum.Enum):
+    """Stages of the simulated P&R flow (the paper's Figure 2 pipeline)."""
+
+    PLACEMENT = "placement"
+    CTS = "cts"
+    ROUTING = "routing"
+    OPTIMIZATION = "optimization"
+    SIGNOFF = "signoff"
+
+    @classmethod
+    def ordered(cls):
+        return (
+            cls.PLACEMENT,
+            cls.CTS,
+            cls.ROUTING,
+            cls.OPTIMIZATION,
+            cls.SIGNOFF,
+        )

@@ -1,0 +1,96 @@
+"""Parameter sweeps: run the flow across a knob grid and collect QoR.
+
+The conventional pre-ML tuning workflow ("sweep a limited set of key flow
+parameters", Section II) — and a handy analysis tool: one call maps any
+subset of flow knobs onto their QoR response, serially or with caching.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cts.tree import CtsParams
+from repro.errors import FlowError
+from repro.flow.parameters import FlowParameters, OptParams, TradeoffWeights
+from repro.flow.runner import run_flow
+from repro.netlist.profiles import DesignProfile
+from repro.placement.placer import PlacerParams
+from repro.routing.groute import RouteParams
+
+_SECTION_TYPES = {
+    "placer": PlacerParams,
+    "cts": CtsParams,
+    "route": RouteParams,
+    "opt": OptParams,
+    "tradeoff": TradeoffWeights,
+}
+
+
+def set_knob(params: FlowParameters, knob: str, value: float) -> FlowParameters:
+    """Return a copy of ``params`` with one ``section.field`` knob replaced."""
+    import dataclasses
+
+    try:
+        section_name, field_name = knob.split(".", 1)
+        section_type = _SECTION_TYPES[section_name]
+    except (ValueError, KeyError):
+        raise FlowError(f"unknown knob {knob!r} (use section.field)") from None
+    section = getattr(params, section_name)
+    if field_name not in {f.name for f in dataclasses.fields(section_type)}:
+        raise FlowError(f"section {section_name!r} has no field {field_name!r}")
+    # Integer-typed fields must stay integers.
+    current = getattr(section, field_name)
+    if isinstance(current, int) and not isinstance(current, bool):
+        value = int(round(value))
+    replaced = dataclasses.replace(section, **{field_name: value})
+    return dataclasses.replace(params, **{section_name: replaced})
+
+
+@dataclass
+class SweepResult:
+    """One grid: knob values per axis and the QoR at every grid point."""
+
+    knobs: List[str]
+    grid: List[Tuple[float, ...]]
+    qors: List[Dict[str, float]]
+
+    def column(self, metric: str) -> List[float]:
+        return [qor[metric] for qor in self.qors]
+
+    def best(self, metric: str, minimize: bool = True) -> Tuple[Tuple[float, ...], Dict[str, float]]:
+        values = self.column(metric)
+        index = min(range(len(values)), key=lambda i: values[i]) if minimize \
+            else max(range(len(values)), key=lambda i: values[i])
+        return self.grid[index], self.qors[index]
+
+    def render(self, metrics: Sequence[str] = ("tns_ns", "power_mw")) -> str:
+        header = " ".join(f"{k:>26}" for k in self.knobs) + "  " + \
+            " ".join(f"{m:>12}" for m in metrics)
+        lines = [header, "-" * len(header)]
+        for point, qor in zip(self.grid, self.qors):
+            row = " ".join(f"{v:>26.4g}" for v in point) + "  " + \
+                " ".join(f"{qor[m]:>12.4f}" for m in metrics)
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def sweep(
+    design: Union[str, DesignProfile],
+    axes: Dict[str, Sequence[float]],
+    base: FlowParameters = FlowParameters(),
+    seed: int = 0,
+) -> SweepResult:
+    """Full-factorial sweep of ``axes`` (knob -> values) on one design."""
+    if not axes:
+        raise FlowError("sweep needs at least one axis")
+    knobs = list(axes)
+    grid = list(itertools.product(*(axes[k] for k in knobs)))
+    qors: List[Dict[str, float]] = []
+    for point in grid:
+        params = base
+        for knob, value in zip(knobs, point):
+            params = set_knob(params, knob, value)
+        qors.append(dict(run_flow(design, params, seed=seed).qor))
+    return SweepResult(knobs=knobs, grid=grid, qors=qors)

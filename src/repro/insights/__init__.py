@@ -1,0 +1,27 @@
+"""Design insights: expert flow-health analyses encoded as a 72-d vector.
+
+The paper's central data structure: "contextual insights from the prior run
+... fine-grained real-time analysis of the complex workflow", spanning
+placement congestion trajectory, timing difficulty, power-dominance
+structure, clock-skew harm, hold-fix activity and design statics (Table I).
+Each insight is produced by an analyzer that imitates how an expert probes a
+flow run, then encoded (one-hot for categorical levels, squashed for
+unbounded counts) into the fixed-width vector the recommender conditions on.
+"""
+
+from repro.insights.schema import (
+    INSIGHT_DIMS,
+    InsightField,
+    InsightKind,
+    insight_schema,
+)
+from repro.insights.extractor import InsightExtractor, InsightVector
+
+__all__ = [
+    "INSIGHT_DIMS",
+    "InsightField",
+    "InsightKind",
+    "insight_schema",
+    "InsightExtractor",
+    "InsightVector",
+]

@@ -1,0 +1,182 @@
+"""Insight analyzers: turn a flow trajectory into raw insight values.
+
+Each analyzer imitates one slice of an expert's flow-health review and
+returns ``key -> raw value`` pairs matching :mod:`repro.insights.schema`.
+LEVEL values are strings in {"low", "medium", "high"}; FLAG values are
+bools; COUNT / PERCENT / SCALAR values are floats (SCALARs already
+normalized to roughly [-2, 2] here, so the encoder only clips).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Union
+
+from repro.flow.result import FlowResult
+from repro.flow.stages import FlowStage
+from repro.netlist.profiles import DesignProfile
+from repro.placement.congestion import classify_congestion
+
+RawValue = Union[str, bool, float]
+
+
+def analyze_placement(result: FlowResult) -> Dict[str, RawValue]:
+    """Congestion trajectory + density/wirelength structure."""
+    snap = result.snapshot(FlowStage.PLACEMENT)
+    early = snap.get("congestion_early")
+    late = snap.get("congestion_late")
+    cells = max(1.0, snap.get("cell_count", 1.0))
+    die_side = math.sqrt(max(snap.get("area_um2_raw", 1.0), 1e-9)
+                         / max(snap.get("utilization", 0.5), 0.1))
+    return {
+        "congestion_early": classify_congestion(early),
+        "congestion_mid": classify_congestion(snap.get("congestion_mid")),
+        "congestion_late": classify_congestion(late),
+        "congestion_final": classify_congestion(snap.get("congestion_final")),
+        "peak_density": min(2.0, snap.get("peak_density")),
+        "hotspot_fraction": 100.0 * snap.get("congestion_hotspot_fraction"),
+        # Wirelength per cell in units of the average cell pitch.
+        "hpwl_per_cell": min(2.0, snap.get("hpwl_um") / cells / max(die_side, 1.0) * 10.0),
+        "congestion_trend": max(-2.0, min(2.0, late - early)),
+    }
+
+
+def analyze_timing(result: FlowResult) -> Dict[str, RawValue]:
+    """Setup-timing difficulty, headroom and optimizer traction."""
+    place = result.snapshot(FlowStage.PLACEMENT)
+    cts = result.snapshot(FlowStage.CTS)
+    route = result.snapshot(FlowStage.ROUTING)
+    opt = result.snapshot(FlowStage.OPTIMIZATION)
+    signoff = result.snapshot(FlowStage.SIGNOFF)
+    period = max(1.0, place.get("period_ps"))
+    endpoints = max(1.0, place.get("endpoint_count", 1.0))
+    cells = max(1.0, place.get("cell_count", 1.0))
+
+    pre_tns = place.get("pre_route_tns_ps")
+    post_opt_tns = opt.get("post_opt_tns_ps")
+    pre_opt_tns = opt.get("pre_opt_tns_ps")
+    route_growth = route.get("post_route_tns_ps") - cts.get("post_cts_tns_ps")
+    return {
+        "timing_easy": signoff.get("wns_ps") >= -0.01 * period,
+        "pre_route_wns": _clip(place.get("pre_route_wns_ps") / period),
+        "pre_route_tns": _clip(-pre_tns / endpoints / period * 4.0),
+        "violation_ratio": 100.0 * place.get("pre_route_violations") / endpoints,
+        "post_cts_wns": _clip(cts.get("post_cts_wns_ps") / period),
+        "post_cts_tns": _clip(-cts.get("post_cts_tns_ps") / endpoints / period * 4.0),
+        "weak_cell_pct": place.get("weak_cell_pct"),
+        "mean_positive_slack": _clip(place.get("mean_positive_slack_ps") / period),
+        "critical_depth": _clip(signoff.get("critical_path_stages") / 12.0 - 1.0),
+        "route_tns_growth": _clip(route_growth / endpoints / period * 4.0),
+        "opt_tns_gain": _clip(
+            (pre_opt_tns - post_opt_tns) / max(pre_opt_tns, 1.0)
+        ),
+        "upsized_fraction": 100.0 * opt.get("upsized") / cells,
+        "hold_fix_count": opt.get("hold_fix_count"),
+        "hold_wns": _clip(cts.get("hold_wns_ps") / period),
+        "hold_violation_ratio": 100.0 * cts.get("hold_violations") / endpoints,
+        "signoff_wns": _clip(signoff.get("wns_ps") / period),
+        "signoff_tns": _clip(-signoff.get("tns_ps") / endpoints / period * 4.0),
+        "slack_spread": _clip(signoff.get("slack_spread_ps") / period),
+        "near_critical_ratio": 100.0 * signoff.get("near_critical_ratio"),
+    }
+
+
+def analyze_power(result: FlowResult) -> Dict[str, RawValue]:
+    """Power-dominance structure and recovery opportunity."""
+    signoff = result.snapshot(FlowStage.SIGNOFF)
+    opt = result.snapshot(FlowStage.OPTIMIZATION)
+    place = result.snapshot(FlowStage.PLACEMENT)
+    cells = max(1.0, place.get("cell_count", 1.0))
+    total = max(signoff.get("power_mw_raw"), 1e-12)
+    leak_frac = signoff.get("leakage_fraction")
+    seq_frac = signoff.get("sequential_fraction")
+    headroom = signoff.get("recovery_headroom")
+    return {
+        "power_saving_opportunity": headroom > 0.3 or leak_frac > 0.3,
+        "sequential_power_dominant": seq_frac > 0.55,
+        "leakage_dominant": leak_frac > 0.35,
+        "leakage_fraction": 100.0 * leak_frac,
+        "sequential_fraction": 100.0 * seq_frac,
+        "clock_power_fraction": 100.0 * signoff.get("clock_mw_raw") / total,
+        "dynamic_per_cell": _clip(
+            math.log10(max(signoff.get("dynamic_mw_raw") / cells, 1e-12)) + 4.5
+        ),
+        "downsized_fraction": 100.0 * opt.get("downsized") / cells,
+        "recovery_headroom": 100.0 * headroom,
+        "leakage_per_area": _clip(
+            math.log10(
+                max(signoff.get("leakage_mw_raw")
+                    / max(signoff.get("area_um2_raw"), 1e-9), 1e-12)
+            ) + 5.0
+        ),
+    }
+
+
+def analyze_clock(result: FlowResult) -> Dict[str, RawValue]:
+    """Clock-distribution quality relative to the period."""
+    cts = result.snapshot(FlowStage.CTS)
+    place = result.snapshot(FlowStage.PLACEMENT)
+    signoff = result.snapshot(FlowStage.SIGNOFF)
+    period = max(1.0, place.get("period_ps"))
+    sinks = max(1.0, place.get("cell_count") * place.get("register_ratio"))
+    harmful = signoff.get("harmful_skew_paths")
+    return {
+        "harmful_clock_skew": harmful > 0,
+        "harmful_skew_paths": harmful,
+        "skew_over_period": _clip(cts.get("global_skew_ps") / period * 10.0),
+        "latency_over_period": _clip(cts.get("mean_latency_ps") / period),
+        "buffers_per_sink": _clip(cts.get("clock_buffers") / sinks * 10.0),
+        "clock_tree_depth": _clip(cts.get("tree_depth") / 6.0 - 1.0),
+    }
+
+
+def analyze_routing(result: FlowResult) -> Dict[str, RawValue]:
+    """Routability stress: overflow, detours, DRC density."""
+    route = result.snapshot(FlowStage.ROUTING)
+    signoff = result.snapshot(FlowStage.SIGNOFF)
+    place = result.snapshot(FlowStage.PLACEMENT)
+    cells = max(1.0, place.get("cell_count", 1.0))
+    return {
+        "route_overflow_initial": _clip(
+            math.log1p(route.get("overflow_initial")) / 4.0
+        ),
+        "route_overflow_residual": _clip(
+            math.log1p(route.get("overflow_residual")) / 4.0
+        ),
+        "detour_ratio": 100.0 * route.get("detour_ratio"),
+        "drc_density": _clip(
+            math.log1p(signoff.get("drc_count") / cells * 1000.0) / 3.0
+        ),
+        "route_congestion_peak": _clip(route.get("route_congestion_peak") / 2.0),
+        "congestion_p95": _clip(route.get("route_congestion_p95")),
+        "wire_delay_share": 100.0 * signoff.get("wire_delay_share"),
+    }
+
+
+def analyze_design(result: FlowResult, profile: DesignProfile) -> Dict[str, RawValue]:
+    """Design statics: scale, node, composition."""
+    place = result.snapshot(FlowStage.PLACEMENT)
+    signoff = result.snapshot(FlowStage.SIGNOFF)
+    cells = max(1.0, place.get("cell_count", 1.0))
+    return {
+        "log_cell_count": _clip(math.log10(cells) - 3.0),
+        "register_ratio": 100.0 * place.get("register_ratio"),
+        "utilization": 100.0 * place.get("utilization"),
+        "avg_fanout": _clip(place.get("avg_fanout") / 2.0 - 1.0),
+        "macro_blockage": 100.0 * place.get("macro_blockage_fraction"),
+        "log_clock_period": _clip(math.log10(max(place.get("period_ps"), 1.0)) - 2.5),
+        "node_45nm": profile.node == "45nm",
+        "node_28nm": profile.node == "28nm",
+        "node_16nm": profile.node == "16nm",
+        "node_10nm": profile.node == "10nm",
+        "node_7nm": profile.node == "7nm",
+        "area_per_cell": _clip(
+            math.log10(max(signoff.get("area_um2_raw") / cells, 1e-9)) + 0.5
+        ),
+        "runtime_pressure": _clip(signoff.get("runtime_proxy") - 1.0),
+        "high_fanout_nets": 100.0 * place.get("high_fanout_net_fraction"),
+    }
+
+
+def _clip(value: float, bound: float = 2.0) -> float:
+    return max(-bound, min(bound, float(value)))

@@ -1,0 +1,90 @@
+"""Insight extraction: flow trajectory -> encoded 72-d vector."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import InsightError
+from repro.flow.result import FlowResult
+from repro.insights.analyzers import (
+    RawValue,
+    analyze_clock,
+    analyze_design,
+    analyze_placement,
+    analyze_power,
+    analyze_routing,
+    analyze_timing,
+)
+from repro.insights.schema import INSIGHT_DIMS, InsightKind, insight_schema
+from repro.netlist.profiles import DesignProfile
+
+_LEVELS = ("low", "medium", "high")
+
+
+@dataclass
+class InsightVector:
+    """An encoded insight vector plus its raw, human-readable values."""
+
+    design: str
+    values: np.ndarray              # shape (INSIGHT_DIMS,)
+    raw: Dict[str, RawValue]
+
+    def __post_init__(self) -> None:
+        if self.values.shape != (INSIGHT_DIMS,):
+            raise InsightError(
+                f"insight vector for {self.design} has shape "
+                f"{self.values.shape}, expected ({INSIGHT_DIMS},)"
+            )
+
+    def describe(self) -> List[str]:
+        """Human-readable report, one line per insight."""
+        lines = []
+        for field in insight_schema():
+            value = self.raw.get(field.key)
+            lines.append(f"[{field.category:9s}] {field.description}: {value}")
+        return lines
+
+
+class InsightExtractor:
+    """Runs every analyzer over a flow result and encodes the schema."""
+
+    def extract(self, result: FlowResult, profile: DesignProfile) -> InsightVector:
+        raw: Dict[str, RawValue] = {}
+        raw.update(analyze_placement(result))
+        raw.update(analyze_timing(result))
+        raw.update(analyze_power(result))
+        raw.update(analyze_clock(result))
+        raw.update(analyze_routing(result))
+        raw.update(analyze_design(result, profile))
+        return InsightVector(
+            design=result.design,
+            values=self.encode(raw),
+            raw=raw,
+        )
+
+    def encode(self, raw: Dict[str, RawValue]) -> np.ndarray:
+        """Encode raw analyzer outputs per the schema field kinds."""
+        chunks: List[float] = []
+        for field in insight_schema():
+            if field.key not in raw:
+                raise InsightError(f"analyzers produced no value for {field.key!r}")
+            value = raw[field.key]
+            if field.kind is InsightKind.LEVEL:
+                if value not in _LEVELS:
+                    raise InsightError(
+                        f"{field.key}: expected one of {_LEVELS}, got {value!r}"
+                    )
+                chunks.extend(1.0 if value == lv else 0.0 for lv in _LEVELS)
+            elif field.kind is InsightKind.FLAG:
+                chunks.append(1.0 if bool(value) else 0.0)
+            elif field.kind is InsightKind.COUNT:
+                chunks.append(math.log1p(max(0.0, float(value))) / 3.0)
+            elif field.kind is InsightKind.PERCENT:
+                chunks.append(min(100.0, max(0.0, float(value))) / 100.0)
+            else:  # SCALAR, already analyzer-normalized
+                chunks.append(max(-2.5, min(2.5, float(value))))
+        return np.asarray(chunks, dtype=np.float64)

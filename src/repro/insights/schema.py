@@ -1,0 +1,200 @@
+"""Insight schema: the published 72-dimension layout.
+
+Field kinds follow the paper's Table I "Range" column:
+
+- ``LEVEL``: categorical {low, medium, high} -> 3-dim one-hot.
+- ``FLAG``: {yes, no} -> 1 dim in {0, 1}.
+- ``COUNT``: unbounded N -> 1 dim, ``log1p`` squashed.
+- ``PERCENT``: [0, 100] -> 1 dim scaled to [0, 1].
+- ``SCALAR``: real-valued -> 1 dim, analyzer-normalized to roughly [-2, 2].
+
+The total encoded width is pinned to 72 (paper Table III: insight embedding
+input size (1, 72)); a unit test guards the layout.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import InsightError
+
+
+class InsightKind(enum.Enum):
+    LEVEL = "level"      # {low, medium, high} one-hot (3 dims)
+    FLAG = "flag"        # {yes, no} (1 dim)
+    COUNT = "count"      # N, log-squashed (1 dim)
+    PERCENT = "percent"  # [0, 100] -> [0, 1] (1 dim)
+    SCALAR = "scalar"    # normalized real (1 dim)
+
+
+@dataclass(frozen=True)
+class InsightField:
+    """One insight in the schema.
+
+    ``key`` is the analyzer output key; ``category`` matches Table I's
+    grouping; ``description`` is the expert interpretation.
+    """
+
+    key: str
+    category: str
+    kind: InsightKind
+    description: str
+
+    @property
+    def dims(self) -> int:
+        return 3 if self.kind is InsightKind.LEVEL else 1
+
+
+def _f(key: str, category: str, kind: InsightKind, description: str) -> InsightField:
+    return InsightField(key=key, category=category, kind=kind, description=description)
+
+
+_SCHEMA: Tuple[InsightField, ...] = (
+    # ---- Placement (Table I row 1: congestion level during step X) ------
+    _f("congestion_early", "Placement", InsightKind.LEVEL,
+       "Congestion level during early placement"),
+    _f("congestion_mid", "Placement", InsightKind.LEVEL,
+       "Congestion level during mid placement"),
+    _f("congestion_late", "Placement", InsightKind.LEVEL,
+       "Congestion level during late placement"),
+    _f("congestion_final", "Placement", InsightKind.LEVEL,
+       "Congestion level at placement signoff"),
+    _f("peak_density", "Placement", InsightKind.SCALAR,
+       "Peak bin density after legalization"),
+    _f("hotspot_fraction", "Placement", InsightKind.PERCENT,
+       "Fraction of bins over routing capacity"),
+    _f("hpwl_per_cell", "Placement", InsightKind.SCALAR,
+       "Normalized wirelength per cell"),
+    _f("congestion_trend", "Placement", InsightKind.SCALAR,
+       "Congestion drift early->late (positive = worsening)"),
+    # ---- Timing -----------------------------------------------------------
+    _f("timing_easy", "Timing", InsightKind.FLAG,
+       "Is easy to meet timing constraints"),
+    _f("pre_route_wns", "Timing", InsightKind.SCALAR,
+       "Pre-route WNS as fraction of clock period"),
+    _f("pre_route_tns", "Timing", InsightKind.SCALAR,
+       "Pre-route TNS per endpoint, period-normalized"),
+    _f("violation_ratio", "Timing", InsightKind.PERCENT,
+       "Share of endpoints violating setup pre-route"),
+    _f("post_cts_wns", "Timing", InsightKind.SCALAR,
+       "Post-CTS WNS as fraction of clock period"),
+    _f("post_cts_tns", "Timing", InsightKind.SCALAR,
+       "Post-CTS TNS per endpoint, period-normalized"),
+    _f("weak_cell_pct", "Timing", InsightKind.PERCENT,
+       "Weak cell percentage on critical paths"),
+    _f("mean_positive_slack", "Timing", InsightKind.SCALAR,
+       "Mean positive endpoint slack / period (sizing headroom)"),
+    _f("critical_depth", "Timing", InsightKind.SCALAR,
+       "Critical-path stage count, depth-normalized"),
+    _f("route_tns_growth", "Timing", InsightKind.SCALAR,
+       "TNS growth through routing (parasitic sensitivity)"),
+    _f("opt_tns_gain", "Timing", InsightKind.SCALAR,
+       "Fractional TNS recovered by optimization"),
+    _f("upsized_fraction", "Timing", InsightKind.PERCENT,
+       "Share of cells upsized during optimization"),
+    # ---- Hold (Table I: instance count from hold-time fixes) --------------
+    _f("hold_fix_count", "Timing", InsightKind.COUNT,
+       "Instance count from hold-time fixes"),
+    _f("hold_wns", "Timing", InsightKind.SCALAR,
+       "Hold WNS as fraction of clock period"),
+    _f("hold_violation_ratio", "Timing", InsightKind.PERCENT,
+       "Share of endpoints violating hold before fixing"),
+    # ---- Power -------------------------------------------------------------
+    _f("power_saving_opportunity", "Power", InsightKind.FLAG,
+       "Good opportunity for power saving during optimization"),
+    _f("sequential_power_dominant", "Power", InsightKind.FLAG,
+       "Sequential-cell power is dominant"),
+    _f("leakage_dominant", "Power", InsightKind.FLAG,
+       "Leakage power is dominant"),
+    _f("leakage_fraction", "Power", InsightKind.PERCENT,
+       "Leakage share of total power"),
+    _f("sequential_fraction", "Power", InsightKind.PERCENT,
+       "Sequential+clock share of dynamic power"),
+    _f("clock_power_fraction", "Power", InsightKind.PERCENT,
+       "Clock-network share of total power"),
+    _f("dynamic_per_cell", "Power", InsightKind.SCALAR,
+       "Dynamic power per cell (activity proxy)"),
+    _f("downsized_fraction", "Power", InsightKind.PERCENT,
+       "Share of cells downsized in power recovery"),
+    # ---- Clock --------------------------------------------------------------
+    _f("harmful_clock_skew", "Clock", InsightKind.FLAG,
+       "Critical paths with harmful clock skew"),
+    _f("harmful_skew_paths", "Clock", InsightKind.COUNT,
+       "Count of critical paths with harmful skew"),
+    _f("skew_over_period", "Clock", InsightKind.SCALAR,
+       "Global skew as fraction of clock period"),
+    _f("latency_over_period", "Clock", InsightKind.SCALAR,
+       "Mean insertion latency as fraction of period"),
+    _f("buffers_per_sink", "Clock", InsightKind.SCALAR,
+       "Clock buffers per flip-flop"),
+    # ---- Routing --------------------------------------------------------------
+    _f("route_overflow_initial", "Routing", InsightKind.SCALAR,
+       "Pre-detour routing overflow per bin"),
+    _f("route_overflow_residual", "Routing", InsightKind.SCALAR,
+       "Residual routing overflow per bin"),
+    _f("detour_ratio", "Routing", InsightKind.PERCENT,
+       "Detour wirelength share of routed wirelength"),
+    _f("drc_density", "Routing", InsightKind.SCALAR,
+       "DRC violations per thousand cells"),
+    _f("route_congestion_peak", "Routing", InsightKind.SCALAR,
+       "Peak routed congestion ratio"),
+    # ---- Design statics ----------------------------------------------------
+    _f("log_cell_count", "Design", InsightKind.SCALAR,
+       "log10 of instance count"),
+    _f("register_ratio", "Design", InsightKind.PERCENT,
+       "Flip-flop share of instances"),
+    _f("utilization", "Design", InsightKind.PERCENT,
+       "Placement utilization"),
+    _f("avg_fanout", "Design", InsightKind.SCALAR,
+       "Average net fanout"),
+    _f("macro_blockage", "Design", InsightKind.PERCENT,
+       "Macro-blocked die fraction"),
+    _f("log_clock_period", "Design", InsightKind.SCALAR,
+       "log10 of the clock period in ps"),
+    _f("node_45nm", "Design", InsightKind.FLAG, "Technology node is 45nm"),
+    _f("node_28nm", "Design", InsightKind.FLAG, "Technology node is 28nm"),
+    _f("node_16nm", "Design", InsightKind.FLAG, "Technology node is 16nm"),
+    _f("node_10nm", "Design", InsightKind.FLAG, "Technology node is 10nm"),
+    _f("node_7nm", "Design", InsightKind.FLAG, "Technology node is 7nm"),
+    _f("area_per_cell", "Design", InsightKind.SCALAR,
+       "Mean cell area (node + sizing mix proxy)"),
+    _f("runtime_pressure", "Design", InsightKind.SCALAR,
+       "Flow runtime proxy of the probing run"),
+    # ---- Signoff context of the probing run ---------------------------------
+    _f("signoff_wns", "Timing", InsightKind.SCALAR,
+       "Signoff WNS as fraction of clock period"),
+    _f("signoff_tns", "Timing", InsightKind.SCALAR,
+       "Signoff TNS per endpoint, period-normalized"),
+    _f("slack_spread", "Timing", InsightKind.SCALAR,
+       "Endpoint slack standard deviation / period"),
+    _f("near_critical_ratio", "Timing", InsightKind.PERCENT,
+       "Endpoints within 10% of the worst slack"),
+    _f("recovery_headroom", "Power", InsightKind.PERCENT,
+       "Endpoints with slack above 20% of the period"),
+    _f("leakage_per_area", "Power", InsightKind.SCALAR,
+       "Leakage per unit area (Vt-mix proxy)"),
+    _f("clock_tree_depth", "Clock", InsightKind.SCALAR,
+       "Clock tree depth (levels)"),
+    _f("wire_delay_share", "Routing", InsightKind.PERCENT,
+       "Wire share of critical-path delay"),
+    _f("high_fanout_nets", "Design", InsightKind.PERCENT,
+       "Share of nets with fanout above 10"),
+    _f("congestion_p95", "Routing", InsightKind.SCALAR,
+       "95th-percentile routed congestion ratio"),
+)
+
+
+def insight_schema() -> Tuple[InsightField, ...]:
+    """The ordered schema; encoded width is :data:`INSIGHT_DIMS`."""
+    return _SCHEMA
+
+
+INSIGHT_DIMS: int = sum(field.dims for field in _SCHEMA)
+
+if INSIGHT_DIMS != 72:
+    raise InsightError(
+        f"insight schema encodes to {INSIGHT_DIMS} dims; the published "
+        "architecture (Table III) requires exactly 72"
+    )

@@ -1,0 +1,61 @@
+"""Design similarity in insight space.
+
+Section II of the paper argues that flow-health observability is what lets
+a recommender "discover design similarity and achieve transferability".
+These helpers make that discovery explicit: cosine similarity between
+insight vectors, nearest-neighbour lookup, and a full similarity matrix —
+useful for debugging transfer behaviour ("which training design does this
+new design resemble?") and for analysis in the benches.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InsightError
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two insight vectors (0 for a zero vector)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise InsightError(f"shape mismatch: {a.shape} vs {b.shape}")
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm == 0.0:
+        return 0.0
+    return float(a @ b / norm)
+
+
+def similarity_matrix(
+    insights: Dict[str, np.ndarray]
+) -> Tuple[List[str], np.ndarray]:
+    """Pairwise cosine similarity over a design->insight mapping.
+
+    Returns the design ordering and the symmetric matrix (diagonal 1.0).
+    """
+    names = sorted(insights)
+    matrix = np.eye(len(names))
+    for i, a in enumerate(names):
+        for j in range(i + 1, len(names)):
+            value = cosine_similarity(insights[a], insights[names[j]])
+            matrix[i, j] = matrix[j, i] = value
+    return names, matrix
+
+
+def nearest_designs(
+    query: np.ndarray,
+    insights: Dict[str, np.ndarray],
+    k: int = 3,
+) -> List[Tuple[str, float]]:
+    """The ``k`` most similar designs to ``query``, best first."""
+    if k < 1:
+        raise InsightError(f"k must be >= 1, got {k}")
+    scored = [
+        (name, cosine_similarity(query, vector))
+        for name, vector in insights.items()
+    ]
+    scored.sort(key=lambda item: item[1], reverse=True)
+    return scored[:k]

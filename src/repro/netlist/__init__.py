@@ -1,0 +1,25 @@
+"""Gate-level netlist representation and synthetic design generation.
+
+The paper evaluates 17 proprietary industrial designs; we substitute 17
+synthetic :class:`~repro.netlist.profiles.DesignProfile` instances whose
+structural traits (scale, logic depth, fanout, register ratio, macro count,
+switching activity, clock-period tightness) span the same qualitative space.
+The generator emits realistic register-bounded DAGs that the placement / CTS /
+routing / STA / power engines then process.
+"""
+
+from repro.netlist.cell import CellInstance
+from repro.netlist.net import Net
+from repro.netlist.netlist import Netlist
+from repro.netlist.generator import generate_netlist
+from repro.netlist.profiles import DesignProfile, design_profiles, get_profile
+
+__all__ = [
+    "CellInstance",
+    "Net",
+    "Netlist",
+    "generate_netlist",
+    "DesignProfile",
+    "design_profiles",
+    "get_profile",
+]

@@ -1,0 +1,57 @@
+"""Cell instances: a placed, sized occurrence of a library cell."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.techlib.cells import CellType
+
+
+@dataclass
+class CellInstance:
+    """One instance of a library cell in a netlist.
+
+    Position is ``None`` until placement runs; sizing moves during timing
+    optimization swap ``cell_type`` among drive variants of the same function.
+
+    Attributes:
+        name: Unique instance name within the netlist.
+        cell_type: The characterized library cell currently bound.
+        level: Combinational level assigned by the generator (registers are
+            level 0 sources for the cones they feed).
+        cluster: Cluster id used by the generator to create spatial locality;
+            the placer seeds cells of one cluster near each other.
+        position: ``(x_um, y_um)`` after placement.
+        switching_activity: Expected toggles per clock cycle on the output,
+            in [0, 1]; drives dynamic power.
+        is_fixed: Macros / pre-placed cells the placer must not move.
+    """
+
+    name: str
+    cell_type: CellType
+    level: int = 0
+    cluster: int = 0
+    position: Optional[Tuple[float, float]] = None
+    switching_activity: float = 0.15
+    is_fixed: bool = False
+    output_net: Optional[str] = field(default=None, repr=False)
+    input_nets: Tuple[str, ...] = field(default=(), repr=False)
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.cell_type.function.is_sequential
+
+    @property
+    def is_clock_cell(self) -> bool:
+        return self.cell_type.function.is_clock
+
+    @property
+    def area_um2(self) -> float:
+        return self.cell_type.area_um2
+
+    def placed(self) -> Tuple[float, float]:
+        """Position accessor that fails loudly when placement hasn't run."""
+        if self.position is None:
+            raise RuntimeError(f"cell {self.name!r} queried before placement")
+        return self.position

@@ -1,0 +1,334 @@
+"""Synthetic gate-level design generation from a :class:`DesignProfile`.
+
+The generator emits register-bounded combinational DAGs with controllable
+depth, fanout tail, clustering and sizing mix.  The resulting netlists are
+structurally valid (no combinational loops, pin counts match functions) and
+carry the knobs downstream engines react to: clusters give the placer
+locality, heavy-fanout nets stress routing, deep cones stress setup timing,
+short cones create hold risk, and the activity/leakage mix shapes power.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.netlist.cell import CellInstance
+from repro.netlist.net import Net
+from repro.netlist.netlist import ClockSpec, Netlist
+from repro.netlist.profiles import DesignProfile
+from repro.techlib.cells import CellFunction
+from repro.techlib.library import build_library
+from repro.utils.rng import derive_rng
+
+# Function mix for combinational logic (weights are loosely based on typical
+# mapped-netlist composition: inverters/buffers and NAND-family dominate).
+_COMB_FUNCTIONS = (
+    CellFunction.INV, CellFunction.BUF, CellFunction.NAND2, CellFunction.NOR2,
+    CellFunction.AND2, CellFunction.OR2, CellFunction.XOR2,
+    CellFunction.AOI21, CellFunction.OAI21, CellFunction.MUX2,
+)
+_COMB_WEIGHTS = np.array([0.16, 0.07, 0.22, 0.12, 0.10, 0.08, 0.08, 0.07, 0.06, 0.04])
+_COMB_WEIGHTS = _COMB_WEIGHTS / _COMB_WEIGHTS.sum()
+
+# Fraction of combinational cells initially mapped to weak (X1) drive.
+_WEAK_FRACTION = 0.40
+_STRONG_FRACTION = 0.12  # X4; remainder X2
+
+
+def generate_netlist(profile: DesignProfile, seed: int = 0) -> Netlist:
+    """Instantiate a netlist realizing ``profile``.
+
+    The same ``(profile, seed)`` pair always produces an identical netlist.
+    """
+    rng = derive_rng(seed, "netlist", profile.name)
+    library = build_library(profile.node)
+    netlist = Netlist(name=profile.name, library=library)
+
+    reg_count = max(4, int(round(profile.sim_gate_count * profile.register_ratio)))
+    comb_count = max(8, profile.sim_gate_count - reg_count)
+    depth = max(2, profile.logic_depth)
+
+    clock_net = Net(name="clk", driver=None, is_clock=True)
+    netlist.add_net(clock_net)
+    netlist.primary_inputs.append("clk")
+
+    registers = _make_registers(netlist, reg_count, profile, rng)
+    levels = _assign_levels(comb_count, depth, rng)
+    comb_cells = _make_comb_cells(netlist, levels, profile, rng)
+    _wire_design(netlist, registers, comb_cells, profile, rng)
+    _buffer_high_fanout(netlist, rng)
+    _size_die(netlist, profile)
+    _add_macros(netlist, profile, rng)
+    _set_clock(netlist, profile)
+    netlist.validate()
+    return netlist
+
+
+def _make_registers(
+    netlist: Netlist, reg_count: int, profile: DesignProfile, rng: np.random.Generator
+) -> List[CellInstance]:
+    dff = netlist.library.default_variant(CellFunction.DFF)
+    registers = []
+    for index in range(reg_count):
+        cell = CellInstance(
+            name=f"reg_{index}",
+            cell_type=dff,
+            level=0,
+            cluster=int(rng.integers(profile.cluster_count)),
+            switching_activity=_draw_activity(profile, rng),
+        )
+        netlist.add_cell(cell)
+        net = Net(name=f"q_{index}", driver=cell.name)
+        netlist.add_net(net)
+        cell.output_net = net.name
+        registers.append(cell)
+    return registers
+
+
+def _assign_levels(comb_count: int, depth: int, rng: np.random.Generator) -> List[int]:
+    """Levels 1..depth; middle levels are widest (diamond-shaped cones)."""
+    weights = np.array(
+        [1.0 + 0.8 * math.sin(math.pi * lv / (depth + 1)) for lv in range(1, depth + 1)]
+    )
+    weights = weights / weights.sum()
+    levels = rng.choice(np.arange(1, depth + 1), size=comb_count, p=weights)
+    # Guarantee at least one cell at every level so cones reach full depth.
+    for lv in range(1, depth + 1):
+        if not np.any(levels == lv):
+            levels[int(rng.integers(comb_count))] = lv
+    return sorted(int(lv) for lv in levels)
+
+
+def _make_comb_cells(
+    netlist: Netlist, levels: List[int], profile: DesignProfile, rng: np.random.Generator
+) -> List[CellInstance]:
+    cells = []
+    drives = rng.choice(
+        [1, 2, 4], size=len(levels),
+        p=[_WEAK_FRACTION, 1.0 - _WEAK_FRACTION - _STRONG_FRACTION, _STRONG_FRACTION],
+    )
+    functions = rng.choice(len(_COMB_FUNCTIONS), size=len(levels), p=_COMB_WEIGHTS)
+    for index, level in enumerate(levels):
+        function = _COMB_FUNCTIONS[int(functions[index])]
+        variant = next(
+            c for c in netlist.library.variants(function)
+            if c.drive == int(drives[index])
+        )
+        cell = CellInstance(
+            name=f"u_{index}",
+            cell_type=variant,
+            level=level,
+            cluster=int(rng.integers(profile.cluster_count)),
+            switching_activity=_draw_activity(profile, rng) * (0.94 ** level),
+        )
+        netlist.add_cell(cell)
+        net = Net(name=f"n_{index}", driver=cell.name)
+        netlist.add_net(net)
+        cell.output_net = net.name
+        cells.append(cell)
+    return cells
+
+
+def _draw_activity(profile: DesignProfile, rng: np.random.Generator) -> float:
+    draw = profile.activity * float(rng.lognormal(mean=0.0, sigma=0.45))
+    return float(np.clip(draw, 0.005, 0.95))
+
+
+def _wire_design(
+    netlist: Netlist,
+    registers: List[CellInstance],
+    comb_cells: List[CellInstance],
+    profile: DesignProfile,
+    rng: np.random.Generator,
+) -> None:
+    """Connect inputs with locality + preferential-attachment fanout tail."""
+    by_level: dict = {0: list(registers)}
+    for cell in comb_cells:
+        by_level.setdefault(cell.level, []).append(cell)
+    max_level = max(by_level)
+
+    # Heavy-fanout candidates get a large attachment weight (clock-enable /
+    # reset / broadcast-style nets).
+    weight_of: dict = {}
+    for level_cells in by_level.values():
+        for cell in level_cells:
+            heavy = rng.random() < profile.high_fanout_fraction
+            weight_of[cell.name] = 12.0 if heavy else 1.0
+
+    def pick_driver(sink: CellInstance) -> CellInstance:
+        # Prefer the immediately preceding level, falling back to any earlier.
+        candidate_levels = [lv for lv in range(sink.level - 1, -1, -1) if lv in by_level]
+        level_probs = np.array([0.62 * (0.45 ** i) for i in range(len(candidate_levels))])
+        level_probs = level_probs / level_probs.sum()
+        level = candidate_levels[int(rng.choice(len(candidate_levels), p=level_probs))]
+        pool = by_level[level]
+        weights = np.array([
+            weight_of[c.name] * (3.0 if c.cluster == sink.cluster else 1.0)
+            for c in pool
+        ])
+        weights = weights / weights.sum()
+        return pool[int(rng.choice(len(pool), p=weights))]
+
+    for cell in comb_cells:
+        inputs = []
+        for _ in range(cell.cell_type.function.input_count):
+            driver = pick_driver(cell)
+            netlist.nets[driver.output_net].add_sink(cell.name, len(inputs))
+            inputs.append(driver.output_net)
+        cell.input_nets = tuple(inputs)
+
+    # Register data inputs: mostly deep cones, but hold_risk of them connect
+    # to very shallow logic (short paths -> hold-critical).
+    deep_pool = by_level.get(max_level, []) or comb_cells
+    shallow_levels = [lv for lv in (0, 1) if lv in by_level]
+    for reg in registers:
+        if rng.random() < profile.hold_risk and shallow_levels:
+            pool = by_level[int(rng.choice(shallow_levels))]
+        else:
+            pool = deep_pool
+        driver = pool[int(rng.integers(len(pool)))]
+        if driver.name == reg.name:  # avoid trivial self-loop through no logic
+            driver = deep_pool[int(rng.integers(len(deep_pool)))]
+        netlist.nets[driver.output_net].add_sink(reg.name, 0)
+        reg.input_nets = (driver.output_net, "clk")
+        netlist.nets["clk"].add_sink(reg.name, 1)
+
+    # Primary outputs tap a handful of top-level nets.
+    po_count = max(2, len(comb_cells) // 40)
+    po_sources = rng.choice(len(deep_pool), size=min(po_count, len(deep_pool)), replace=False)
+    for rank, index in enumerate(sorted(int(i) for i in po_sources)):
+        net = netlist.nets[deep_pool[index].output_net]
+        net.add_sink(f"po_{rank}", -1)
+        netlist.primary_outputs.append(net.name)
+
+
+_MAX_FANOUT = 20
+
+
+def _buffer_high_fanout(netlist: Netlist, rng: np.random.Generator) -> None:
+    """Insert buffer trees on nets exceeding the synthesis fanout limit.
+
+    Mirrors what logic synthesis does before handing a netlist to P&R: a
+    driver never sees more than ``_MAX_FANOUT`` loads, so the worst-case
+    gate delay stays bounded and the timing optimizer has a sizable circuit
+    to work with (instead of one un-fixable megafanout arc).
+    """
+    buf = netlist.library.default_variant(CellFunction.BUF)
+    counter = 0
+    # Snapshot: buffering adds nets, do not re-split the new ones this pass.
+    for net_name in list(netlist.nets):
+        net = netlist.nets[net_name]
+        if net.is_clock or net.driver is None:
+            continue
+        # Keep primary-output taps on the original net (the PO list refers
+        # to it by name); only cell loads are moved behind buffers.
+        po_sinks = [s for s in net.sinks if s[1] < 0]
+        net.sinks = [s for s in net.sinks if s[1] >= 0]
+        while net.fanout > _MAX_FANOUT:
+            driver_cell = netlist.cells[net.driver]
+            chunk = net.sinks[-_MAX_FANOUT:]
+            net.sinks = net.sinks[:-_MAX_FANOUT]
+            buf_cell = CellInstance(
+                name=f"fobuf_{counter}",
+                cell_type=buf,
+                level=driver_cell.level,
+                cluster=driver_cell.cluster,
+                switching_activity=driver_cell.switching_activity,
+            )
+            netlist.add_cell(buf_cell)
+            buf_net = Net(name=f"fonet_{counter}", driver=buf_cell.name)
+            netlist.add_net(buf_net)
+            buf_cell.output_net = buf_net.name
+            buf_cell.input_nets = (net.name,)
+            net.add_sink(buf_cell.name, 0)
+            for sink, pin in chunk:
+                buf_net.add_sink(sink, pin)
+                if pin >= 0:
+                    sink_cell = netlist.cells[sink]
+                    sink_cell.input_nets = tuple(
+                        buf_net.name if (n == net.name and i == _pin_slot(sink_cell, pin)) else n
+                        for i, n in enumerate(sink_cell.input_nets)
+                    )
+            counter += 1
+        net.sinks.extend(po_sinks)
+
+
+def _pin_slot(cell: CellInstance, pin: int) -> int:
+    """Map a sink pin index to the cell's input_nets slot (clock excluded)."""
+    return pin
+
+
+def _size_die(netlist: Netlist, profile: DesignProfile) -> None:
+    # Utilization is defined over *free* (non-macro) area; each macro eats
+    # roughly 5.7% of the die (see _add_macros), so inflate the die to keep
+    # the floorplan legalizable.
+    macro_fraction = min(0.45, 0.057 * profile.macro_count)
+    area = netlist.total_cell_area_um2() / profile.utilization / (1.0 - macro_fraction)
+    side = math.sqrt(area)
+    netlist.die_width_um = side
+    netlist.die_height_um = side
+
+
+def _add_macros(netlist: Netlist, profile: DesignProfile, rng: np.random.Generator) -> None:
+    """Macros are modeled as placement blockages eating ~6% of die each."""
+    for _ in range(profile.macro_count):
+        width = netlist.die_width_um * float(rng.uniform(0.18, 0.30))
+        height = netlist.die_height_um * float(rng.uniform(0.18, 0.30))
+        x = float(rng.uniform(0.0, netlist.die_width_um - width))
+        y = float(rng.uniform(0.0, netlist.die_height_um - height))
+        netlist.blockages.append((x, y, width, height))
+
+
+def _set_clock(netlist: Netlist, profile: DesignProfile) -> None:
+    """Clock period = stub-wireload critical-path estimate x tightness.
+
+    Mirrors how a spec is set against a synthesis-time timing estimate: nets
+    get a nominal local wire load, arrivals propagate through the real
+    netlist, and the worst register-to-register delay (plus setup margin and
+    ~10% placement wire growth) anchored by ``clock_tightness`` defines the
+    period.  Tightness ~1.05 is then genuinely hard to close; ~1.4 is easy.
+    """
+    node = netlist.library.node
+    stub_um = 4.0
+    stub_cap = stub_um * node.wire_cap_ff_per_um
+    critical = _stub_critical_delay_ps(netlist, stub_cap)
+    setup_margin = 2.0 * node.gate_delay_ps
+    estimate = (critical + setup_margin) * 1.10
+    netlist.clock = ClockSpec(
+        net_name="clk",
+        period_ps=estimate * profile.clock_tightness,
+        source_xy=(0.0, netlist.die_height_um / 2.0),
+    )
+
+
+def _stub_critical_delay_ps(netlist: Netlist, stub_cap_ff: float) -> float:
+    """Worst reg-to-reg arrival under a uniform stub wire load."""
+    loads: dict = {}
+    delays: dict = {}
+    for name, cell in netlist.cells.items():
+        if cell.is_clock_cell:
+            continue
+        net = netlist.net_of_output(name)
+        load = stub_cap_ff
+        if net is not None:
+            for sink, pin in net.sinks:
+                if pin >= 0:
+                    load += netlist.cells[sink].cell_type.input_cap_ff
+        loads[name] = load
+        delays[name] = cell.cell_type.delay_ps(load)
+
+    arrival: dict = {}
+    for cell in netlist.sequential_cells():
+        arrival[cell.name] = delays[cell.name]  # clk->q from the launch edge
+    worst = 0.0
+    for name in netlist.topological_order():
+        drivers = [d for d in netlist.fanin_cells(name)]
+        base = max((arrival[d] for d in drivers), default=0.0)
+        arrival[name] = base + delays[name]
+    for reg in netlist.sequential_cells():
+        for driver in netlist.fanin_cells(reg.name):
+            worst = max(worst, arrival.get(driver, 0.0))
+    return worst

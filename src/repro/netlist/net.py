@@ -1,0 +1,43 @@
+"""Nets: driver-to-sinks connections with wire parasitics filled by routing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class Net:
+    """A signal net.
+
+    ``driver`` is the name of the driving cell instance, or ``None`` for a
+    primary input.  ``sinks`` lists ``(cell_name, pin_index)`` loads; a pin
+    index of -1 denotes a primary output port.
+
+    Wire length and parasitics are estimates before routing (HPWL-based) and
+    routed values afterwards.
+
+    Attributes:
+        name: Unique net name.
+        driver: Driving cell instance name (``None`` = primary input).
+        sinks: Load pins as ``(cell_name, pin_index)`` pairs.
+        is_clock: True for clock-distribution nets.
+        wire_length_um: Current wire-length estimate.
+        wire_cap_ff: Wire capacitance derived from length and node.
+        wire_delay_ps: Elmore-ish wire delay added to every driver->sink arc.
+    """
+
+    name: str
+    driver: Optional[str]
+    sinks: List[Tuple[str, int]] = field(default_factory=list)
+    is_clock: bool = False
+    wire_length_um: float = 0.0
+    wire_cap_ff: float = 0.0
+    wire_delay_ps: float = 0.0
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)
+
+    def add_sink(self, cell_name: str, pin_index: int) -> None:
+        self.sinks.append((cell_name, pin_index))

@@ -1,0 +1,158 @@
+"""Structural netlist statistics: the metrics designers eyeball first.
+
+Computes the composition/connectivity profile of a netlist — fanout and
+logic-depth histograms, cell-function mix, a Rent-style locality estimate —
+and renders a compact text report.  Useful for validating that generated
+designs look like their profiles, and exposed through the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class NetlistStats:
+    """Structural summary of one netlist."""
+
+    name: str
+    cell_count: int
+    net_count: int
+    register_count: int
+    combinational_count: int
+    buffer_count: int
+    function_mix: Dict[str, int] = field(default_factory=dict)
+    drive_mix: Dict[int, int] = field(default_factory=dict)
+    fanout_histogram: Dict[str, int] = field(default_factory=dict)
+    avg_fanout: float = 0.0
+    max_fanout: int = 0
+    logic_depth: int = 0
+    level_histogram: Dict[int, int] = field(default_factory=dict)
+    rent_exponent: float = 0.0
+    total_area_um2: float = 0.0
+    utilization: float = 0.0
+
+    def render(self) -> str:
+        lines: List[str] = []
+        lines.append(f"==== Netlist statistics: {self.name} ====")
+        lines.append(f"cells {self.cell_count}   nets {self.net_count}   "
+                     f"registers {self.register_count}   "
+                     f"combinational {self.combinational_count}")
+        lines.append(f"area {self.total_area_um2:.1f} um^2   "
+                     f"utilization {self.utilization:.2f}")
+        lines.append(f"fanout: avg {self.avg_fanout:.2f}  max {self.max_fanout}")
+        lines.append("fanout histogram: " + "  ".join(
+            f"{bucket}:{count}" for bucket, count in self.fanout_histogram.items()
+        ))
+        lines.append(f"logic depth {self.logic_depth}")
+        lines.append("function mix: " + "  ".join(
+            f"{fn}:{count}" for fn, count in sorted(self.function_mix.items())
+        ))
+        lines.append("drive mix: " + "  ".join(
+            f"X{d}:{count}" for d, count in sorted(self.drive_mix.items())
+        ))
+        lines.append(f"rent exponent (locality estimate): {self.rent_exponent:.2f}")
+        return "\n".join(lines)
+
+
+_FANOUT_BUCKETS: Tuple[Tuple[str, int, int], ...] = (
+    ("1", 1, 1), ("2-3", 2, 3), ("4-7", 4, 7),
+    ("8-15", 8, 15), ("16+", 16, 10 ** 9),
+)
+
+
+def compute_stats(netlist: Netlist) -> NetlistStats:
+    """Compute the full structural summary of ``netlist``."""
+    registers = netlist.sequential_cells()
+    comb = netlist.combinational_cells()
+    function_mix: Dict[str, int] = {}
+    drive_mix: Dict[int, int] = {}
+    for cell in netlist.cells.values():
+        function_mix[cell.cell_type.function.value] = (
+            function_mix.get(cell.cell_type.function.value, 0) + 1
+        )
+        drive_mix[cell.cell_type.drive] = drive_mix.get(cell.cell_type.drive, 0) + 1
+
+    fanouts = np.array([
+        net.fanout for net in netlist.nets.values()
+        if not net.is_clock and net.fanout > 0
+    ])
+    histogram = {}
+    for label, low, high in _FANOUT_BUCKETS:
+        histogram[label] = int(((fanouts >= low) & (fanouts <= high)).sum())
+
+    levels = [cell.level for cell in comb]
+    level_histogram: Dict[int, int] = {}
+    for level in levels:
+        level_histogram[level] = level_histogram.get(level, 0) + 1
+
+    return NetlistStats(
+        name=netlist.name,
+        cell_count=netlist.cell_count,
+        net_count=netlist.net_count,
+        register_count=len(registers),
+        combinational_count=len(comb),
+        buffer_count=function_mix.get("BUF", 0),
+        function_mix=function_mix,
+        drive_mix=drive_mix,
+        fanout_histogram=histogram,
+        avg_fanout=float(fanouts.mean()) if fanouts.size else 0.0,
+        max_fanout=int(fanouts.max()) if fanouts.size else 0,
+        logic_depth=max(levels) if levels else 0,
+        level_histogram=level_histogram,
+        rent_exponent=_rent_exponent(netlist),
+        total_area_um2=netlist.total_cell_area_um2(),
+        utilization=netlist.utilization(),
+    )
+
+
+def _rent_exponent(netlist: Netlist, samples: int = 24) -> float:
+    """Rough Rent exponent via cluster-partition pin counting.
+
+    Uses the generator's logical clusters as partitions: for each cluster,
+    count internal cells (blocks) and cut nets (terminals); fit
+    ``log terminals ~ p * log blocks``.  Values around 0.5-0.8 are typical
+    of real logic; higher means less locality.
+    """
+    clusters: Dict[int, set] = {}
+    for cell in netlist.cells.values():
+        clusters.setdefault(cell.cluster, set()).add(cell.name)
+    xs: List[float] = []
+    ys: List[float] = []
+    for members in clusters.values():
+        if len(members) < 4:
+            continue
+        terminals = 0
+        for net in netlist.nets.values():
+            if net.is_clock:
+                continue
+            inside = (net.driver in members) if net.driver else False
+            outside = False
+            for sink, pin in net.sinks:
+                if pin < 0:
+                    continue
+                if sink in members:
+                    inside = True
+                else:
+                    outside = True
+            if net.driver is not None and net.driver not in members:
+                outside_driver_feeds_inside = any(
+                    sink in members for sink, pin in net.sinks if pin >= 0
+                )
+                if outside_driver_feeds_inside:
+                    terminals += 1
+                    continue
+            if inside and outside:
+                terminals += 1
+        if terminals > 0:
+            xs.append(np.log(len(members)))
+            ys.append(np.log(terminals))
+    if len(xs) < 2:
+        return 0.0
+    slope, _ = np.polyfit(xs, ys, 1)
+    return float(np.clip(slope, 0.0, 1.0))

@@ -1,0 +1,37 @@
+"""Minimal reverse-mode autograd + neural-net layers (PyTorch substitute).
+
+The InsightAlign model (paper Table III) is tiny — one single-head
+transformer decoder layer over a 40-step sequence with 32-d embeddings — so
+a compact, numerically-checked numpy autograd engine reproduces it exactly.
+
+Public surface:
+
+- :class:`~repro.nn.tensor.Tensor` — autograd array with broadcasting.
+- :mod:`repro.nn.layers` — ``Linear``, ``Embedding``, ``LayerNorm``.
+- :mod:`repro.nn.attention` — single-head attention and
+  ``TransformerDecoderLayer`` (self-attention with causal mask, cross
+  attention to a memory, feed-forward, pre-norm residuals).
+- :mod:`repro.nn.optim` — ``Adam`` / ``SGD`` with gradient clipping.
+- :mod:`repro.nn.serialization` — ``save_state`` / ``load_state`` (npz).
+"""
+
+from repro.nn.tensor import Tensor
+from repro.nn.layers import Embedding, LayerNorm, Linear, Module
+from repro.nn.attention import SingleHeadAttention, TransformerDecoderLayer
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.serialization import load_state, save_state
+
+__all__ = [
+    "Tensor",
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "SingleHeadAttention",
+    "TransformerDecoderLayer",
+    "Adam",
+    "SGD",
+    "clip_grad_norm",
+    "save_state",
+    "load_state",
+]

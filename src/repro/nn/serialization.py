@@ -1,0 +1,23 @@
+"""Model weight persistence as numpy .npz archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.nn.layers import Module
+
+import numpy as np
+
+
+def save_state(module: Module, path: Union[str, os.PathLike]) -> None:
+    """Write the module's state dict to ``path`` (.npz)."""
+    state = module.state_dict()
+    np.savez(path, **state)
+
+
+def load_state(module: Module, path: Union[str, os.PathLike]) -> None:
+    """Load weights saved by :func:`save_state` into ``module``."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

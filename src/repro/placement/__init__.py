@@ -1,0 +1,23 @@
+"""Placement engine: force-directed global placement + density/congestion maps.
+
+The placer is intentionally a *fast model* of an analytic placer: cells are
+pulled toward their net centroids (wirelength force), pushed out of dense
+bins (spreading force), and attracted to their logical cluster seed
+(locality).  Its knobs — effort, spreading strength, timing-net weighting,
+density target — are the levers the recipe catalog moves, and its trajectory
+(per-checkpoint congestion) feeds the Table-I "congestion level during
+placement step X" insights.
+"""
+
+from repro.placement.grid import PlacementGrid
+from repro.placement.placer import PlacerParams, PlacementResult, place
+from repro.placement.congestion import rudy_map, congestion_overflow
+
+__all__ = [
+    "PlacementGrid",
+    "PlacerParams",
+    "PlacementResult",
+    "place",
+    "rudy_map",
+    "congestion_overflow",
+]

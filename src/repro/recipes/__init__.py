@@ -1,0 +1,21 @@
+"""Recipe catalog: 40 preconfigured knob bundles (paper Table II).
+
+A *recipe* is a named set of adjustments over the default
+:class:`~repro.flow.parameters.FlowParameters`; a *recipe set* is a binary
+vector in {0,1}^40 choosing which recipes to load into one flow iteration.
+Recipes compose: scale adjustments multiply, set adjustments last-win in
+catalog order, and every knob is clamped to its valid range afterwards.
+"""
+
+from repro.recipes.recipe import Adjustment, Recipe, RecipeCategory
+from repro.recipes.catalog import RecipeCatalog, default_catalog
+from repro.recipes.apply import apply_recipe_set
+
+__all__ = [
+    "Adjustment",
+    "Recipe",
+    "RecipeCategory",
+    "RecipeCatalog",
+    "default_catalog",
+    "apply_recipe_set",
+]

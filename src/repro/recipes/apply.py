@@ -1,0 +1,116 @@
+"""Apply a recipe set (binary vector) to produce :class:`FlowParameters`."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.cts.tree import CtsParams
+from repro.errors import RecipeError
+from repro.flow.parameters import FlowParameters, OptParams, TradeoffWeights
+from repro.placement.placer import PlacerParams
+from repro.recipes.catalog import RecipeCatalog
+from repro.routing.groute import RouteParams
+
+# Valid range per knob; everything is clamped after composition so stacked
+# recipes can never push the tool outside its supported envelope.
+_CLAMPS: Dict[str, Tuple[float, float]] = {
+    "placer.effort": (0.3, 3.0),
+    "placer.spread_strength": (0.1, 3.0),
+    "placer.timing_net_weight": (0.0, 2.5),
+    "placer.cluster_attraction": (0.0, 2.0),
+    "placer.density_target": (0.6, 1.05),
+    "placer.perturbation": (0.0, 3.0),
+    "cts.max_cluster_size": (4, 48),
+    "cts.buffer_drive": (2, 8),
+    "cts.target_skew_ps": (3.0, 40.0),
+    "cts.balance_effort": (0.2, 2.0),
+    "cts.useful_skew_gain": (0.0, 1.0),
+    "route.effort": (0.25, 3.0),
+    "route.detour_cost": (0.25, 3.0),
+    "route.congestion_threshold": (0.7, 1.2),
+    "route.layer_promotion": (0.0, 0.3),
+    "opt.setup_passes": (1, 8),
+    "opt.upsize_fraction": (0.05, 0.7),
+    "opt.downsize_slack_margin": (0.08, 0.6),
+    "opt.leakage_recovery": (0.0, 2.5),
+    "opt.hold_effort": (0.0, 2.0),
+    "opt.early_hold_weight": (0.0, 1.0),
+    "opt.useful_skew_gain": (0.0, 1.0),
+    "opt.clock_gating_efficiency": (0.0, 0.9),
+    "opt.vt_swap_bias": (0.6, 1.5),
+    "tradeoff.timing": (0.2, 4.0),
+    "tradeoff.power": (0.2, 4.0),
+    "tradeoff.area": (0.2, 4.0),
+}
+
+_INT_KNOBS = {"cts.max_cluster_size", "cts.buffer_drive", "opt.setup_passes"}
+
+# buffer_drive must land on a real library drive strength.
+_DRIVE_STEPS = (2, 4, 8)
+
+
+def apply_recipe_set(
+    recipe_set: Sequence[int],
+    catalog: RecipeCatalog,
+    base: FlowParameters = FlowParameters(),
+) -> FlowParameters:
+    """Compose the selected recipes over ``base`` and return new parameters.
+
+    Scale/add adjustments compose across recipes; set adjustments last-win in
+    catalog order.  All knobs are clamped to their valid ranges.
+    """
+    if len(recipe_set) != len(catalog):
+        raise RecipeError(
+            f"recipe set has {len(recipe_set)} bits, catalog has {len(catalog)}"
+        )
+    flat = base.flat()
+    for bit, recipe in zip(recipe_set, catalog):
+        if not bit:
+            continue
+        for adj in recipe.adjustments:
+            if adj.knob not in flat:
+                raise RecipeError(
+                    f"recipe {recipe.name!r} adjusts unknown knob {adj.knob!r}"
+                )
+            if adj.op == "scale":
+                flat[adj.knob] *= adj.value
+            elif adj.op == "add":
+                flat[adj.knob] += adj.value
+            else:  # set
+                flat[adj.knob] = adj.value
+
+    for knob, (low, high) in _CLAMPS.items():
+        flat[knob] = min(high, max(low, flat[knob]))
+    for knob in _INT_KNOBS:
+        flat[knob] = int(round(flat[knob]))
+    flat["cts.buffer_drive"] = min(
+        _DRIVE_STEPS, key=lambda d: abs(d - flat["cts.buffer_drive"])
+    )
+
+    def sect(prefix: str) -> Dict[str, float]:
+        plen = len(prefix) + 1
+        return {k[plen:]: v for k, v in flat.items() if k.startswith(prefix + ".")}
+
+    return FlowParameters(
+        placer=PlacerParams(**sect("placer")),
+        cts=CtsParams(
+            max_cluster_size=int(flat["cts.max_cluster_size"]),
+            buffer_drive=int(flat["cts.buffer_drive"]),
+            target_skew_ps=flat["cts.target_skew_ps"],
+            balance_effort=flat["cts.balance_effort"],
+            useful_skew_gain=flat["cts.useful_skew_gain"],
+        ),
+        route=RouteParams(**sect("route")),
+        opt=OptParams(
+            setup_passes=int(flat["opt.setup_passes"]),
+            upsize_fraction=flat["opt.upsize_fraction"],
+            downsize_slack_margin=flat["opt.downsize_slack_margin"],
+            leakage_recovery=flat["opt.leakage_recovery"],
+            hold_effort=flat["opt.hold_effort"],
+            early_hold_weight=flat["opt.early_hold_weight"],
+            useful_skew_gain=flat["opt.useful_skew_gain"],
+            clock_gating_efficiency=flat["opt.clock_gating_efficiency"],
+            vt_swap_bias=flat["opt.vt_swap_bias"],
+        ),
+        tradeoff=TradeoffWeights(**sect("tradeoff")),
+    )

@@ -1,0 +1,173 @@
+"""The default 40-recipe catalog (n = 40 in the paper's experiments).
+
+Every recipe has a dedicated intention; usefulness is design-dependent:
+congestion recipes pay off on congested floorplans, useful-skew on
+skew-limited timing, leakage recovery on leakage-dominated power profiles —
+which is exactly the structure the insight-conditioned recommender learns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import RecipeError
+from repro.recipes.recipe import Adjustment, Recipe, RecipeCategory
+
+
+def _r(name, category, description, *adjustments) -> Recipe:
+    return Recipe(
+        name=name,
+        category=category,
+        description=description,
+        adjustments=tuple(Adjustment(k, op, v) for (k, op, v) in adjustments),
+    )
+
+
+def _build_recipes() -> Tuple[Recipe, ...]:
+    I, T, C, G, R = (RecipeCategory.INTENT, RecipeCategory.TIMING,
+                     RecipeCategory.CLOCK, RecipeCategory.CONGESTION,
+                     RecipeCategory.GROUTE)
+    return (
+        # ---- Design intention tradeoffs (8) -----------------------------
+        _r("intent_timing_first", I, "Bias optimizer cost toward timing",
+           ("tradeoff.timing", "scale", 2.0), ("tradeoff.power", "scale", 0.6)),
+        _r("intent_power_first", I, "Bias optimizer cost toward power",
+           ("tradeoff.power", "scale", 2.0), ("tradeoff.timing", "scale", 0.6)),
+        _r("intent_area_lean", I, "Trade area headroom for power/timing",
+           ("tradeoff.area", "scale", 1.8),
+           ("placer.density_target", "add", 0.04)),
+        _r("intent_leakage_crusher", I, "High-Vt rich mix + deep recovery",
+           ("opt.vt_swap_bias", "scale", 0.75),
+           ("opt.leakage_recovery", "scale", 1.8)),
+        _r("intent_speed_vt", I, "Low-Vt rich mix: faster, leakier",
+           ("opt.vt_swap_bias", "scale", 1.30)),
+        _r("intent_gate_clocks", I, "Aggressive idle-flop clock gating",
+           ("opt.clock_gating_efficiency", "set", 0.60)),
+        _r("intent_runtime_saver", I, "Cut effort everywhere for turnaround",
+           ("placer.effort", "scale", 0.6), ("route.effort", "scale", 0.6),
+           ("opt.setup_passes", "add", -1.0)),
+        _r("intent_signoff_grade", I, "Max effort everywhere",
+           ("placer.effort", "scale", 1.5), ("route.effort", "scale", 1.5),
+           ("opt.setup_passes", "add", 2.0)),
+        # ---- Timing (9) --------------------------------------------------
+        _r("timing_setup_blitz", T, "Many sizing passes, wide upsize quota",
+           ("opt.setup_passes", "add", 3.0), ("opt.upsize_fraction", "set", 0.55)),
+        _r("timing_gentle_sizing", T, "Narrow, repeated sizing (power-kind)",
+           ("opt.upsize_fraction", "set", 0.18), ("opt.setup_passes", "add", 2.0)),
+        _r("timing_early_hold", T, "Weight early hold fixing over setup",
+           ("opt.early_hold_weight", "set", 0.8), ("opt.hold_effort", "scale", 1.5)),
+        _r("timing_hold_later", T, "Defer hold fixing to the very end",
+           ("opt.early_hold_weight", "set", 0.05), ("opt.hold_effort", "scale", 0.6)),
+        _r("timing_net_weighting", T, "Weight critical nets in placement",
+           ("placer.timing_net_weight", "set", 1.6)),
+        _r("timing_calm_placement", T, "Low placement perturbation",
+           ("placer.perturbation", "set", 0.3)),
+        _r("timing_shake_placement", T, "High placement perturbation",
+           ("placer.perturbation", "set", 2.2)),
+        _r("timing_guard_recovery", T, "Conservative power recovery margin",
+           ("opt.downsize_slack_margin", "set", 0.40)),
+        _r("timing_greedy_recovery", T, "Aggressive power recovery margin",
+           ("opt.downsize_slack_margin", "set", 0.12),
+           ("opt.leakage_recovery", "scale", 1.4)),
+        # ---- Clock tree (8) -----------------------------------------------
+        _r("cts_tight_skew", C, "Drive skew down hard",
+           ("cts.target_skew_ps", "set", 6.0), ("cts.balance_effort", "set", 1.7)),
+        _r("cts_loose_skew", C, "Relax skew for clock power/runtime",
+           ("cts.target_skew_ps", "set", 28.0), ("cts.balance_effort", "set", 0.5)),
+        _r("cts_strong_buffers", C, "X8 clock buffers: latency down, power up",
+           ("cts.buffer_drive", "set", 8.0)),
+        _r("cts_lean_buffers", C, "X2 clock buffers: power down, skew risk",
+           ("cts.buffer_drive", "set", 2.0)),
+        _r("cts_fine_clusters", C, "Small leaf clusters: local skew down",
+           ("cts.max_cluster_size", "set", 8.0)),
+        _r("cts_coarse_clusters", C, "Large leaf clusters: clock power down",
+           ("cts.max_cluster_size", "set", 32.0)),
+        _r("cts_useful_skew", C, "Moderate useful skew on critical flops",
+           ("opt.useful_skew_gain", "set", 0.45)),
+        _r("cts_useful_skew_max", C, "Maximum useful skew (hold risk)",
+           ("opt.useful_skew_gain", "set", 0.85),
+           ("opt.hold_effort", "scale", 1.3)),
+        # ---- Routing congestion (8) ----------------------------------------
+        _r("cong_spread_wide", R, "Strong density/congestion spreading",
+           ("placer.spread_strength", "set", 2.0)),
+        _r("cong_pack_tight", R, "Weak spreading: short wires, hotspots",
+           ("placer.spread_strength", "set", 0.45)),
+        _r("cong_low_density", R, "Low bin-density ceiling",
+           ("placer.density_target", "set", 0.72)),
+        _r("cong_high_density", R, "High bin-density ceiling",
+           ("placer.density_target", "set", 1.0)),
+        _r("cong_loose_clusters", R, "Weak cluster pull (spread demand)",
+           ("placer.cluster_attraction", "set", 0.2)),
+        _r("cong_tight_clusters", R, "Strong cluster pull (locality)",
+           ("placer.cluster_attraction", "set", 1.2)),
+        _r("cong_place_effort", R, "Extra placement iterations",
+           ("placer.effort", "scale", 1.6)),
+        _r("cong_route_conservative", R, "Route at 85% of nominal capacity",
+           ("route.congestion_threshold", "set", 0.85)),
+        # ---- Global routing (7) ---------------------------------------------
+        _r("groute_effort_high", G, "More rip-up-and-reroute iterations",
+           ("route.effort", "scale", 2.0)),
+        _r("groute_effort_low", G, "Few routing iterations (fast, risky)",
+           ("route.effort", "scale", 0.5)),
+        _r("groute_detour_cheap", G, "Detour freely to kill overflow",
+           ("route.detour_cost", "set", 0.5)),
+        _r("groute_detour_costly", G, "Avoid detours, accept overflow",
+           ("route.detour_cost", "set", 2.0)),
+        _r("groute_layer_promote", G, "Promote critical nets to fast layers",
+           ("route.layer_promotion", "set", 0.18)),
+        _r("groute_layer_promote_max", G, "Max layer promotion (capacity hit)",
+           ("route.layer_promotion", "set", 0.30)),
+        _r("groute_optimistic", G, "Assume 110% routable capacity",
+           ("route.congestion_threshold", "set", 1.10)),
+    )
+
+
+class RecipeCatalog:
+    """Ordered, indexable collection of recipes.
+
+    The ordering is the token ordering of the sequence model: recipe ``i``
+    is decided at generation step ``i``.
+    """
+
+    def __init__(self, recipes: Sequence[Recipe]) -> None:
+        names = [r.name for r in recipes]
+        if len(set(names)) != len(names):
+            raise RecipeError("duplicate recipe names in catalog")
+        self._recipes: Tuple[Recipe, ...] = tuple(recipes)
+        self._index: Dict[str, int] = {r.name: i for i, r in enumerate(recipes)}
+
+    def __len__(self) -> int:
+        return len(self._recipes)
+
+    def __iter__(self):
+        return iter(self._recipes)
+
+    def __getitem__(self, index: int) -> Recipe:
+        return self._recipes[index]
+
+    def index_of(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise RecipeError(f"unknown recipe {name!r}") from None
+
+    def names(self) -> List[str]:
+        return [r.name for r in self._recipes]
+
+    def by_category(self, category: RecipeCategory) -> List[Recipe]:
+        return [r for r in self._recipes if r.category is category]
+
+    def subset_from_names(self, names: Sequence[str]) -> List[int]:
+        """Binary recipe-set vector (as 0/1 ints) selecting ``names``."""
+        bits = [0] * len(self)
+        for name in names:
+            bits[self.index_of(name)] = 1
+        return bits
+
+
+_DEFAULT: RecipeCatalog = RecipeCatalog(_build_recipes())
+
+
+def default_catalog() -> RecipeCatalog:
+    """The paper-scale catalog: n = 40 recipes across 5 categories."""
+    return _DEFAULT

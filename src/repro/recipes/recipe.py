@@ -1,0 +1,57 @@
+"""Recipe data model: named adjustment bundles over flow knobs."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import RecipeError
+
+
+class RecipeCategory(enum.Enum):
+    """The five recipe families of the paper's Table II."""
+
+    INTENT = "Design intention tradeoffs"
+    TIMING = "Timing"
+    CLOCK = "Clock tree"
+    CONGESTION = "Routing congestion"
+    GROUTE = "Global routing"
+
+
+@dataclass(frozen=True)
+class Adjustment:
+    """One knob change: ``scale`` multiplies, ``set`` overrides, ``add`` adds.
+
+    ``knob`` uses the flattened ``section.field`` naming of
+    :meth:`repro.flow.parameters.FlowParameters.flat`.
+    """
+
+    knob: str
+    op: str
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.op not in ("scale", "set", "add"):
+            raise RecipeError(f"unknown adjustment op {self.op!r} on {self.knob}")
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """A preconfigured recipe with a dedicated QoR intention.
+
+    Attributes:
+        name: Stable identifier (also the token identity in the model).
+        category: Table II family.
+        description: Human-readable intention.
+        adjustments: Knob changes applied when the recipe is selected.
+    """
+
+    name: str
+    category: RecipeCategory
+    description: str
+    adjustments: Tuple[Adjustment, ...]
+
+    def __post_init__(self) -> None:
+        if not self.adjustments:
+            raise RecipeError(f"recipe {self.name!r} adjusts nothing")

@@ -1,0 +1,15 @@
+"""Global routing: congestion-driven demand diffusion, detours and DRCs.
+
+The router models rip-up-and-reroute at the bin level: per-bin routing demand
+(RUDY) above capacity is iteratively diffused to neighboring bins with slack,
+paying a detour-wirelength tax for every unit of demand moved.  Residual
+overflow after the iteration budget becomes DRC violations.  Critical nets
+can be promoted to upper (faster) layers at the cost of shared capacity.
+Knobs mirror the paper's two routing recipe families: "adjust knobs of
+routing congestion" and "adjust global routing hyperparameters".
+"""
+
+from repro.routing.groute import RouteParams, RoutingResult, global_route
+from repro.routing.drc import estimate_drcs
+
+__all__ = ["RouteParams", "RoutingResult", "global_route", "estimate_drcs"]

@@ -1,0 +1,34 @@
+"""DRC-violation estimation from routing overflow and placement density.
+
+Empirically, post-detail-route DRC counts grow super-linearly with global-
+routing overflow (a hotspot the detail router cannot legalize spawns shorts
+and spacing violations in clusters) and pick up a floor term from very dense
+placement regions (pin-access failures).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.routing.groute import RoutingResult
+
+
+def estimate_drcs(
+    routing: RoutingResult,
+    peak_density: float,
+    cell_count: int,
+) -> int:
+    """Estimated detail-route DRC violation count.
+
+    Args:
+        routing: Global-routing outcome (residual overflow drives shorts).
+        peak_density: Peak placement bin density (pin-access failures above
+            ~0.95 utilization).
+        cell_count: Design size, scaling the pin-access term.
+    """
+    if cell_count <= 0:
+        raise ValueError(f"cell_count must be positive, got {cell_count}")
+    overflow_term = 0.08 * routing.overflow_total ** 1.25
+    density_excess = max(0.0, peak_density - 0.95)
+    pin_access_term = 0.002 * cell_count * density_excess ** 2
+    return int(round(overflow_term + pin_access_term))

@@ -1,0 +1,23 @@
+"""Technology library: nodes, standard cells and their timing/power models.
+
+This is the lowest substrate layer.  It approximates the role of a foundry
+PDK + Liberty (.lib) characterization: each :class:`~repro.techlib.node.TechNode`
+defines scaling rules (feature size, supply voltage, wire RC, leakage), and
+each :class:`~repro.techlib.cells.CellType` carries a linear delay model
+(intrinsic delay + drive resistance x load capacitance), pin capacitances,
+area, and leakage/internal power, all scaled to the node.
+"""
+
+from repro.techlib.node import TechNode, TECH_NODES, get_node
+from repro.techlib.cells import CellType, CellFunction
+from repro.techlib.library import Library, build_library
+
+__all__ = [
+    "TechNode",
+    "TECH_NODES",
+    "get_node",
+    "CellType",
+    "CellFunction",
+    "Library",
+    "build_library",
+]

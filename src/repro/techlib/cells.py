@@ -1,0 +1,139 @@
+"""Standard-cell types with linear delay and power models.
+
+Each cell follows the classic Liberty-style linear model used by fast timers:
+
+    pin-to-pin delay = intrinsic_delay + drive_resistance * load_capacitance
+
+Drive strengths (X1 / X2 / X4 / X8) scale drive resistance down and input
+capacitance, area and leakage up.  "Weak cells" in the paper's Table I insight
+("weak cell percentage on critical paths") map to X1 variants here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.techlib.node import TechNode
+
+
+class CellFunction(enum.Enum):
+    """Logical function classes available to the netlist generator."""
+
+    INV = "INV"
+    BUF = "BUF"
+    NAND2 = "NAND2"
+    NOR2 = "NOR2"
+    AND2 = "AND2"
+    OR2 = "OR2"
+    XOR2 = "XOR2"
+    AOI21 = "AOI21"
+    OAI21 = "OAI21"
+    MUX2 = "MUX2"
+    DFF = "DFF"
+    CLKBUF = "CLKBUF"
+
+    @property
+    def is_sequential(self) -> bool:
+        return self is CellFunction.DFF
+
+    @property
+    def is_clock(self) -> bool:
+        return self is CellFunction.CLKBUF
+
+    @property
+    def input_count(self) -> int:
+        counts = {
+            CellFunction.INV: 1, CellFunction.BUF: 1, CellFunction.NAND2: 2,
+            CellFunction.NOR2: 2, CellFunction.AND2: 2, CellFunction.OR2: 2,
+            CellFunction.XOR2: 2, CellFunction.AOI21: 3, CellFunction.OAI21: 3,
+            CellFunction.MUX2: 3, CellFunction.DFF: 1, CellFunction.CLKBUF: 1,
+        }
+        return counts[self]
+
+
+# Per-function multipliers relative to a unit inverter.  (complexity, energy)
+_FUNCTION_FACTORS = {
+    CellFunction.INV: (1.00, 1.00),
+    CellFunction.BUF: (1.60, 1.70),
+    CellFunction.NAND2: (1.25, 1.40),
+    CellFunction.NOR2: (1.45, 1.45),
+    CellFunction.AND2: (1.70, 1.80),
+    CellFunction.OR2: (1.80, 1.85),
+    CellFunction.XOR2: (2.40, 2.60),
+    CellFunction.AOI21: (1.90, 2.00),
+    CellFunction.OAI21: (1.95, 2.05),
+    CellFunction.MUX2: (2.20, 2.30),
+    CellFunction.DFF: (4.50, 5.50),
+    CellFunction.CLKBUF: (1.80, 2.20),
+}
+
+DRIVE_STRENGTHS = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class CellType:
+    """A characterized standard cell at a specific node and drive strength.
+
+    Attributes:
+        name: Library cell name, e.g. ``"NAND2_X2"``.
+        function: Logical function.
+        drive: Drive strength multiplier (1, 2, 4 or 8).
+        intrinsic_delay_ps: Load-independent delay component.
+        drive_res_kohm: Output drive resistance in kilo-ohms; delay
+            contribution is ``drive_res_kohm * load_ff`` picoseconds.
+        input_cap_ff: Capacitance presented by each input pin.
+        area_um2: Placed area.
+        leakage_nw: Static leakage power in nanowatts.
+        internal_energy_fj: Energy per output toggle (internal + output
+            stage, excluding wire load).
+    """
+
+    name: str
+    function: CellFunction
+    drive: int
+    intrinsic_delay_ps: float
+    drive_res_kohm: float
+    input_cap_ff: float
+    area_um2: float
+    leakage_nw: float
+    internal_energy_fj: float
+
+    @property
+    def is_weak(self) -> bool:
+        """X1 cells are "weak": high drive resistance, low leakage."""
+        return self.drive == 1
+
+    def delay_ps(self, load_ff: float) -> float:
+        """Pin-to-pin delay in picoseconds driving ``load_ff`` femtofarads."""
+        if load_ff < 0:
+            raise ValueError(f"negative load capacitance: {load_ff}")
+        return self.intrinsic_delay_ps + self.drive_res_kohm * load_ff
+
+
+def characterize(function: CellFunction, drive: int, node: TechNode) -> CellType:
+    """Build a :class:`CellType` for ``function`` at ``drive`` on ``node``.
+
+    Drive strength halves drive resistance per doubling while roughly doubling
+    input capacitance, area and leakage — the standard sizing tradeoff that
+    the flow's sizing knobs (and the "weak cell" insight) exploit.
+    """
+    if drive not in DRIVE_STRENGTHS:
+        raise ValueError(f"unsupported drive strength {drive}; use {DRIVE_STRENGTHS}")
+    complexity, energy = _FUNCTION_FACTORS[function]
+    base_res_kohm = 2.4 * node.gate_delay_ps / 28.0  # normalized to 45nm inverter
+    intrinsic = node.gate_delay_ps * (0.45 + 0.55 * complexity)
+    # Sequential cells pay a clk->q penalty; clock buffers are delay-balanced.
+    if function.is_sequential:
+        intrinsic *= 1.25
+    return CellType(
+        name=f"{function.value}_X{drive}",
+        function=function,
+        drive=drive,
+        intrinsic_delay_ps=intrinsic,
+        drive_res_kohm=base_res_kohm * complexity / drive,
+        input_cap_ff=(0.9 + 0.45 * complexity) * (0.55 + 0.45 * drive) * node.feature_nm / 45.0,
+        area_um2=node.unit_cell_area_um2 * complexity * (0.6 + 0.4 * drive),
+        leakage_nw=node.leakage_nw_per_gate * complexity * (0.55 + 0.45 * drive),
+        internal_energy_fj=node.switch_energy_fj * energy * (0.7 + 0.3 * drive),
+    )

@@ -1,0 +1,78 @@
+"""Library: the full set of characterized cells available at one node."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import LibraryError
+from repro.techlib.cells import DRIVE_STRENGTHS, CellFunction, CellType, characterize
+from repro.techlib.node import TechNode, get_node
+
+
+@dataclass
+class Library:
+    """All characterized cells for one technology node.
+
+    Provides the lookups the flow engines need: resolve a cell by name,
+    enumerate drive variants of a function (for sizing moves), and find the
+    next-stronger/weaker variant of a cell.
+    """
+
+    node: TechNode
+    cells: Dict[str, CellType] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._by_function: Dict[CellFunction, List[CellType]] = {}
+        for cell in self.cells.values():
+            self._by_function.setdefault(cell.function, []).append(cell)
+        for variants in self._by_function.values():
+            variants.sort(key=lambda c: c.drive)
+
+    def cell(self, name: str) -> CellType:
+        """Resolve a cell by library name (e.g. ``"NAND2_X2"``)."""
+        try:
+            return self.cells[name]
+        except KeyError:
+            raise LibraryError(
+                f"cell {name!r} not in {self.node.name} library"
+            ) from None
+
+    def variants(self, function: CellFunction) -> Tuple[CellType, ...]:
+        """All drive variants of ``function``, weakest first."""
+        try:
+            return tuple(self._by_function[function])
+        except KeyError:
+            raise LibraryError(
+                f"function {function.value} not characterized at {self.node.name}"
+            ) from None
+
+    def upsize(self, cell: CellType) -> Optional[CellType]:
+        """The next-stronger variant, or ``None`` if already strongest."""
+        variants = self.variants(cell.function)
+        index = variants.index(cell)
+        return variants[index + 1] if index + 1 < len(variants) else None
+
+    def downsize(self, cell: CellType) -> Optional[CellType]:
+        """The next-weaker variant, or ``None`` if already weakest."""
+        variants = self.variants(cell.function)
+        index = variants.index(cell)
+        return variants[index - 1] if index > 0 else None
+
+    def default_variant(self, function: CellFunction) -> CellType:
+        """The X2 variant used by the netlist generator as a starting size."""
+        for cell in self.variants(function):
+            if cell.drive == 2:
+                return cell
+        return self.variants(function)[0]
+
+
+def build_library(node_name: str) -> Library:
+    """Characterize every (function, drive) pair at ``node_name``."""
+    node = get_node(node_name)
+    cells = {}
+    for function in CellFunction:
+        for drive in DRIVE_STRENGTHS:
+            cell = characterize(function, drive, node)
+            cells[cell.name] = cell
+    return Library(node=node, cells=cells)

@@ -1,0 +1,95 @@
+"""Technology nodes and their first-order scaling rules.
+
+The paper evaluates designs "from 45 nm to sub-10 nm processes".  We model
+five representative nodes.  Scaling follows classic Dennard-flavoured rules
+with a leakage knee at small geometries: gate delay and dynamic energy shrink
+with feature size while leakage *fraction* grows, and wire resistance per
+micron grows sharply below 16 nm — these trends are what make some of the 17
+design profiles leakage-dominant or wire-dominated, which in turn is what the
+Table I insights detect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import LibraryError
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """A technology node and its scaling parameters.
+
+    Attributes:
+        name: Human-readable node name, e.g. ``"7nm"``.
+        feature_nm: Drawn feature size in nanometres.
+        vdd: Supply voltage in volts.
+        gate_delay_ps: Intrinsic FO4-ish inverter delay in picoseconds.
+        unit_cell_area_um2: Area of a unit-drive inverter in square microns.
+        wire_res_ohm_per_um: Wire resistance per micron (average layer).
+        wire_cap_ff_per_um: Wire capacitance per micron in femtofarads.
+        leakage_nw_per_gate: Leakage of a unit inverter in nanowatts.
+        switch_energy_fj: Dynamic energy per unit-inverter toggle in fJ.
+        track_pitch_um: Routing track pitch, used by the global router to
+            size per-tile capacity.
+    """
+
+    name: str
+    feature_nm: float
+    vdd: float
+    gate_delay_ps: float
+    unit_cell_area_um2: float
+    wire_res_ohm_per_um: float
+    wire_cap_ff_per_um: float
+    leakage_nw_per_gate: float
+    switch_energy_fj: float
+    track_pitch_um: float
+
+    @property
+    def is_finfet(self) -> bool:
+        """FinFET nodes (<= 16 nm) have different leakage/drive behaviour."""
+        return self.feature_nm <= 16.0
+
+
+TECH_NODES: Dict[str, TechNode] = {
+    "45nm": TechNode(
+        name="45nm", feature_nm=45.0, vdd=1.10, gate_delay_ps=28.0,
+        unit_cell_area_um2=1.30, wire_res_ohm_per_um=1.8,
+        wire_cap_ff_per_um=0.20, leakage_nw_per_gate=90.0,
+        switch_energy_fj=1.80, track_pitch_um=0.14,
+    ),
+    "28nm": TechNode(
+        name="28nm", feature_nm=28.0, vdd=0.95, gate_delay_ps=17.0,
+        unit_cell_area_um2=0.55, wire_res_ohm_per_um=3.2,
+        wire_cap_ff_per_um=0.19, leakage_nw_per_gate=150.0,
+        switch_energy_fj=0.85, track_pitch_um=0.10,
+    ),
+    "16nm": TechNode(
+        name="16nm", feature_nm=16.0, vdd=0.80, gate_delay_ps=11.0,
+        unit_cell_area_um2=0.21, wire_res_ohm_per_um=7.5,
+        wire_cap_ff_per_um=0.18, leakage_nw_per_gate=120.0,
+        switch_energy_fj=0.38, track_pitch_um=0.064,
+    ),
+    "10nm": TechNode(
+        name="10nm", feature_nm=10.0, vdd=0.75, gate_delay_ps=8.5,
+        unit_cell_area_um2=0.11, wire_res_ohm_per_um=14.0,
+        wire_cap_ff_per_um=0.17, leakage_nw_per_gate=140.0,
+        switch_energy_fj=0.22, track_pitch_um=0.044,
+    ),
+    "7nm": TechNode(
+        name="7nm", feature_nm=7.0, vdd=0.70, gate_delay_ps=6.8,
+        unit_cell_area_um2=0.065, wire_res_ohm_per_um=22.0,
+        wire_cap_ff_per_um=0.16, leakage_nw_per_gate=170.0,
+        switch_energy_fj=0.15, track_pitch_um=0.040,
+    ),
+}
+
+
+def get_node(name: str) -> TechNode:
+    """Look up a node by name, raising :class:`LibraryError` if unknown."""
+    try:
+        return TECH_NODES[name]
+    except KeyError:
+        known = ", ".join(sorted(TECH_NODES))
+        raise LibraryError(f"unknown technology node {name!r}; known: {known}") from None

@@ -1,0 +1,55 @@
+"""Timing constraints: clock period, I/O delays, flop setup/hold windows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FlowError
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class TimingConstraints:
+    """Constraint set for one clock domain.
+
+    Attributes:
+        period_ps: Clock period.
+        input_delay_ps: Arrival of primary inputs relative to clock edge.
+        output_delay_ps: Required margin at primary outputs.
+        setup_ps: Flop setup window (data stable before capture edge).
+        hold_ps: Flop hold window (data stable after capture edge).
+        clock_uncertainty_ps: Jitter/OCV guard band subtracted from the
+            setup budget and added to the hold requirement.
+    """
+
+    period_ps: float
+    input_delay_ps: float
+    output_delay_ps: float
+    setup_ps: float
+    hold_ps: float
+    clock_uncertainty_ps: float
+
+    def __post_init__(self) -> None:
+        if self.period_ps <= 0:
+            raise FlowError(f"non-positive clock period {self.period_ps}")
+
+
+def default_constraints(netlist: Netlist) -> TimingConstraints:
+    """Derive constraints from the netlist's clock and technology node.
+
+    Setup/hold windows scale with the node's gate delay (roughly 2 gate
+    delays of setup, under one of hold), uncertainty is ~1.5% of the period —
+    conventional signoff-ish proportions.
+    """
+    if netlist.clock is None:
+        raise FlowError(f"{netlist.name}: no clock defined")
+    node = netlist.library.node
+    period = netlist.clock.period_ps
+    return TimingConstraints(
+        period_ps=period,
+        input_delay_ps=0.15 * period,
+        output_delay_ps=0.10 * period,
+        setup_ps=2.0 * node.gate_delay_ps,
+        hold_ps=0.7 * node.gate_delay_ps,
+        clock_uncertainty_ps=0.015 * period,
+    )

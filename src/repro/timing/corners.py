@@ -1,0 +1,135 @@
+"""Multi-corner timing analysis (SS / TT / FF signoff).
+
+Real signoff checks setup at the slow corner and hold at the fast corner.
+Corners are modeled as global (delay, leakage) scale pairs relative to the
+typical library characterization — the standard first-order PVT treatment:
+slow silicon + low voltage + high temperature stretches delays and tempers
+leakage; fast silicon does the opposite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.cts.tree import ClockTree
+from repro.errors import FlowError
+from repro.netlist.netlist import Netlist
+from repro.timing.constraints import TimingConstraints
+from repro.timing.sta import TimingReport, run_sta
+
+
+@dataclass(frozen=True)
+class Corner:
+    """One PVT corner: global derating factors vs. typical.
+
+    Attributes:
+        name: Corner label (``"ss"``, ``"tt"``, ``"ff"``).
+        delay_scale: Gate-delay multiplier (> 1 = slower silicon).
+        leakage_scale: Leakage multiplier (fast silicon leaks more).
+        uncertainty_scale: Extra OCV guard band applied to the clock
+            uncertainty at this corner.
+    """
+
+    name: str
+    delay_scale: float
+    leakage_scale: float
+    uncertainty_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.delay_scale <= 0 or self.leakage_scale <= 0:
+            raise FlowError(f"corner {self.name}: scales must be positive")
+
+
+DEFAULT_CORNERS: Tuple[Corner, ...] = (
+    Corner(name="ss", delay_scale=1.14, leakage_scale=0.55,
+           uncertainty_scale=1.25),
+    Corner(name="tt", delay_scale=1.00, leakage_scale=1.00),
+    Corner(name="ff", delay_scale=0.87, leakage_scale=2.10,
+           uncertainty_scale=1.25),
+)
+
+
+@dataclass
+class MultiCornerReport:
+    """Per-corner reports plus the signoff summary."""
+
+    reports: Dict[str, TimingReport]
+
+    @property
+    def setup_corner(self) -> str:
+        """Corner with the worst setup WNS."""
+        return min(self.reports, key=lambda c: self.reports[c].wns_ps)
+
+    @property
+    def hold_corner(self) -> str:
+        """Corner with the worst hold WNS."""
+        return min(self.reports, key=lambda c: self.reports[c].hold_wns_ps)
+
+    @property
+    def signoff_wns_ps(self) -> float:
+        return self.reports[self.setup_corner].wns_ps
+
+    @property
+    def signoff_hold_wns_ps(self) -> float:
+        return self.reports[self.hold_corner].hold_wns_ps
+
+    @property
+    def signoff_tns_ps(self) -> float:
+        return max(r.tns_ps for r in self.reports.values())
+
+    def meets_all_corners(self) -> bool:
+        return self.signoff_wns_ps >= 0.0 and self.signoff_hold_wns_ps >= 0.0
+
+
+def run_multi_corner_sta(
+    netlist: Netlist,
+    constraints: TimingConstraints,
+    clock_tree: Optional[ClockTree] = None,
+    corners: Tuple[Corner, ...] = DEFAULT_CORNERS,
+    base_delay_scale: float = 1.0,
+) -> MultiCornerReport:
+    """Run STA at every corner; clock-tree latencies scale with delay.
+
+    ``base_delay_scale`` composes with each corner (e.g. a Vt-swap bias
+    already applied to the typical corner).
+    """
+    if not corners:
+        raise FlowError("need at least one corner")
+    import dataclasses
+
+    reports: Dict[str, TimingReport] = {}
+    for corner in corners:
+        corner_constraints = dataclasses.replace(
+            constraints,
+            clock_uncertainty_ps=(
+                constraints.clock_uncertainty_ps * corner.uncertainty_scale
+            ),
+        )
+        tree = clock_tree
+        if clock_tree is not None and corner.delay_scale != 1.0:
+            # Clock distribution slows down with the data path: scale the
+            # insertion latencies (and useful skew) by the corner factor.
+            tree = ClockTree(
+                sink_names=list(clock_tree.sink_names),
+                latency_ps={
+                    name: value * corner.delay_scale
+                    for name, value in clock_tree.latency_ps.items()
+                },
+                buffer_count=clock_tree.buffer_count,
+                tree_depth=clock_tree.tree_depth,
+                wirelength_um=clock_tree.wirelength_um,
+                total_buffer_cap_ff=clock_tree.total_buffer_cap_ff,
+                total_wire_cap_ff=clock_tree.total_wire_cap_ff,
+                useful_skew_ps={
+                    name: value * corner.delay_scale
+                    for name, value in clock_tree.useful_skew_ps.items()
+                },
+            )
+        reports[corner.name] = run_sta(
+            netlist,
+            corner_constraints,
+            tree,
+            delay_scale=base_delay_scale * corner.delay_scale,
+        )
+    return MultiCornerReport(reports=reports)

@@ -1,0 +1,89 @@
+"""Timing-graph construction: per-cell loads, arc delays, topological order.
+
+The graph is rebuilt cheaply after any sizing change; arc delay follows the
+library's linear model (intrinsic + drive resistance x load) plus the net's
+Elmore wire delay annotated by placement/routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.netlist.netlist import Netlist
+
+
+@dataclass
+class TimingGraph:
+    """Flattened timing graph over combinational cells.
+
+    Attributes:
+        order: Combinational cells in topological order.
+        fanin: cell -> list of (driver_cell, wire_delay_ps); drivers may be
+            sequential (launch points).  Arcs carry *wire* delay only; the
+            driver's gate delay lives in its own arrival time and the sink's
+            gate delay is added when computing the sink's arrival.
+        output_load_ff: cell -> capacitive load on its output.
+        cell_delay_ps: cell -> its own gate delay (intrinsic + R*C load).
+        endpoint_fanin: register -> list of (driver_cell, wire_delay_ps)
+            feeding its D pin.
+    """
+
+    order: List[str]
+    fanin: Dict[str, List[Tuple[str, float]]]
+    output_load_ff: Dict[str, float]
+    cell_delay_ps: Dict[str, float]
+    endpoint_fanin: Dict[str, List[Tuple[str, float]]] = field(default_factory=dict)
+
+
+def output_load_ff(netlist: Netlist, cell_name: str) -> float:
+    """Capacitive load on a cell's output: wire cap + sink pin caps."""
+    net = netlist.net_of_output(cell_name)
+    if net is None:
+        return 0.0
+    load = net.wire_cap_ff
+    for sink, pin in net.sinks:
+        if pin >= 0:
+            load += netlist.cells[sink].cell_type.input_cap_ff
+    return load
+
+
+def build_timing_graph(netlist: Netlist, delay_scale: float = 1.0) -> TimingGraph:
+    """Construct the timing graph from current sizes and parasitics.
+
+    ``delay_scale`` uniformly scales gate delays — the Vt-mix lever (more
+    low-Vt = faster and leakier, modeled as scale < 1 with a leakage bias
+    applied by the power engine).
+    """
+    order = netlist.topological_order()
+    loads: Dict[str, float] = {}
+    delays: Dict[str, float] = {}
+    for name, cell in netlist.cells.items():
+        if cell.is_clock_cell:
+            continue
+        load = output_load_ff(netlist, name)
+        loads[name] = load
+        delays[name] = cell.cell_type.delay_ps(load) * delay_scale
+
+    fanin: Dict[str, List[Tuple[str, float]]] = {name: [] for name in order}
+    endpoint_fanin: Dict[str, List[Tuple[str, float]]] = {
+        cell.name: [] for cell in netlist.sequential_cells()
+    }
+    for driver, net_name, sink in netlist.iter_timing_arcs():
+        net = netlist.nets[net_name]
+        driver_cell = netlist.cells[driver]
+        if driver_cell.is_clock_cell:
+            continue
+        arc = net.wire_delay_ps
+        sink_cell = netlist.cells[sink]
+        if sink_cell.is_sequential:
+            endpoint_fanin[sink].append((driver, arc))
+        elif not sink_cell.is_clock_cell:
+            fanin[sink].append((driver, arc))
+    return TimingGraph(
+        order=order,
+        fanin=fanin,
+        output_load_ff=loads,
+        cell_delay_ps=delays,
+        endpoint_fanin=endpoint_fanin,
+    )

@@ -1,0 +1,6 @@
+"""Shared utilities: seeded RNG helpers and summary statistics."""
+
+from repro.utils.rng import derive_rng, spawn_rngs
+from repro.utils.stats import robust_zscores, running_mean, summarize
+
+__all__ = ["derive_rng", "spawn_rngs", "robust_zscores", "running_mean", "summarize"]

@@ -1,0 +1,63 @@
+"""Small statistics helpers used across the flow simulator and evaluation."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+
+def robust_zscores(values: np.ndarray, epsilon: float = 1e-9) -> np.ndarray:
+    """Z-normalize ``values``; degenerate (constant) columns map to zeros.
+
+    Works on 1-D arrays or 2-D arrays column-wise, matching how the paper's
+    compound QoR score (eq. 4) normalizes each metric over all datapoints of
+    the same design.  The degeneracy threshold is *relative* to the column
+    magnitude so float rounding noise on large constants doesn't explode.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    mean = array.mean(axis=0)
+    std = array.std(axis=0)
+    floor = epsilon * np.maximum(1.0, np.abs(mean))
+    degenerate = std < floor
+    safe_std = np.where(degenerate, 1.0, std)
+    scores = (array - mean) / safe_std
+    return np.where(degenerate, 0.0, scores)
+
+
+def running_mean(values: Iterable[float]) -> np.ndarray:
+    """Cumulative mean of a sequence (used for online-learning trajectories)."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return array
+    return np.cumsum(array) / np.arange(1, array.size + 1)
+
+
+def summarize(values: Iterable[float]) -> Dict[str, float]:
+    """Five-number-ish summary used in bench reports."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return {"count": 0, "mean": float("nan"), "std": float("nan"),
+                "min": float("nan"), "max": float("nan"), "median": float("nan")}
+    return {
+        "count": int(array.size),
+        "mean": float(array.mean()),
+        "std": float(array.std()),
+        "min": float(array.min()),
+        "max": float(array.max()),
+        "median": float(np.median(array)),
+    }
+
+
+def exponential_smoothing(values: Iterable[float], alpha: float = 0.3) -> np.ndarray:
+    """EWMA used by insight analyzers to track fluctuating stage metrics."""
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return array
+    smoothed = np.empty_like(array)
+    smoothed[0] = array[0]
+    for index in range(1, array.size):
+        smoothed[index] = alpha * array[index] + (1.0 - alpha) * smoothed[index - 1]
+    return smoothed

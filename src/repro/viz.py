@@ -1,0 +1,85 @@
+"""Terminal visualization: ASCII heatmaps and sparklines (no matplotlib).
+
+Renders the simulator's 2-D fields (congestion, density) and 1-D series
+(online trajectories) directly in a terminal — used by the CLI's
+``run-flow`` deep-dive and convenient in headless environments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+_SHADES = " .:-=+*#%@"
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def ascii_heatmap(
+    grid: np.ndarray,
+    title: str = "",
+    vmin: Optional[float] = None,
+    vmax: Optional[float] = None,
+    legend: bool = True,
+) -> str:
+    """Render a 2-D array as an ASCII shade map (row 0 at the bottom).
+
+    Values map linearly onto ten shade characters; NaNs render as '?'.
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim != 2:
+        raise ValueError(f"expected 2-D grid, got shape {grid.shape}")
+    finite = grid[np.isfinite(grid)]
+    low = vmin if vmin is not None else (finite.min() if finite.size else 0.0)
+    high = vmax if vmax is not None else (finite.max() if finite.size else 1.0)
+    span = max(high - low, 1e-12)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row in grid[::-1]:
+        chars = []
+        for value in row:
+            if not np.isfinite(value):
+                chars.append("?")
+                continue
+            level = int(np.clip((value - low) / span, 0.0, 1.0)
+                        * (len(_SHADES) - 1))
+            chars.append(_SHADES[level])
+        lines.append("|" + "".join(chars) + "|")
+    if legend:
+        lines.append(f"scale: '{_SHADES[0]}'={low:.3g} .. "
+                     f"'{_SHADES[-1]}'={high:.3g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of a numeric series."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return ""
+    low, high = float(array.min()), float(array.max())
+    span = max(high - low, 1e-12)
+    return "".join(
+        _SPARKS[int(np.clip((v - low) / span, 0, 1) * (len(_SPARKS) - 1))]
+        for v in array
+    )
+
+
+def trajectory_panel(
+    labels: Sequence[str], series: Sequence[Sequence[float]]
+) -> str:
+    """Aligned multi-series sparkline panel with first/last annotations."""
+    if len(labels) != len(series):
+        raise ValueError("labels and series length mismatch")
+    width = max((len(label) for label in labels), default=0)
+    lines = []
+    for label, values in zip(labels, series):
+        values = list(values)
+        if not values:
+            lines.append(f"{label:<{width}}  (empty)")
+            continue
+        lines.append(
+            f"{label:<{width}}  {sparkline(values)}  "
+            f"{values[0]:.3g} -> {values[-1]:.3g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Shared fixtures: small designs and a session-scoped mini archive.
+
+Tests run against *small* synthetic designs (hundreds of cells) so the whole
+suite stays fast; the full 17-profile, ~3,000-point archive is exercised by
+the benchmark harness instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.alignment import AlignmentConfig, AlignmentTrainer
+from repro.core.dataset import build_offline_dataset
+from repro.flow.parameters import FlowParameters
+from repro.flow.runner import run_flow
+from repro.netlist.generator import generate_netlist
+from repro.netlist.profiles import DesignProfile, get_profile
+from repro.placement.placer import PlacerParams, place
+
+
+def tiny_profile(name: str = "T1", **overrides) -> DesignProfile:
+    """A fast-to-simulate profile for unit tests."""
+    base = dict(
+        name=name,
+        category="unit-test design",
+        node="28nm",
+        sim_gate_count=160,
+        reported_scale=1.0,
+        logic_depth=5,
+        register_ratio=0.25,
+        avg_fanout=2.2,
+        high_fanout_fraction=0.04,
+        cluster_count=3,
+        macro_count=1,
+        activity=0.15,
+        clock_tightness=1.15,
+        utilization=0.6,
+        hold_risk=0.15,
+        leakage_bias=1.0,
+        skew_sensitivity=0.5,
+    )
+    base.update(overrides)
+    return DesignProfile(**base)
+
+
+@pytest.fixture(scope="session")
+def small_profile() -> DesignProfile:
+    return tiny_profile()
+
+
+@pytest.fixture(scope="session")
+def small_netlist(small_profile):
+    return generate_netlist(small_profile, seed=7)
+
+
+@pytest.fixture()
+def fresh_netlist(small_profile):
+    """A mutable copy for tests that modify the design."""
+    return generate_netlist(small_profile, seed=7)
+
+
+@pytest.fixture(scope="session")
+def placed_netlist(small_profile):
+    netlist = generate_netlist(small_profile, seed=7)
+    result = place(netlist, PlacerParams(), seed=7)
+    return netlist, result
+
+
+@pytest.fixture(scope="session")
+def flow_result(small_profile):
+    return run_flow(small_profile, FlowParameters(), seed=7)
+
+
+@pytest.fixture(scope="session")
+def mini_dataset():
+    """Tiny offline archive over three real profiles (cached per session)."""
+    return build_offline_dataset(
+        designs=["D6", "D10", "D11"],
+        sets_per_design=48,
+        seed=11,
+        processes=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def mini_model(mini_dataset):
+    """A briefly-aligned model over the mini archive."""
+    config = AlignmentConfig(
+        epochs=6, pairs_per_design=80, batch_size=96, seed=11
+    )
+    model, history = AlignmentTrainer(config).train(mini_dataset)
+    return model, history

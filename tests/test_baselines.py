@@ -1,0 +1,136 @@
+"""Tests for the baseline tuners (BO, ACO, MF, RL, random)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AntColonyTuner,
+    BayesOptTuner,
+    MatrixFactorRecommender,
+    PolicyGradientTuner,
+    RandomSearchTuner,
+)
+from repro.baselines.common import CachingObjective, EvalRecord, TuningBudget
+from repro.errors import TrainingError
+
+
+def planted_objective(good=(3, 7, 21, 30), penalty=0.3):
+    """Reward overlap with a planted optimum; deterministic."""
+
+    def objective(bits):
+        selected = {i for i, b in enumerate(bits) if b}
+        return float(
+            len(selected & set(good)) - penalty * len(selected - set(good))
+        )
+
+    return objective
+
+
+class TestCommon:
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            TuningBudget(evaluations=0)
+
+    def test_record_best(self):
+        record = EvalRecord()
+        record.add((0, 1), 1.0)
+        record.add((1, 0), 3.0)
+        assert record.best_score == 3.0
+        assert record.best_recipe_set == (1, 0)
+        assert np.array_equal(record.best_so_far(), [1.0, 3.0])
+
+    def test_empty_record_raises(self):
+        with pytest.raises(ValueError):
+            EvalRecord().best_recipe_set
+
+    def test_caching_objective(self):
+        calls = CachingObjective(planted_objective())
+        bits = tuple([0] * 40)
+        calls(bits)
+        calls(bits)
+        assert calls.calls == 1
+
+
+class TestTunersOnPlanted:
+    @pytest.mark.parametrize("tuner_cls", [
+        RandomSearchTuner, BayesOptTuner, AntColonyTuner, PolicyGradientTuner,
+    ])
+    def test_respects_budget(self, tuner_cls):
+        record = tuner_cls(seed=2).tune(
+            planted_objective(), TuningBudget(evaluations=15)
+        )
+        assert len(record) == 15
+
+    @pytest.mark.parametrize("tuner_cls", [
+        RandomSearchTuner, BayesOptTuner, AntColonyTuner, PolicyGradientTuner,
+    ])
+    def test_deterministic(self, tuner_cls):
+        r1 = tuner_cls(seed=3).tune(planted_objective(), TuningBudget(20))
+        r2 = tuner_cls(seed=3).tune(planted_objective(), TuningBudget(20))
+        assert r1.recipe_sets == r2.recipe_sets
+
+    @pytest.mark.parametrize("tuner_cls", [
+        RandomSearchTuner, BayesOptTuner, AntColonyTuner, PolicyGradientTuner,
+    ])
+    def test_no_duplicate_evaluations(self, tuner_cls):
+        record = tuner_cls(seed=4).tune(planted_objective(), TuningBudget(30))
+        assert len(set(record.recipe_sets)) == len(record.recipe_sets)
+
+    def test_bo_beats_random(self):
+        objective = planted_objective()
+        budget = TuningBudget(evaluations=40)
+        bo = BayesOptTuner(seed=5).tune(objective, budget)
+        rand = RandomSearchTuner(seed=5).tune(objective, budget)
+        assert bo.best_score >= rand.best_score
+
+    def test_rl_learns_direction(self):
+        objective = planted_objective(good=(0, 1), penalty=0.5)
+        record = PolicyGradientTuner(seed=6).tune(objective, TuningBudget(60))
+        # Later proposals should concentrate on the planted bits.
+        late = record.recipe_sets[-10:]
+        hits = sum(bits[0] + bits[1] for bits in late)
+        early = record.recipe_sets[:10]
+        early_hits = sum(bits[0] + bits[1] for bits in early)
+        assert hits >= early_hits
+
+    def test_aco_validation(self):
+        with pytest.raises(ValueError):
+            AntColonyTuner(evaporation=1.5)
+
+
+class TestMatrixFactor:
+    def test_fit_predict_recommend(self, mini_dataset):
+        mf = MatrixFactorRecommender(iterations=8, seed=1).fit(mini_dataset)
+        score = mf.predict("D6", tuple([0] * 40))
+        assert np.isfinite(score)
+        recs = mf.recommend("D6", k=4, candidate_pool=100)
+        assert len(recs) == 4
+        assert all(len(r) == 40 for r in recs)
+
+    def test_unseen_design_falls_back(self, mini_dataset):
+        mf = MatrixFactorRecommender(iterations=5, seed=1).fit(mini_dataset)
+        score = mf.predict("D999", tuple([0] * 40))
+        assert np.isfinite(score)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(TrainingError):
+            MatrixFactorRecommender().predict("D6", tuple([0] * 40))
+
+    def test_empty_dataset_raises(self):
+        from repro.core.dataset import OfflineDataset
+
+        with pytest.raises(TrainingError):
+            MatrixFactorRecommender().fit(OfflineDataset(points=[], insights={}))
+
+    def test_correlation_with_truth(self, mini_dataset):
+        """Predicted scores correlate positively with actual on seen designs."""
+        mf = MatrixFactorRecommender(iterations=20, seed=1).fit(mini_dataset)
+        truths = []
+        preds = []
+        for design in mini_dataset.designs():
+            scores = mini_dataset.scores_for(design)
+            for point, score in zip(mini_dataset.by_design(design), scores):
+                truths.append(score)
+                preds.append(mf.predict(design, point.recipe_set))
+        corr = np.corrcoef(truths, preds)[0, 1]
+        assert corr > 0.2

@@ -1,0 +1,150 @@
+"""Tests for the FIST and transfer-BO baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import CachingObjective, TuningBudget
+from repro.baselines.fist import (
+    FistTuner,
+    RegressionTree,
+    TreeEnsemble,
+    recipe_importance,
+)
+from repro.baselines.transfer_bo import TransferBoTuner, fit_prior_mean
+from repro.utils.rng import derive_rng
+
+
+def planted_objective(good=(3, 7, 21, 30), penalty=0.3):
+    def objective(bits):
+        selected = {i for i, b in enumerate(bits) if b}
+        return float(
+            len(selected & set(good)) - penalty * len(selected - set(good))
+        )
+
+    return objective
+
+
+class TestRegressionTree:
+    def test_fits_separable_data(self):
+        rng = derive_rng(0, "tree")
+        features = rng.integers(0, 2, size=(200, 10)).astype(float)
+        targets = 3.0 * features[:, 2] - 1.0 * features[:, 5]
+        tree = RegressionTree(max_depth=4, rng=derive_rng(1, "t")).fit(
+            features, targets
+        )
+        errors = [
+            abs(tree.predict_one(f) - t) for f, t in zip(features, targets)
+        ]
+        assert np.mean(errors) < 1.0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict_one(np.zeros(4))
+
+    def test_ensemble_beats_constant(self):
+        rng = derive_rng(2, "ens")
+        features = rng.integers(0, 2, size=(300, 12)).astype(float)
+        targets = 2.0 * features[:, 0] + features[:, 1] * features[:, 2]
+        model = TreeEnsemble(n_trees=8, seed=0, max_depth=5).fit(
+            features, targets
+        )
+        predictions = np.array([model.predict_one(f) for f in features])
+        sse_model = ((predictions - targets) ** 2).mean()
+        sse_const = ((targets.mean() - targets) ** 2).mean()
+        assert sse_model < sse_const * 0.7
+
+
+class TestRecipeImportance:
+    def test_highlights_impactful_recipes(self, mini_dataset):
+        importance = recipe_importance(mini_dataset)
+        assert importance.shape == (40,)
+        assert importance.max() == pytest.approx(1.0)
+        assert np.all(importance >= 0.0)
+
+    def test_planted_importance(self):
+        """On a synthetic archive, the planted bit is the most important."""
+        from repro.core.dataset import DataPoint, OfflineDataset
+        from repro.insights.extractor import InsightVector
+        from repro.insights.schema import INSIGHT_DIMS
+
+        rng = derive_rng(3, "pi")
+        points = []
+        for _ in range(80):
+            bits = tuple(int(b) for b in rng.integers(0, 2, size=40))
+            qor = {
+                "power_mw": 10.0 - 5.0 * bits[7] + rng.normal(0, 0.2),
+                "tns_ns": 1.0,
+            }
+            points.append(DataPoint("X", bits, qor))
+        dataset = OfflineDataset(
+            points=points,
+            insights={"X": InsightVector(
+                "X", np.zeros(INSIGHT_DIMS), {}
+            )},
+        )
+        importance = recipe_importance(dataset)
+        assert int(np.argmax(importance)) == 7
+
+
+class TestFistTuner:
+    def test_respects_budget_and_dedups(self):
+        importance = np.zeros(40)
+        importance[[3, 7, 21, 30]] = 1.0
+        tuner = FistTuner(importance, seed=1)
+        record = tuner.tune(
+            CachingObjective(planted_objective()), TuningBudget(20)
+        )
+        assert len(record) == 20
+        assert len(set(record.recipe_sets)) == 20
+
+    def test_importance_bias_finds_planted_optimum_faster(self):
+        objective = planted_objective()
+        budget = TuningBudget(25)
+        informed = FistTuner(
+            np.eye(40)[[3, 7, 21, 30]].sum(axis=0), seed=2
+        ).tune(CachingObjective(objective), budget)
+        uninformed = FistTuner(np.zeros(40), seed=2).tune(
+            CachingObjective(objective), budget
+        )
+        assert informed.best_score >= uninformed.best_score
+
+
+class TestTransferBo:
+    def test_prior_fits_archive_signal(self, mini_dataset):
+        weights, intercept = fit_prior_mean(mini_dataset)
+        assert weights.shape == (40,)
+        assert np.isfinite(intercept)
+        # Prior predictions correlate with true scores on the archive.
+        truths, preds = [], []
+        for design in mini_dataset.designs():
+            scores = mini_dataset.scores_for(design)
+            for point, score in zip(mini_dataset.by_design(design), scores):
+                truths.append(score)
+                preds.append(
+                    np.asarray(point.recipe_set) @ weights + intercept
+                )
+        assert np.corrcoef(truths, preds)[0, 1] > 0.3
+
+    def test_tune_respects_budget(self):
+        rng = derive_rng(5, "tbo")
+        weights = rng.normal(0, 0.2, size=40)
+        tuner = TransferBoTuner(weights, 0.0, seed=3)
+        record = tuner.tune(
+            CachingObjective(planted_objective()), TuningBudget(15)
+        )
+        assert len(record) == 15
+        assert len(set(record.recipe_sets)) == 15
+
+    def test_good_prior_beats_flat_prior(self):
+        objective = planted_objective()
+        budget = TuningBudget(15)
+        good_weights = np.full(40, -0.3)
+        for index in (3, 7, 21, 30):
+            good_weights[index] = 1.0
+        informed = TransferBoTuner(good_weights, 0.0, seed=4).tune(
+            CachingObjective(objective), budget
+        )
+        flat = TransferBoTuner(np.zeros(40), 0.0, seed=4).tune(
+            CachingObjective(objective), budget
+        )
+        assert informed.best_score >= flat.best_score

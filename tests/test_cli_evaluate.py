@@ -1,0 +1,50 @@
+"""End-to-end CLI test covering the recommend --evaluate path."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestRecommendEvaluate:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli")
+        archive = root / "archive.pkl"
+        model = root / "model.npz"
+        assert main([
+            "build-dataset", "--out", str(archive),
+            "--designs", "D11,D16", "--sets-per-design", "15",
+        ]) == 0
+        assert main([
+            "align", "--dataset", str(archive), "--out", str(model),
+            "--epochs", "2", "--pairs-per-design", "20",
+        ]) == 0
+        return archive, model
+
+    def test_recommend_with_evaluation(self, artifacts, capsys):
+        archive, model = artifacts
+        assert main([
+            "recommend", "--model", str(model), "--dataset", str(archive),
+            "--design", "D11", "--k", "2", "--evaluate",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out.count("score") >= 2
+        assert "power" in out and "TNS" in out
+
+    def test_recommend_unknown_design_fails(self, artifacts):
+        archive, model = artifacts
+        from repro.errors import TrainingError
+
+        with pytest.raises(TrainingError):
+            main([
+                "recommend", "--model", str(model), "--dataset", str(archive),
+                "--design", "D99", "--k", "2",
+            ])
+
+    def test_saved_model_preserves_intention(self, artifacts):
+        from repro.core.recommender import InsightAlign
+
+        _, model = artifacts
+        restored = InsightAlign.load(model)
+        weights = {n: w for n, w, _ in restored.intention.metrics}
+        assert weights == {"power_mw": 0.7, "tns_ns": 0.3}

@@ -1,0 +1,105 @@
+"""Tests for the CLI and the text report renderers."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.flow.report import render_flow_summary, render_timing_report
+from repro.flow.runner import run_flow
+from repro.netlist.generator import generate_netlist
+
+from conftest import tiny_profile
+
+
+class TestReports:
+    def test_flow_summary_sections(self, flow_result):
+        text = render_flow_summary(flow_result)
+        for section in ("placement", "clock tree", "routing",
+                        "optimization", "signoff QoR", "power breakdown"):
+            assert section in text
+        assert flow_result.design in text
+
+    def test_timing_report_path_breakdown(self, small_profile):
+        result = run_flow(small_profile, seed=7)
+        netlist = generate_netlist(small_profile, seed=7)
+        text = render_timing_report(netlist, result.timing)
+        assert "WNS" in text and "TNS" in text
+        assert "worst path" in text
+        # At least launch and capture registers appear.
+        assert text.count("reg_") >= 1 or "holdbuf" in text
+
+
+class TestCliListing(object):
+    def test_list_designs(self, capsys):
+        assert main(["list", "designs"]) == 0
+        out = capsys.readouterr().out
+        assert "D1" in out and "D17" in out
+
+    def test_list_recipes(self, capsys):
+        assert main(["list", "recipes"]) == 0
+        out = capsys.readouterr().out
+        assert "cong_spread_wide" in out
+        assert "Clock tree" in out
+
+    def test_list_insights(self, capsys):
+        assert main(["list", "insights"]) == 0
+        out = capsys.readouterr().out
+        assert "weak_cell_pct" in out
+
+
+class TestCliFlow:
+    def test_run_flow_plain(self, capsys):
+        assert main(["run-flow", "D11"]) == 0
+        out = capsys.readouterr().out
+        assert "Flow summary: D11" in out
+        assert "signoff QoR" in out
+
+    def test_run_flow_with_recipes_and_reports(self, capsys):
+        code = main([
+            "run-flow", "D11", "--recipes",
+            "cts_tight_skew,intent_power_first", "--timing", "--insights",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Timing report" in out
+        assert "Congestion level" in out
+
+    def test_unknown_recipe_fails_loudly(self):
+        from repro.errors import RecipeError
+
+        with pytest.raises(RecipeError):
+            main(["run-flow", "D11", "--recipes", "no_such_recipe"])
+
+    def test_run_flow_heatmap(self, capsys):
+        assert main(["run-flow", "D11", "--heatmap"]) == 0
+        out = capsys.readouterr().out
+        assert "placement density" in out
+        assert "routing congestion" in out
+        assert "scale:" in out
+
+    def test_stats_command(self, capsys):
+        assert main(["stats", "D11"]) == 0
+        out = capsys.readouterr().out
+        assert "Netlist statistics: D11" in out
+        assert "rent exponent" in out
+
+
+class TestCliPipeline:
+    def test_dataset_align_recommend_roundtrip(self, tmp_path, capsys):
+        archive = tmp_path / "archive.pkl"
+        model = tmp_path / "model.npz"
+        assert main([
+            "build-dataset", "--out", str(archive),
+            "--designs", "D10,D11,D16", "--sets-per-design", "20",
+        ]) == 0
+        assert main([
+            "align", "--dataset", str(archive), "--out", str(model),
+            "--holdout", "D16", "--epochs", "2", "--pairs-per-design", "20",
+        ]) == 0
+        assert main([
+            "recommend", "--model", str(model), "--dataset", str(archive),
+            "--design", "D16", "--k", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "top-2 recipe sets for D16" in out
+        assert "logP" in out

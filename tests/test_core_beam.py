@@ -1,0 +1,110 @@
+"""Tests for beam search: optimality on small n, ordering, sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.beam import beam_search, greedy_decode, sample_decode
+from repro.core.model import InsightAlignModel
+from repro.core.policy import sequence_log_prob_value
+from repro.insights.schema import INSIGHT_DIMS
+from repro.utils.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def small_model():
+    return InsightAlignModel(n_recipes=7, dim=16, seed=12)
+
+
+@pytest.fixture(scope="module")
+def insight():
+    return np.random.default_rng(3).normal(size=(INSIGHT_DIMS,))
+
+
+def exhaustive_top_k(model, insight, k):
+    scored = []
+    n = model.n_recipes
+    for code in range(2 ** n):
+        bits = tuple((code >> i) & 1 for i in range(n))
+        scored.append((sequence_log_prob_value(model, insight, bits), bits))
+    scored.sort(reverse=True)
+    return scored[:k]
+
+
+class TestBeamSearch:
+    def test_full_width_is_exact(self, small_model, insight):
+        """With width >= 2^n the beam recovers the exact top-k."""
+        k = 5
+        exact = exhaustive_top_k(small_model, insight, k)
+        beams = beam_search(small_model, insight, beam_width=2 ** 7)
+        for (exact_score, exact_bits), candidate in zip(exact, beams[:k]):
+            assert candidate.log_prob == pytest.approx(exact_score, abs=1e-9)
+            assert candidate.recipe_set == exact_bits
+
+    def test_width5_finds_global_best(self, small_model, insight):
+        """Beam width 5 should find the argmax on this small model."""
+        exact_best = exhaustive_top_k(small_model, insight, 1)[0]
+        beam_best = beam_search(small_model, insight, beam_width=5)[0]
+        assert beam_best.log_prob == pytest.approx(exact_best[0], abs=1e-9)
+
+    def test_scores_match_policy(self, small_model, insight):
+        for candidate in beam_search(small_model, insight, beam_width=4):
+            recomputed = sequence_log_prob_value(
+                small_model, insight, candidate.recipe_set
+            )
+            assert candidate.log_prob == pytest.approx(recomputed, abs=1e-9)
+
+    def test_sorted_descending(self, small_model, insight):
+        beams = beam_search(small_model, insight, beam_width=6)
+        scores = [c.log_prob for c in beams]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_distinct_candidates(self, small_model, insight):
+        beams = beam_search(small_model, insight, beam_width=6)
+        sets = [c.recipe_set for c in beams]
+        assert len(set(sets)) == len(sets)
+
+    def test_bad_width_raises(self, small_model, insight):
+        with pytest.raises(ValueError):
+            beam_search(small_model, insight, beam_width=0)
+
+    def test_greedy_equals_width_one(self, small_model, insight):
+        greedy = greedy_decode(small_model, insight)
+        width1 = beam_search(small_model, insight, beam_width=1)[0]
+        assert greedy.recipe_set == width1.recipe_set
+
+    def test_wider_beam_never_worse(self, small_model, insight):
+        narrow = beam_search(small_model, insight, beam_width=1)[0]
+        wide = beam_search(small_model, insight, beam_width=8)[0]
+        assert wide.log_prob >= narrow.log_prob - 1e-12
+
+    def test_full_size_model_runs(self, insight):
+        model = InsightAlignModel(seed=0)
+        beams = beam_search(model, insight, beam_width=5)
+        assert len(beams) == 5
+        assert all(len(c.recipe_set) == 40 for c in beams)
+
+
+class TestSampling:
+    def test_sample_is_reproducible(self, small_model, insight):
+        a = sample_decode(small_model, insight, derive_rng(5, "s"))
+        b = sample_decode(small_model, insight, derive_rng(5, "s"))
+        assert a.recipe_set == b.recipe_set
+
+    def test_sample_logprob_consistent(self, small_model, insight):
+        candidate = sample_decode(small_model, insight, derive_rng(6, "s"))
+        recomputed = sequence_log_prob_value(
+            small_model, insight, candidate.recipe_set
+        )
+        assert candidate.log_prob == pytest.approx(recomputed, abs=1e-9)
+
+    def test_bad_temperature_raises(self, small_model, insight):
+        with pytest.raises(ValueError):
+            sample_decode(small_model, insight, derive_rng(0, "s"), temperature=0.0)
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(0, 100))
+    def test_samples_are_valid_sets(self, small_model, insight, seed):
+        candidate = sample_decode(small_model, insight, derive_rng(seed, "h"))
+        assert len(candidate.recipe_set) == small_model.n_recipes
+        assert set(candidate.recipe_set) <= {0, 1}

@@ -1,0 +1,109 @@
+"""Tests for the offline dataset: sampling plan, persistence, queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import (
+    DataPoint,
+    OfflineDataset,
+    build_offline_dataset,
+    sample_recipe_sets,
+)
+from repro.core.qor import QoRIntention
+from repro.errors import TrainingError
+from repro.insights.schema import INSIGHT_DIMS
+
+
+class TestSamplingPlan:
+    def test_starts_with_empty_and_singletons(self):
+        sets = sample_recipe_sets(40, 60, seed=0, design="D1")
+        assert sets[0] == tuple([0] * 40)
+        for index in range(1, 41):
+            assert sum(sets[index]) == 1
+
+    def test_deduplicated(self):
+        sets = sample_recipe_sets(40, 176, seed=0, design="D1")
+        assert len(set(sets)) == len(sets) == 176
+
+    def test_combo_sizes_bounded(self):
+        sets = sample_recipe_sets(40, 176, seed=0, design="D2")
+        for bits in sets[41:]:
+            assert 2 <= sum(bits) <= 6
+
+    def test_deterministic_per_design(self):
+        a = sample_recipe_sets(40, 100, seed=0, design="D3")
+        b = sample_recipe_sets(40, 100, seed=0, design="D3")
+        assert a == b
+
+    def test_designs_get_different_combos(self):
+        a = sample_recipe_sets(40, 100, seed=0, design="D3")
+        b = sample_recipe_sets(40, 100, seed=0, design="D4")
+        assert a[41:] != b[41:]
+
+
+class TestDataset:
+    def test_sizes(self, mini_dataset):
+        assert len(mini_dataset) == 3 * 48
+        assert set(mini_dataset.designs()) == {"D6", "D10", "D11"}
+
+    def test_insights_shape(self, mini_dataset):
+        for design in mini_dataset.designs():
+            assert mini_dataset.insight_for(design).shape == (INSIGHT_DIMS,)
+
+    def test_scores_zero_mean(self, mini_dataset):
+        for design in mini_dataset.designs():
+            scores = mini_dataset.scores_for(design)
+            assert abs(scores.mean()) < 1e-9
+
+    def test_best_known_is_argmax(self, mini_dataset):
+        point, score = mini_dataset.best_known("D6")
+        scores = mini_dataset.scores_for("D6")
+        assert score == pytest.approx(scores.max())
+        assert point.design == "D6"
+
+    def test_unknown_design_raises(self, mini_dataset):
+        with pytest.raises(TrainingError):
+            mini_dataset.by_design("D99")
+        with pytest.raises(TrainingError):
+            mini_dataset.insight_for("D99")
+
+    def test_restricted_to(self, mini_dataset):
+        sub = mini_dataset.restricted_to(["D6"])
+        assert sub.designs() == ["D6"]
+        assert len(sub) == 48
+        assert "D10" not in sub.insights
+
+    def test_save_load_roundtrip(self, mini_dataset, tmp_path):
+        path = tmp_path / "archive.pkl"
+        mini_dataset.save(path)
+        loaded = OfflineDataset.load(path)
+        assert len(loaded) == len(mini_dataset)
+        assert loaded.designs() == mini_dataset.designs()
+        np.testing.assert_allclose(
+            loaded.insight_for("D6"), mini_dataset.insight_for("D6")
+        )
+
+    def test_cache_path_short_circuits(self, mini_dataset, tmp_path):
+        path = tmp_path / "cache.pkl"
+        mini_dataset.save(path)
+        loaded = build_offline_dataset(
+            designs=["completely", "ignored"], cache_path=path
+        )
+        assert len(loaded) == len(mini_dataset)
+
+    def test_intention_changes_scores(self, mini_dataset):
+        default = mini_dataset.scores_for("D10")
+        tns_only = mini_dataset.scores_for(
+            "D10", QoRIntention(metrics=(("tns_ns", 1.0, False),))
+        )
+        assert not np.allclose(default, tns_only)
+
+    def test_qor_keys_complete(self, mini_dataset):
+        for point in mini_dataset.points[:10]:
+            assert {"tns_ns", "power_mw", "drc_count"} <= set(point.qor)
+
+    def test_recipe_effects_visible(self, mini_dataset):
+        """Different recipe sets must yield different QoR (non-degenerate)."""
+        for design in mini_dataset.designs():
+            powers = {p.qor["power_mw"] for p in mini_dataset.by_design(design)}
+            assert len(powers) > 10

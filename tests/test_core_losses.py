@@ -1,0 +1,177 @@
+"""Tests for DPO (eq. 1), margin-DPO (eq. 2) and the PPO surrogate."""
+
+import numpy as np
+import pytest
+
+from repro.core.dpo import dpo_loss, margin_dpo_loss, margin_dpo_loss_value
+from repro.core.model import InsightAlignModel
+from repro.core.policy import sequence_log_prob_value
+from repro.core.ppo import advantages_from_scores, ppo_loss
+from repro.insights.schema import INSIGHT_DIMS
+from repro.nn.optim import Adam
+
+
+@pytest.fixture()
+def model():
+    return InsightAlignModel(seed=8)
+
+
+@pytest.fixture(scope="module")
+def insight():
+    return np.random.default_rng(6).normal(size=(INSIGHT_DIMS,))
+
+
+def _sets(rng, count=2):
+    return [tuple(rng.integers(0, 2, size=40)) for _ in range(count)]
+
+
+class TestDpo:
+    def test_loss_positive(self, model, insight):
+        rng = np.random.default_rng(0)
+        winner, loser = _sets(rng)
+        loss = dpo_loss(model, insight, winner, loser)
+        assert loss.item() > 0
+
+    def test_antisymmetric_preference(self, model, insight):
+        rng = np.random.default_rng(0)
+        a, b = _sets(rng)
+        gap = sequence_log_prob_value(model, insight, a) - \
+            sequence_log_prob_value(model, insight, b)
+        loss_ab = dpo_loss(model, insight, a, b).item()
+        loss_ba = dpo_loss(model, insight, b, a).item()
+        # -log sigma(x) + -log sigma(-x) relation: both positive, ordered by gap.
+        if gap > 0:
+            assert loss_ab < loss_ba
+        else:
+            assert loss_ab >= loss_ba
+
+    def test_beta_sharpens(self, model, insight):
+        rng = np.random.default_rng(0)
+        a, b = _sets(rng)
+        soft = dpo_loss(model, insight, a, b, beta=0.1).item()
+        sharp = dpo_loss(model, insight, a, b, beta=5.0).item()
+        assert soft != sharp
+
+    def test_training_reduces_dpo_loss(self, model, insight):
+        rng = np.random.default_rng(1)
+        winner, loser = _sets(rng)
+        optimizer = Adam(model.parameters(), lr=5e-3)
+        initial = dpo_loss(model, insight, winner, loser).item()
+        for _ in range(30):
+            optimizer.zero_grad()
+            loss = dpo_loss(model, insight, winner, loser)
+            loss.backward()
+            optimizer.step()
+        final = dpo_loss(model, insight, winner, loser).item()
+        assert final < initial
+        gap = sequence_log_prob_value(model, insight, winner) - \
+            sequence_log_prob_value(model, insight, loser)
+        assert gap > 0
+
+
+class TestMarginDpo:
+    def test_zero_when_margin_satisfied(self, model, insight):
+        rng = np.random.default_rng(2)
+        a, b = _sets(rng)
+        # With identical QoRs the margin is 0; loss is hinge of -|gap| or
+        # +|gap| depending on sign — pick an ordering that satisfies it.
+        log_a = sequence_log_prob_value(model, insight, a)
+        log_b = sequence_log_prob_value(model, insight, b)
+        winner, loser = (a, b) if log_a > log_b else (b, a)
+        loss = margin_dpo_loss_value(
+            model, insight, winner, loser, qor_i=1.0, qor_j=0.999999, lam=0.0
+        )
+        assert loss == pytest.approx(0.0, abs=1e-9)
+
+    def test_grows_with_qor_gap(self, model, insight):
+        rng = np.random.default_rng(3)
+        a, b = _sets(rng)
+        small = margin_dpo_loss_value(model, insight, a, b, 1.0, 0.9, lam=2.0)
+        large = margin_dpo_loss_value(model, insight, a, b, 2.0, 0.0, lam=2.0)
+        assert large >= small
+
+    def test_symmetric_in_pair_order(self, model, insight):
+        """eq. 2 with (i, j) swapped gives the same loss."""
+        rng = np.random.default_rng(4)
+        a, b = _sets(rng)
+        loss_ij = margin_dpo_loss_value(model, insight, a, b, 1.5, 0.5)
+        loss_ji = margin_dpo_loss_value(model, insight, b, a, 0.5, 1.5)
+        assert loss_ij == pytest.approx(loss_ji, abs=1e-9)
+
+    def test_lambda_scales_margin(self, model, insight):
+        rng = np.random.default_rng(5)
+        a, b = _sets(rng)
+        lam0 = margin_dpo_loss_value(model, insight, a, b, 1.0, 0.0, lam=0.0)
+        lam4 = margin_dpo_loss_value(model, insight, a, b, 1.0, 0.0, lam=4.0)
+        assert lam4 >= lam0
+
+    def test_training_creates_required_gap(self, model, insight):
+        rng = np.random.default_rng(6)
+        winner, loser = _sets(rng)
+        lam, dq = 2.0, 0.8
+        optimizer = Adam(model.parameters(), lr=5e-3)
+        for _ in range(60):
+            optimizer.zero_grad()
+            loss = margin_dpo_loss(
+                model, insight, winner, loser, qor_i=dq, qor_j=0.0, lam=lam
+            )
+            if loss.item() == 0.0:
+                break
+            loss.backward()
+            optimizer.step()
+        gap = sequence_log_prob_value(model, insight, winner) - \
+            sequence_log_prob_value(model, insight, loser)
+        assert gap >= lam * dq - 0.2
+
+
+class TestPpo:
+    def test_positive_advantage_pushes_up(self, model, insight):
+        rng = np.random.default_rng(7)
+        (bits,) = _sets(rng, 1)
+        old = sequence_log_prob_value(model, insight, bits)
+        optimizer = Adam(model.parameters(), lr=2e-3)
+        for _ in range(10):
+            optimizer.zero_grad()
+            loss = ppo_loss(model, insight, bits, old, advantage=1.0)
+            loss.backward()
+            optimizer.step()
+        assert sequence_log_prob_value(model, insight, bits) > old
+
+    def test_negative_advantage_pushes_down(self, model, insight):
+        rng = np.random.default_rng(8)
+        (bits,) = _sets(rng, 1)
+        old = sequence_log_prob_value(model, insight, bits)
+        optimizer = Adam(model.parameters(), lr=2e-3)
+        for _ in range(10):
+            optimizer.zero_grad()
+            loss = ppo_loss(model, insight, bits, old, advantage=-1.0)
+            loss.backward()
+            optimizer.step()
+        assert sequence_log_prob_value(model, insight, bits) < old
+
+    def test_clipping_stops_gradient(self, model, insight):
+        rng = np.random.default_rng(9)
+        (bits,) = _sets(rng, 1)
+        # old_log_prob far below current -> ratio >> 1+eps -> clipped branch
+        old = sequence_log_prob_value(model, insight, bits) - 5.0
+        model.zero_grad()
+        loss = ppo_loss(model, insight, bits, old, advantage=1.0, clip_epsilon=0.2)
+        loss.backward()
+        max_grad = max(
+            (np.abs(p.grad).max() for p in model.parameters() if p.grad is not None),
+            default=0.0,
+        )
+        assert max_grad == pytest.approx(0.0, abs=1e-12)
+
+    def test_bad_clip_raises(self, model, insight):
+        with pytest.raises(ValueError):
+            ppo_loss(model, insight, tuple([0] * 40), 0.0, 1.0, clip_epsilon=0.0)
+
+    def test_advantages_centered(self):
+        adv = advantages_from_scores([1.0, 2.0, 3.0])
+        assert adv.mean() == pytest.approx(0.0, abs=1e-12)
+        assert adv.std() == pytest.approx(1.0, abs=1e-12)
+
+    def test_constant_scores_zero_advantage(self):
+        adv = advantages_from_scores([2.0, 2.0, 2.0])
+        assert np.all(adv == 0.0)

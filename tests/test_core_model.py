@@ -1,0 +1,126 @@
+"""Tests for the InsightAlign model (Table III) and sequence likelihoods."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import SOS_TOKEN, InsightAlignModel
+from repro.core.policy import (
+    sequence_log_prob,
+    sequence_log_prob_value,
+    step_log_probs,
+)
+from repro.errors import ModelError
+from repro.insights.schema import INSIGHT_DIMS
+
+
+@pytest.fixture(scope="module")
+def model():
+    return InsightAlignModel(seed=5)
+
+
+@pytest.fixture(scope="module")
+def insight():
+    return np.random.default_rng(2).normal(size=(INSIGHT_DIMS,))
+
+
+class TestArchitecture:
+    def test_table3_dimensions(self, model):
+        summary = model.architecture_summary()
+        assert summary["decision_token_embedding"]["input"] == (40, 3)
+        assert summary["decision_token_embedding"]["output"] == (40, 32)
+        assert summary["insight_embedding"]["input"] == (1, 72)
+        assert summary["insight_embedding"]["output"] == (1, 32)
+        assert summary["transformer_decoder"]["output"] == (40, 1)
+        assert summary["probabilistic"]["type"] == "Sigmoid x40"
+
+    def test_sos_token_value(self):
+        assert SOS_TOKEN == 2
+
+    def test_bad_insight_shape(self, model):
+        with pytest.raises(ModelError, match="insight shape"):
+            model.logits(np.zeros(10))
+
+    def test_bad_decisions(self, model, insight):
+        with pytest.raises(ModelError, match="binary"):
+            model.logits(insight, np.full(40, 2))
+        with pytest.raises(ModelError, match="decisions shape"):
+            model.logits(insight, np.zeros(20, dtype=np.int64))
+
+    def test_probabilities_in_unit_interval(self, model, insight):
+        probs = model.probabilities(insight)
+        assert probs.shape == (40,)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_bad_n_recipes(self):
+        with pytest.raises(ModelError):
+            InsightAlignModel(n_recipes=0)
+
+
+class TestAutoregression:
+    def test_causality(self, model, insight):
+        """Changing decision t must not change logits at steps <= t."""
+        base = model.logits(insight, np.zeros(40, dtype=np.int64)).numpy()
+        flipped = np.zeros(40, dtype=np.int64)
+        flipped[20] = 1
+        modified = model.logits(insight, flipped).numpy()
+        np.testing.assert_allclose(base[:21], modified[:21], atol=1e-12)
+        assert not np.allclose(base[21:], modified[21:])
+
+    def test_insight_conditioning(self, model, insight):
+        other = insight + 1.0
+        a = model.logits(insight).numpy()
+        b = model.logits(other).numpy()
+        assert not np.allclose(a, b)
+
+    def test_batched_equals_single(self, model, insight):
+        rng = np.random.default_rng(0)
+        decisions = rng.integers(0, 2, size=(5, 40))
+        insights = np.stack([insight + i for i in range(5)])
+        batched = model.batched_logits(insights, decisions).numpy()
+        for row in range(5):
+            single = model.logits(insights[row], decisions[row]).numpy()
+            np.testing.assert_allclose(single, batched[row], atol=1e-10)
+
+    def test_batched_shape_errors(self, model, insight):
+        with pytest.raises(ModelError):
+            model.batched_logits(insight, np.zeros((1, 40), dtype=np.int64))
+
+
+class TestSequenceLikelihood:
+    def test_eq3_sums_step_logprobs(self, model, insight):
+        rng = np.random.default_rng(1)
+        decisions = rng.integers(0, 2, size=40)
+        total = sequence_log_prob_value(model, insight, decisions)
+        steps = step_log_probs(model, insight, decisions)
+        assert total == pytest.approx(steps.sum(), abs=1e-9)
+
+    def test_log_prob_is_negative(self, model, insight):
+        decisions = np.zeros(40, dtype=np.int64)
+        assert sequence_log_prob_value(model, insight, decisions) < 0
+
+    def test_complementary_probs_sum_to_one(self, model, insight):
+        """At each step P(1) + P(0) = 1 under the same prefix."""
+        decisions = np.zeros(40, dtype=np.int64)
+        logits = model.logits(insight, decisions).numpy()
+        p1 = 1 / (1 + np.exp(-logits))
+        steps_zero = step_log_probs(model, insight, decisions)
+        np.testing.assert_allclose(np.exp(steps_zero), 1 - p1, atol=1e-9)
+
+    def test_gradient_flows(self, model, insight):
+        decisions = np.ones(40, dtype=np.int64)
+        model.zero_grad()
+        loss = -sequence_log_prob(model, insight, decisions)
+        loss.backward()
+        grads = [p.grad for p in model.parameters()]
+        assert all(g is not None for g in grads)
+        assert any(np.abs(g).max() > 0 for g in grads)
+
+    def test_distribution_normalizes_over_sequences(self):
+        """Sum of P(R) over all 2^n sequences equals 1 (tiny n)."""
+        small = InsightAlignModel(n_recipes=6, dim=16, seed=9)
+        insight = np.random.default_rng(4).normal(size=(INSIGHT_DIMS,))
+        total = 0.0
+        for code in range(2 ** 6):
+            bits = [(code >> k) & 1 for k in range(6)]
+            total += np.exp(sequence_log_prob_value(small, insight, bits))
+        assert total == pytest.approx(1.0, abs=1e-8)

@@ -1,0 +1,102 @@
+"""Tests for the compound QoR score (paper eq. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.qor import DesignNormalizer, QoRIntention, compound_scores
+from repro.errors import TrainingError
+
+
+def _qors(power, tns):
+    return [{"power_mw": p, "tns_ns": t} for p, t in zip(power, tns)]
+
+
+class TestIntention:
+    def test_default_matches_paper(self):
+        intention = QoRIntention()
+        weights = {name: (w, g) for name, w, g in intention.metrics}
+        assert weights["power_mw"] == (0.7, False)
+        assert weights["tns_ns"] == (0.3, False)
+
+    def test_empty_raises(self):
+        with pytest.raises(TrainingError):
+            QoRIntention(metrics=())
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(TrainingError):
+            QoRIntention(metrics=(("power_mw", -0.5, False),))
+
+
+class TestNormalizer:
+    def test_zero_datapoints_raises(self):
+        with pytest.raises(TrainingError):
+            DesignNormalizer.fit([], QoRIntention())
+
+    def test_constant_metric_no_blowup(self):
+        norm = DesignNormalizer.fit(_qors([5.0, 5.0], [1.0, 2.0]), QoRIntention())
+        score = norm.score({"power_mw": 5.0, "tns_ns": 1.5}, QoRIntention())
+        assert np.isfinite(score)
+
+    def test_lower_power_scores_higher(self):
+        qors = _qors([1.0, 2.0, 3.0], [1.0, 1.0, 1.0])
+        norm = DesignNormalizer.fit(qors, QoRIntention())
+        low = norm.score(qors[0], QoRIntention())
+        high = norm.score(qors[2], QoRIntention())
+        assert low > high
+
+    def test_maximize_direction(self):
+        intention = QoRIntention(metrics=(("throughput", 1.0, True),))
+        qors = [{"throughput": v} for v in (1.0, 2.0, 3.0)]
+        norm = DesignNormalizer.fit(qors, intention)
+        assert norm.score(qors[2], intention) > norm.score(qors[0], intention)
+
+
+class TestCompoundScores:
+    def test_per_design_zero_mean(self):
+        scores = compound_scores({
+            "A": _qors([1.0, 2.0, 3.0], [0.1, 0.2, 0.3]),
+            "B": _qors([100.0, 200.0], [10.0, 20.0]),
+        })
+        for design, values in scores.items():
+            assert abs(values.mean()) < 1e-9, design
+
+    def test_scale_invariance_across_designs(self):
+        # The same relative pattern at 1000x magnitude gets the same scores.
+        pattern_power = [1.0, 2.0, 4.0]
+        pattern_tns = [0.5, 0.1, 0.9]
+        scores = compound_scores({
+            "small": _qors(pattern_power, pattern_tns),
+            "large": _qors(
+                [p * 1000 for p in pattern_power],
+                [t * 1000 for t in pattern_tns],
+            ),
+        })
+        np.testing.assert_allclose(scores["small"], scores["large"], atol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        power=st.lists(st.floats(0.1, 1e4), min_size=3, max_size=20),
+        shift=st.floats(0.1, 100.0),
+    )
+    def test_affine_invariance(self, power, shift):
+        tns = list(np.linspace(0, 10, len(power)))
+        base = compound_scores({"d": _qors(power, tns)})["d"]
+        shifted = compound_scores(
+            {"d": _qors([p + shift for p in power], tns)}
+        )["d"]
+        np.testing.assert_allclose(base, shifted, atol=1e-6)
+
+    def test_weights_steer_ranking(self):
+        # Point 0: great power, bad tns.  Point 1: the reverse.
+        qors = _qors([1.0, 10.0, 5.0], [10.0, 1.0, 5.0])
+        power_heavy = QoRIntention(
+            metrics=(("power_mw", 0.9, False), ("tns_ns", 0.1, False))
+        )
+        tns_heavy = QoRIntention(
+            metrics=(("power_mw", 0.1, False), ("tns_ns", 0.9, False))
+        )
+        scores_p = compound_scores({"d": qors}, power_heavy)["d"]
+        scores_t = compound_scores({"d": qors}, tns_heavy)["d"]
+        assert np.argmax(scores_p) == 0
+        assert np.argmax(scores_t) == 1

@@ -1,0 +1,148 @@
+"""Tests for multi-corner STA and IR-drop analysis."""
+
+import numpy as np
+import pytest
+
+from repro.cts.tree import CtsParams, synthesize_clock_tree
+from repro.errors import FlowError
+from repro.netlist.generator import generate_netlist
+from repro.placement.placer import PlacerParams, place
+from repro.power.irdrop import analyze_ir_drop
+from repro.timing.constraints import default_constraints
+from repro.timing.corners import (
+    Corner,
+    DEFAULT_CORNERS,
+    run_multi_corner_sta,
+)
+
+from conftest import tiny_profile
+
+
+@pytest.fixture(scope="module")
+def signoff_design():
+    profile = tiny_profile("TSO", sim_gate_count=260, clock_tightness=1.12)
+    netlist = generate_netlist(profile, seed=41)
+    placement = place(netlist, PlacerParams(), seed=41)
+    tree = synthesize_clock_tree(netlist, CtsParams(), seed=41)
+    constraints = default_constraints(netlist)
+    return netlist, placement, tree, constraints
+
+
+class TestCorners:
+    def test_default_corner_set(self):
+        names = [c.name for c in DEFAULT_CORNERS]
+        assert names == ["ss", "tt", "ff"]
+
+    def test_bad_corner_rejected(self):
+        with pytest.raises(FlowError):
+            Corner(name="x", delay_scale=0.0, leakage_scale=1.0)
+
+    def test_ss_is_setup_corner_ff_is_hold_corner(self, signoff_design):
+        netlist, _, tree, constraints = signoff_design
+        report = run_multi_corner_sta(netlist, constraints, tree)
+        assert set(report.reports) == {"ss", "tt", "ff"}
+        assert report.setup_corner == "ss"
+        # Hold is worst where the data path is fastest.
+        assert report.reports["ff"].hold_wns_ps <= \
+            report.reports["ss"].hold_wns_ps + 1e-9
+
+    def test_signoff_is_worst_case(self, signoff_design):
+        netlist, _, tree, constraints = signoff_design
+        report = run_multi_corner_sta(netlist, constraints, tree)
+        assert report.signoff_wns_ps == min(
+            r.wns_ps for r in report.reports.values()
+        )
+        assert report.signoff_tns_ps == max(
+            r.tns_ps for r in report.reports.values()
+        )
+
+    def test_tt_matches_single_corner(self, signoff_design):
+        from repro.timing.sta import run_sta
+        import dataclasses
+
+        netlist, _, tree, constraints = signoff_design
+        multi = run_multi_corner_sta(netlist, constraints, tree)
+        single = run_sta(netlist, constraints, tree)
+        assert multi.reports["tt"].wns_ps == pytest.approx(single.wns_ps)
+
+    def test_meets_all_corners_flag(self, signoff_design):
+        netlist, _, tree, constraints = signoff_design
+        import dataclasses
+
+        relaxed = dataclasses.replace(
+            constraints, period_ps=constraints.period_ps * 4.0
+        )
+        report = run_multi_corner_sta(netlist, relaxed, tree)
+        assert report.meets_all_corners()
+
+    def test_empty_corners_rejected(self, signoff_design):
+        netlist, _, tree, constraints = signoff_design
+        with pytest.raises(FlowError):
+            run_multi_corner_sta(netlist, constraints, tree, corners=())
+
+    def test_clock_latency_scales_with_corner(self, signoff_design):
+        """At SS, launch and capture both shift; skew grows with latency."""
+        netlist, _, tree, constraints = signoff_design
+        report = run_multi_corner_sta(netlist, constraints, tree)
+        # Harmless consistency: each corner has the same endpoint set.
+        endpoints = {
+            corner: set(r.endpoint_slack_ps)
+            for corner, r in report.reports.items()
+        }
+        assert endpoints["ss"] == endpoints["ff"] == endpoints["tt"]
+
+
+class TestIrDrop:
+    def test_report_fields(self, signoff_design):
+        netlist, placement, tree, _ = signoff_design
+        report = analyze_ir_drop(netlist, tree, placement.grid)
+        assert report.droop_mv.shape == (
+            placement.grid.bins_y, placement.grid.bins_x
+        )
+        assert report.worst_droop_mv >= report.mean_droop_mv >= 0.0
+        assert report.worst_derate >= 1.0
+        assert 0.0 <= report.hotspot_fraction <= 1.0
+
+    def test_weaker_grid_more_droop(self, signoff_design):
+        netlist, placement, tree, _ = signoff_design
+        strong = analyze_ir_drop(netlist, tree, placement.grid,
+                                 grid_resistance_ohm=500.0)
+        weak = analyze_ir_drop(netlist, tree, placement.grid,
+                               grid_resistance_ohm=5000.0)
+        assert weak.worst_droop_mv > strong.worst_droop_mv
+
+    def test_smoothing_spreads_hotspot(self, signoff_design):
+        netlist, placement, tree, _ = signoff_design
+        sharp = analyze_ir_drop(netlist, tree, placement.grid,
+                                smoothing_passes=0)
+        smooth = analyze_ir_drop(netlist, tree, placement.grid,
+                                 smoothing_passes=5)
+        assert smooth.worst_droop_mv <= sharp.worst_droop_mv + 1e-12
+
+    def test_derate_caps(self, signoff_design):
+        netlist, placement, tree, _ = signoff_design
+        report = analyze_ir_drop(netlist, tree, placement.grid,
+                                 grid_resistance_ohm=10_000_000.0)
+        # Relative droop is clipped at 25% -> derate at 1.375.
+        assert report.worst_derate <= 1.375 + 1e-9
+
+    def test_no_clock_rejected(self, signoff_design):
+        netlist, placement, tree, _ = signoff_design
+        saved = netlist.clock
+        netlist.clock = None
+        try:
+            with pytest.raises(FlowError):
+                analyze_ir_drop(netlist, tree, placement.grid)
+        finally:
+            netlist.clock = saved
+
+    def test_busier_design_droops_more(self):
+        def droop_for(activity):
+            profile = tiny_profile(f"TIR{int(activity*100)}",
+                                   activity=activity, sim_gate_count=220)
+            netlist = generate_netlist(profile, seed=5)
+            placement = place(netlist, PlacerParams(), seed=5)
+            tree = synthesize_clock_tree(netlist, CtsParams(), seed=5)
+            return analyze_ir_drop(netlist, tree, placement.grid).mean_droop_mv
+
+        assert droop_for(0.5) > droop_for(0.05)

@@ -1,0 +1,108 @@
+"""Tests for clock-tree synthesis and skew analysis."""
+
+import numpy as np
+import pytest
+
+from repro.cts.skew import analyze_skew
+from repro.cts.tree import CtsParams, synthesize_clock_tree
+from repro.errors import FlowError
+from repro.netlist.generator import generate_netlist
+from repro.placement.placer import PlacerParams, place
+
+from conftest import tiny_profile
+
+
+@pytest.fixture(scope="module")
+def placed():
+    profile = tiny_profile("TC", sim_gate_count=240, register_ratio=0.3)
+    netlist = generate_netlist(profile, seed=9)
+    place(netlist, PlacerParams(), seed=9)
+    return netlist
+
+
+class TestSynthesis:
+    def test_all_sinks_get_latency(self, placed):
+        tree = synthesize_clock_tree(placed, CtsParams(), seed=1)
+        regs = {c.name for c in placed.sequential_cells()}
+        assert set(tree.latency_ps) == regs
+        assert all(v > 0 for v in tree.latency_ps.values())
+
+    def test_deterministic(self, placed):
+        t1 = synthesize_clock_tree(placed, CtsParams(), seed=1)
+        t2 = synthesize_clock_tree(placed, CtsParams(), seed=1)
+        assert t1.latency_ps == t2.latency_ps
+
+    def test_no_clock_raises(self, placed):
+        saved = placed.clock
+        placed.clock = None
+        try:
+            with pytest.raises(FlowError, match="no clock"):
+                synthesize_clock_tree(placed, CtsParams(), seed=1)
+        finally:
+            placed.clock = saved
+
+    def test_smaller_clusters_more_buffers(self, placed):
+        small = synthesize_clock_tree(placed, CtsParams(max_cluster_size=4), seed=1)
+        large = synthesize_clock_tree(placed, CtsParams(max_cluster_size=32), seed=1)
+        assert small.buffer_count > large.buffer_count
+        assert small.tree_depth >= large.tree_depth
+
+    def test_stronger_buffers_lower_latency(self, placed):
+        weak = synthesize_clock_tree(placed, CtsParams(buffer_drive=2), seed=1)
+        strong = synthesize_clock_tree(placed, CtsParams(buffer_drive=8), seed=1)
+        assert strong.mean_latency_ps < weak.mean_latency_ps
+
+    def test_balance_effort_reduces_skew(self, placed):
+        loose = synthesize_clock_tree(
+            placed, CtsParams(balance_effort=0.3, target_skew_ps=5.0), seed=1
+        )
+        tight = synthesize_clock_tree(
+            placed, CtsParams(balance_effort=1.8, target_skew_ps=5.0), seed=1
+        )
+        assert tight.global_skew_ps < loose.global_skew_ps
+
+    def test_target_skew_floor(self, placed):
+        tree = synthesize_clock_tree(
+            placed, CtsParams(balance_effort=2.0, target_skew_ps=20.0), seed=1
+        )
+        # Balancing cannot beat the floor by much.
+        assert tree.global_skew_ps > 10.0
+
+    def test_wirelength_and_caps_positive(self, placed):
+        tree = synthesize_clock_tree(placed, CtsParams(), seed=1)
+        assert tree.wirelength_um > 0
+        assert tree.total_buffer_cap_ff > 0
+        assert tree.total_wire_cap_ff > 0
+
+
+class TestSkewAnalysis:
+    def test_harmful_skew_detection(self, placed):
+        tree = synthesize_clock_tree(placed, CtsParams(), seed=1)
+        names = tree.sink_names
+        # Construct an artificial pair where capture is much earlier.
+        tree.latency_ps[names[0]] = 100.0
+        tree.latency_ps[names[1]] = 50.0
+        report = analyze_skew(tree, [(names[0], names[1])], harmful_threshold_ps=5.0)
+        assert report.harmful_skew_paths == 1
+        assert report.harmful_fraction == 1.0
+
+    def test_benign_pair_not_flagged(self, placed):
+        tree = synthesize_clock_tree(placed, CtsParams(), seed=1)
+        names = tree.sink_names
+        tree.latency_ps[names[0]] = 50.0
+        tree.latency_ps[names[1]] = 50.0
+        report = analyze_skew(tree, [(names[0], names[1])])
+        assert report.harmful_skew_paths == 0
+
+    def test_empty_pairs(self, placed):
+        tree = synthesize_clock_tree(placed, CtsParams(), seed=1)
+        report = analyze_skew(tree, [])
+        assert report.checked_paths == 0
+        assert report.harmful_fraction == 0.0
+        assert report.global_skew_ps == pytest.approx(tree.global_skew_ps)
+
+    def test_global_skew_matches_tree(self, placed):
+        tree = synthesize_clock_tree(placed, CtsParams(), seed=1)
+        report = analyze_skew(tree, [])
+        values = np.array(list(tree.latency_ps.values()))
+        assert report.global_skew_ps == pytest.approx(values.max() - values.min())

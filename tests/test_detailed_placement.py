@@ -1,0 +1,95 @@
+"""Tests for detailed-placement swap refinement."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generator import generate_netlist
+from repro.placement.detailed import _NetGeometry, refine_placement
+from repro.placement.placer import PlacerParams, place
+
+from conftest import tiny_profile
+
+
+@pytest.fixture()
+def placed():
+    profile = tiny_profile("TDP", sim_gate_count=220)
+    netlist = generate_netlist(profile, seed=71)
+    place(netlist, PlacerParams(perturbation=2.0), seed=71)
+    return netlist
+
+
+def _total_hpwl(netlist):
+    cells = [
+        c for c in netlist.cells.values()
+        if not c.is_clock_cell and c.position is not None
+    ]
+    index_of = {c.name: i for i, c in enumerate(cells)}
+    positions = np.array([c.position for c in cells])
+    return _NetGeometry(netlist, index_of, positions).total_hpwl()
+
+
+class TestRefinement:
+    def test_hpwl_never_increases(self, placed):
+        before = _total_hpwl(placed)
+        improvement, accepted = refine_placement(placed, moves=1500, seed=1)
+        after = _total_hpwl(placed)
+        assert after <= before + 1e-6
+        assert improvement == pytest.approx(before - after, abs=1e-6)
+
+    def test_finds_improvements_on_noisy_placement(self, placed):
+        improvement, accepted = refine_placement(placed, moves=3000, seed=2)
+        assert accepted > 0
+        assert improvement > 0.0
+
+    def test_zero_moves_is_noop(self, placed):
+        before = {n: c.position for n, c in placed.cells.items()}
+        improvement, accepted = refine_placement(placed, moves=0, seed=3)
+        assert improvement == 0.0 and accepted == 0
+        for name, cell in placed.cells.items():
+            assert cell.position == before[name]
+
+    def test_positions_are_permutation(self, placed):
+        """Swaps only permute existing locations (legality preserved)."""
+        before = sorted(
+            c.position for c in placed.cells.values()
+            if not c.is_clock_cell and c.position is not None
+        )
+        refine_placement(placed, moves=1500, seed=4)
+        after = sorted(
+            c.position for c in placed.cells.values()
+            if not c.is_clock_cell and c.position is not None
+        )
+        np.testing.assert_allclose(np.array(before), np.array(after))
+
+    def test_area_tolerance_respected(self, placed):
+        """With zero tolerance, only identical-area cells may swap."""
+        sizes_before = {
+            n: (c.cell_type.name, c.position)
+            for n, c in placed.cells.items() if c.position is not None
+        }
+        refine_placement(placed, moves=1000, seed=5, area_tolerance=0.0)
+        # Any cell that moved must have traded places with an equal-area one.
+        moved = {
+            n for n, (t, p) in sizes_before.items()
+            if placed.cells[n].position != p
+        }
+        areas = {n: placed.cells[n].area_um2 for n in moved}
+        for name in moved:
+            partners = [
+                other for other in moved
+                if other != name
+                and placed.cells[other].position == sizes_before[name][1]
+            ]
+            assert partners, name
+            assert any(
+                abs(areas[p] - areas[name]) < 1e-9 for p in partners
+            )
+
+    def test_deterministic(self):
+        profile = tiny_profile("TDP2", sim_gate_count=180)
+        results = []
+        for _ in range(2):
+            netlist = generate_netlist(profile, seed=9)
+            place(netlist, PlacerParams(), seed=9)
+            results.append(refine_placement(netlist, moves=800, seed=9))
+        assert results[0] == results[1]

@@ -1,0 +1,91 @@
+"""Tests for the convergence/regret evaluation utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.evaluation import (
+    align_curves,
+    area_under_curve,
+    best_so_far,
+    evaluations_to_target,
+    simple_regret,
+    summarize_convergence,
+)
+from repro.errors import TrainingError
+
+
+class TestBestSoFar:
+    def test_monotone(self):
+        out = best_so_far([1.0, 0.5, 2.0, 1.5])
+        np.testing.assert_array_equal(out, [1.0, 1.0, 2.0, 2.0])
+
+    def test_empty(self):
+        assert best_so_far([]).size == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=40))
+    def test_always_nondecreasing(self, values):
+        curve = best_so_far(values)
+        assert np.all(np.diff(curve) >= 0)
+        assert curve[-1] == max(values)
+
+
+class TestRegret:
+    def test_regret_hits_zero_at_optimum(self):
+        regret = simple_regret([0.0, 3.0, 1.0], optimum=3.0)
+        np.testing.assert_allclose(regret, [3.0, 0.0, 0.0])
+
+    def test_regret_nonincreasing(self):
+        regret = simple_regret([0.2, 0.1, 0.9, 0.5], optimum=1.0)
+        assert np.all(np.diff(regret) <= 0)
+
+
+class TestEvaluationsToTarget:
+    def test_first_hit(self):
+        assert evaluations_to_target([0.1, 0.5, 0.9, 0.95], 0.9) == 3
+
+    def test_never(self):
+        assert evaluations_to_target([0.1, 0.2], 5.0) is None
+
+    def test_first_sample_hit(self):
+        assert evaluations_to_target([9.0], 1.0) == 1
+
+
+class TestAuc:
+    def test_value(self):
+        assert area_under_curve([1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(TrainingError):
+            area_under_curve([])
+
+    def test_faster_convergence_higher_auc(self):
+        fast = area_under_curve([2.0, 2.0, 2.0])
+        slow = area_under_curve([0.0, 0.0, 2.0])
+        assert fast > slow
+
+
+class TestAlignCurves:
+    def test_padding_with_last_value(self):
+        aligned = align_curves({"a": [1.0, 2.0], "b": [3.0]}, length=3)
+        np.testing.assert_array_equal(aligned["a"], [1.0, 2.0, 2.0])
+        np.testing.assert_array_equal(aligned["b"], [3.0, 3.0, 3.0])
+
+    def test_truncation(self):
+        aligned = align_curves({"a": [1.0, 2.0, 3.0]}, length=2)
+        assert aligned["a"].size == 2
+
+    def test_empty_curve_raises(self):
+        with pytest.raises(TrainingError):
+            align_curves({"a": []}, length=2)
+
+
+class TestSummary:
+    def test_rows_sorted_by_final(self):
+        rows = summarize_convergence(
+            {"weak": [0.1, 0.2], "strong": [1.0, 2.0]}, target=1.5
+        )
+        assert [r["method"] for r in rows] == ["strong", "weak"]
+        assert rows[0]["evals_to_target"] == 2
+        assert rows[1]["evals_to_target"] is None

@@ -1,0 +1,169 @@
+"""Tests for flow parameters, the optimizer, and the end-to-end runner."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cts.tree import CtsParams, synthesize_clock_tree
+from repro.errors import FlowError
+from repro.flow.opt import optimize
+from repro.flow.parameters import FlowParameters, OptParams, TradeoffWeights
+from repro.flow.runner import run_flow
+from repro.flow.stages import FlowStage
+from repro.netlist.generator import generate_netlist
+from repro.placement.placer import PlacerParams, place
+from repro.timing.constraints import default_constraints
+from repro.timing.sta import run_sta
+
+from conftest import tiny_profile
+
+
+class TestParameters:
+    def test_flat_roundtrip_keys(self):
+        flat = FlowParameters().flat()
+        assert "placer.effort" in flat
+        assert "opt.vt_swap_bias" in flat
+        assert "tradeoff.timing" in flat
+        assert len(flat) >= 20
+
+    def test_negative_tradeoff_raises(self):
+        with pytest.raises(FlowError):
+            TradeoffWeights(timing=-1.0)
+
+    def test_replaced_sections(self):
+        params = FlowParameters().replaced(placer=PlacerParams(effort=2.0))
+        assert params.placer.effort == 2.0
+        assert params.opt == OptParams()
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FlowParameters().placer.effort = 9
+
+
+@pytest.fixture()
+def opt_setup():
+    profile = tiny_profile("TO", sim_gate_count=280, logic_depth=8,
+                           clock_tightness=1.03)
+    netlist = generate_netlist(profile, seed=17)
+    place(netlist, PlacerParams(), seed=17)
+    tree = synthesize_clock_tree(netlist, CtsParams(), seed=17)
+    constraints = default_constraints(netlist)
+    return netlist, tree, constraints
+
+
+class TestOptimizer:
+    def test_improves_tns(self, opt_setup):
+        netlist, tree, constraints = opt_setup
+        result = optimize(netlist, constraints, tree, OptParams(), TradeoffWeights())
+        assert result.report.tns_ps <= result.pre_tns_ps
+        assert result.upsized > 0
+
+    def test_zero_passes_no_upsizing(self, opt_setup):
+        netlist, tree, constraints = opt_setup
+        result = optimize(
+            netlist, constraints, tree,
+            OptParams(setup_passes=0, leakage_recovery=0.0, hold_effort=0.0),
+            TradeoffWeights(),
+        )
+        assert result.upsized == 0
+        assert result.downsized == 0
+
+    def test_useful_skew_applied(self, opt_setup):
+        netlist, tree, constraints = opt_setup
+        result = optimize(
+            netlist, constraints, tree,
+            OptParams(useful_skew_gain=0.6), TradeoffWeights(),
+        )
+        assert result.useful_skew_endpoints > 0
+        assert tree.useful_skew_ps
+
+    def test_hold_fix_inserts_real_cells(self, opt_setup):
+        netlist, tree, constraints = opt_setup
+        before = netlist.cell_count
+        result = optimize(
+            netlist, constraints, tree,
+            OptParams(useful_skew_gain=0.9, hold_effort=2.0),
+            TradeoffWeights(),
+        )
+        added = netlist.cell_count - before
+        assert added == result.hold_fix_count
+        if result.hold_fix_count:
+            netlist.validate()  # splice must leave a structurally valid design
+
+    def test_power_recovery_downsizes(self, opt_setup):
+        netlist, tree, constraints = opt_setup
+        result = optimize(
+            netlist, constraints, tree,
+            OptParams(leakage_recovery=2.0, downsize_slack_margin=0.1),
+            TradeoffWeights(power=3.0, timing=0.5),
+        )
+        assert result.downsized >= 0  # may be 0 on tight designs
+        # Downsized cells must not break timing catastrophically.
+        assert result.report.tns_ps <= result.pre_tns_ps * 1.5 + 100.0
+
+
+class TestRunner:
+    def test_snapshots_in_stage_order(self, flow_result):
+        stages = [snap.stage for snap in flow_result.snapshots]
+        assert stages == list(FlowStage.ordered())
+
+    def test_qor_keys(self, flow_result):
+        expected = {
+            "tns_ns", "wns_ns", "hold_tns_ns", "power_mw", "leakage_mw",
+            "area_um2", "wirelength_um", "drc_count", "hold_fix_count",
+            "runtime_proxy",
+        }
+        assert expected <= set(flow_result.qor)
+
+    def test_deterministic(self, small_profile):
+        r1 = run_flow(small_profile, FlowParameters(), seed=7)
+        r2 = run_flow(small_profile, FlowParameters(), seed=7)
+        assert r1.qor == r2.qor
+
+    def test_seed_changes_outcome(self, small_profile):
+        r1 = run_flow(small_profile, FlowParameters(), seed=7)
+        r2 = run_flow(small_profile, FlowParameters(), seed=8)
+        assert r1.qor != r2.qor
+
+    def test_design_by_name(self):
+        result = run_flow("D11")
+        assert result.design == "D11"
+        assert result.qor["power_mw"] > 0
+
+    def test_snapshot_accessor_raises_on_missing(self, flow_result):
+        with pytest.raises(KeyError):
+            flow_result.snapshot("not-a-stage")
+
+    def test_reported_scale_applied(self):
+        base = run_flow("D11")  # reported_scale = 0.012
+        snap = base.snapshot(FlowStage.SIGNOFF)
+        assert base.qor["power_mw"] == pytest.approx(
+            snap.metrics["power_mw_raw"] * 0.012
+        )
+
+    def test_timing_weight_tradeoff_moves_power(self, small_profile):
+        timing_first = run_flow(
+            small_profile,
+            FlowParameters(tradeoff=TradeoffWeights(timing=3.0, power=0.3)),
+            seed=7,
+        )
+        power_first = run_flow(
+            small_profile,
+            FlowParameters(tradeoff=TradeoffWeights(timing=0.3, power=3.0)),
+            seed=7,
+        )
+        assert power_first.qor["power_mw"] < timing_first.qor["power_mw"]
+
+    def test_runtime_proxy_tracks_effort(self, small_profile):
+        fast = run_flow(
+            small_profile,
+            FlowParameters(placer=PlacerParams(effort=0.5)),
+            seed=7,
+        )
+        slow = run_flow(
+            small_profile,
+            FlowParameters(placer=PlacerParams(effort=2.0)),
+            seed=7,
+        )
+        assert slow.qor["runtime_proxy"] > fast.qor["runtime_proxy"]

@@ -1,0 +1,62 @@
+"""Tests for FlowResult/StageSnapshot containers and the stages enum."""
+
+import pytest
+
+from repro.flow.result import FlowResult, StageSnapshot
+from repro.flow.stages import FlowStage
+
+
+class TestStages:
+    def test_ordered_pipeline(self):
+        order = FlowStage.ordered()
+        assert order[0] is FlowStage.PLACEMENT
+        assert order[-1] is FlowStage.SIGNOFF
+        assert len(order) == 5
+
+    def test_values_are_stable_identifiers(self):
+        assert FlowStage.CTS.value == "cts"
+        assert FlowStage.OPTIMIZATION.value == "optimization"
+
+
+class TestSnapshot:
+    def test_get_with_default(self):
+        snap = StageSnapshot(FlowStage.CTS, {"skew": 3.0})
+        assert snap.get("skew") == 3.0
+        assert snap.get("missing", -1.0) == -1.0
+
+    def test_result_accessors(self):
+        result = FlowResult(
+            design="Dx",
+            qor={"tns_ns": 5.0, "power_mw": 2.0},
+            snapshots=[StageSnapshot(FlowStage.PLACEMENT, {"hpwl_um": 1.0})],
+        )
+        assert result.tns_ns == 5.0
+        assert result.power_mw == 2.0
+        assert result.snapshot(FlowStage.PLACEMENT).get("hpwl_um") == 1.0
+        with pytest.raises(KeyError):
+            result.snapshot(FlowStage.SIGNOFF)
+
+
+class TestRealFlowSnapshots:
+    def test_placement_congestion_trajectory_keys(self, flow_result):
+        snap = flow_result.snapshot(FlowStage.PLACEMENT)
+        for key in ("congestion_early", "congestion_mid", "congestion_late"):
+            assert key in snap.metrics
+
+    def test_signoff_consistency_with_qor(self, flow_result):
+        signoff = flow_result.snapshot(FlowStage.SIGNOFF)
+        assert signoff.get("drc_count") == flow_result.qor["drc_count"]
+        assert signoff.get("tns_ps") >= 0.0
+
+    def test_optimization_accounting(self, flow_result):
+        opt = flow_result.snapshot(FlowStage.OPTIMIZATION)
+        assert opt.get("post_opt_tns_ps") <= opt.get("pre_opt_tns_ps") + 1e-9
+        assert opt.get("tns_improvement_ps") == pytest.approx(
+            opt.get("pre_opt_tns_ps") - opt.get("post_opt_tns_ps")
+        )
+
+    def test_power_fractions_consistent(self, flow_result):
+        signoff = flow_result.snapshot(FlowStage.SIGNOFF)
+        total = signoff.get("power_mw_raw")
+        assert signoff.get("dynamic_mw_raw") <= total + 1e-12
+        assert 0.0 <= signoff.get("leakage_fraction") <= 1.0

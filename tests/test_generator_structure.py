@@ -1,0 +1,79 @@
+"""Deeper structural tests for the netlist generator's knob fidelity."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generator import generate_netlist
+from repro.netlist.stats import compute_stats
+
+from conftest import tiny_profile
+
+
+class TestProfileKnobFidelity:
+    def test_logic_depth_realized(self):
+        for depth in (4, 8, 12):
+            profile = tiny_profile(f"TGd{depth}", logic_depth=depth,
+                                   sim_gate_count=300)
+            netlist = generate_netlist(profile, seed=2)
+            stats = compute_stats(netlist)
+            assert stats.logic_depth == depth
+
+    def test_register_ratio_tracks_profile(self):
+        low = tiny_profile("TGr1", register_ratio=0.12, sim_gate_count=300)
+        high = tiny_profile("TGr2", register_ratio=0.40, sim_gate_count=300)
+        s_low = compute_stats(generate_netlist(low, seed=2))
+        s_high = compute_stats(generate_netlist(high, seed=2))
+        assert s_high.register_count > s_low.register_count * 2
+
+    def test_high_fanout_fraction_adds_tail(self):
+        flat = tiny_profile("TGf1", high_fanout_fraction=0.0,
+                            sim_gate_count=400)
+        heavy = tiny_profile("TGf2", high_fanout_fraction=0.25,
+                             sim_gate_count=400)
+        s_flat = compute_stats(generate_netlist(flat, seed=2))
+        s_heavy = compute_stats(generate_netlist(heavy, seed=2))
+        tail = lambda s: s.fanout_histogram["8-15"] + s.fanout_histogram["16+"]
+        assert tail(s_heavy) > tail(s_flat)
+
+    def test_cluster_count_respected(self):
+        profile = tiny_profile("TGc", cluster_count=5, sim_gate_count=300)
+        netlist = generate_netlist(profile, seed=2)
+        clusters = {c.cluster for c in netlist.cells.values()}
+        assert clusters <= set(range(5))
+        assert len(clusters) == 5
+
+    def test_utilization_tracks_profile(self):
+        for util in (0.45, 0.75):
+            profile = tiny_profile(f"TGu{int(util*100)}", utilization=util,
+                                   macro_count=0, sim_gate_count=300)
+            netlist = generate_netlist(profile, seed=2)
+            assert netlist.utilization() == pytest.approx(util, rel=0.05)
+
+    def test_activity_scales_power_profile(self):
+        quiet = tiny_profile("TGa1", activity=0.05, sim_gate_count=250)
+        busy = tiny_profile("TGa2", activity=0.40, sim_gate_count=250)
+        act = lambda nl: np.mean([
+            c.switching_activity for c in nl.cells.values()
+        ])
+        assert act(generate_netlist(busy, seed=2)) > \
+            2.0 * act(generate_netlist(quiet, seed=2))
+
+    def test_levels_monotone_along_edges(self):
+        """Combinational edges always go from lower to higher level."""
+        netlist = generate_netlist(tiny_profile("TGl", sim_gate_count=300),
+                                   seed=2)
+        for driver, net, sink in netlist.iter_timing_arcs():
+            d = netlist.cells[driver]
+            s = netlist.cells[sink]
+            if s.is_sequential or d.is_sequential:
+                continue
+            # Fanout buffers inherit their driver's level; allow equality.
+            assert s.level >= d.level or sink.startswith("fobuf")
+
+    def test_rent_exponent_reasonable(self):
+        netlist = generate_netlist(
+            tiny_profile("TGrent", sim_gate_count=400, cluster_count=6),
+            seed=2,
+        )
+        stats = compute_stats(netlist)
+        assert 0.2 <= stats.rent_exponent <= 1.0

@@ -1,0 +1,176 @@
+"""Tests for incremental STA and recipe-interaction analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cts.tree import CtsParams, synthesize_clock_tree
+from repro.errors import FlowError, TrainingError
+from repro.netlist.generator import generate_netlist
+from repro.placement.placer import PlacerParams, place
+from repro.recipes.interactions import analyze_interactions
+from repro.timing.constraints import default_constraints
+from repro.timing.incremental import IncrementalTimer
+from repro.timing.sta import run_sta
+from repro.utils.rng import derive_rng
+
+from conftest import tiny_profile
+
+
+@pytest.fixture(scope="module")
+def timed_design():
+    profile = tiny_profile("TInc", sim_gate_count=240, clock_tightness=1.05)
+    netlist = generate_netlist(profile, seed=51)
+    place(netlist, PlacerParams(), seed=51)
+    tree = synthesize_clock_tree(netlist, CtsParams(), seed=51)
+    constraints = default_constraints(netlist)
+    return netlist, tree, constraints
+
+
+def _sizable_cells(netlist, rng, count):
+    names = [
+        name for name, cell in netlist.cells.items()
+        if not cell.is_sequential and not cell.is_clock_cell
+    ]
+    picks = rng.choice(len(names), size=min(count, len(names)), replace=False)
+    return [names[int(i)] for i in picks]
+
+
+class TestIncrementalTimer:
+    def test_initial_matches_full_sta(self, timed_design):
+        netlist, tree, constraints = timed_design
+        timer = IncrementalTimer(netlist, constraints, tree)
+        full = run_sta(netlist, constraints, tree)
+        for endpoint, slack in timer.setup_slack.items():
+            assert slack == pytest.approx(
+                full.endpoint_slack_ps[endpoint], abs=1e-9
+            )
+        assert timer.wns_ps == pytest.approx(
+            min(s for e, s in full.endpoint_slack_ps.items()
+                if not e.startswith("PO:")),
+            abs=1e-9,
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 100), moves=st.integers(1, 6))
+    def test_incremental_equals_full_after_sizing(self, timed_design, seed, moves):
+        netlist, tree, constraints = timed_design
+        rng = derive_rng(seed, "inc")
+        library = netlist.library
+        # Record original sizes to restore (module-scoped fixture).
+        originals = {}
+        timer = IncrementalTimer(netlist, constraints, tree)
+        try:
+            for _ in range(moves):
+                (name,) = _sizable_cells(netlist, rng, 1)
+                cell = netlist.cells[name]
+                originals.setdefault(name, cell.cell_type)
+                swap = (library.upsize(cell.cell_type)
+                        or library.downsize(cell.cell_type))
+                cell.cell_type = swap
+                timer.update([name])
+            full = run_sta(netlist, constraints, tree)
+            for endpoint, slack in timer.setup_slack.items():
+                assert slack == pytest.approx(
+                    full.endpoint_slack_ps[endpoint], abs=1e-8
+                ), endpoint
+            for endpoint, slack in timer.hold_slack.items():
+                assert slack == pytest.approx(
+                    full.endpoint_hold_slack_ps[endpoint], abs=1e-8
+                ), endpoint
+        finally:
+            for name, cell_type in originals.items():
+                netlist.cells[name].cell_type = cell_type
+
+    def test_update_touches_fewer_cells_than_full(self, timed_design):
+        netlist, tree, constraints = timed_design
+        timer = IncrementalTimer(netlist, constraints, tree)
+        rng = derive_rng(7, "inc-count")
+        (name,) = _sizable_cells(netlist, rng, 1)
+        cell = netlist.cells[name]
+        original = cell.cell_type
+        try:
+            cell.cell_type = netlist.library.upsize(original) or \
+                netlist.library.downsize(original)
+            recomputed = timer.update([name])
+            comb_total = len(timer.graph.order)
+            assert 0 < recomputed <= comb_total
+        finally:
+            cell.cell_type = original
+            timer.update([name])
+
+    def test_empty_update_is_noop(self, timed_design):
+        netlist, tree, constraints = timed_design
+        timer = IncrementalTimer(netlist, constraints, tree)
+        assert timer.update([]) == 0
+
+    def test_unknown_cell_rejected(self, timed_design):
+        netlist, tree, constraints = timed_design
+        timer = IncrementalTimer(netlist, constraints, tree)
+        with pytest.raises(FlowError):
+            timer.update(["not_a_cell"])
+
+
+class TestInteractions:
+    def test_report_shapes(self, mini_dataset):
+        report = analyze_interactions(mini_dataset, "D6")
+        assert report.main_effects.shape == (40,)
+        assert report.synergy.shape == (40, 40)
+        assert -1.0 <= report.additive_r2 <= 1.0
+        assert report.residual_std >= 0.0
+
+    def test_synergy_symmetric(self, mini_dataset):
+        report = analyze_interactions(mini_dataset, "D10")
+        synergy = report.synergy
+        finite = np.isfinite(synergy)
+        np.testing.assert_array_equal(finite, finite.T)
+        assert np.allclose(
+            synergy[finite], synergy.T[finite], equal_nan=True
+        )
+
+    def test_top_synergies_sorted(self, mini_dataset):
+        report = analyze_interactions(mini_dataset, "D11")
+        top = report.top_synergies(k=5)
+        magnitudes = [abs(v) for _, _, v in top]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+        for i, j, _ in top:
+            assert i < j
+
+    def test_too_small_archive_rejected(self):
+        from repro.core.dataset import DataPoint, OfflineDataset
+        from repro.insights.extractor import InsightVector
+        from repro.insights.schema import INSIGHT_DIMS
+
+        dataset = OfflineDataset(
+            points=[DataPoint("X", tuple([0] * 40),
+                              {"power_mw": 1.0, "tns_ns": 0.0})] * 3,
+            insights={"X": InsightVector("X", np.zeros(INSIGHT_DIMS), {})},
+        )
+        with pytest.raises(TrainingError):
+            analyze_interactions(dataset, "X")
+
+    def test_planted_interaction_detected(self):
+        """A pair that only pays off together must get positive synergy."""
+        from repro.core.dataset import DataPoint, OfflineDataset
+        from repro.insights.extractor import InsightVector
+        from repro.insights.schema import INSIGHT_DIMS
+
+        rng = derive_rng(3, "planted")
+        points = []
+        for _ in range(300):
+            bits = [0] * 40
+            for index in np.flatnonzero(rng.random(40) < 0.3):
+                bits[int(index)] = 1
+            bonus = 5.0 if (bits[4] and bits[9]) else 0.0
+            points.append(DataPoint(
+                "X", tuple(bits),
+                {"power_mw": 10.0 - bonus + rng.normal(0, 0.1), "tns_ns": 1.0},
+            ))
+        dataset = OfflineDataset(
+            points=points,
+            insights={"X": InsightVector("X", np.zeros(INSIGHT_DIMS), {})},
+        )
+        report = analyze_interactions(dataset, "X")
+        top = report.top_synergies(k=1)[0]
+        assert (top[0], top[1]) == (4, 9)
+        assert top[2] > 0

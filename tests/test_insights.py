@@ -1,0 +1,140 @@
+"""Tests for the insight schema, analyzers and extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsightError
+from repro.flow.parameters import FlowParameters
+from repro.flow.runner import run_flow
+from repro.insights.analyzers import (
+    analyze_clock,
+    analyze_design,
+    analyze_placement,
+    analyze_power,
+    analyze_routing,
+    analyze_timing,
+)
+from repro.insights.extractor import InsightExtractor, InsightVector
+from repro.insights.schema import INSIGHT_DIMS, InsightKind, insight_schema
+
+from conftest import tiny_profile
+
+
+class TestSchema:
+    def test_published_width(self):
+        assert INSIGHT_DIMS == 72
+
+    def test_categories_match_table1(self):
+        categories = {f.category for f in insight_schema()}
+        assert {"Placement", "Timing", "Power", "Clock"} <= categories
+
+    def test_level_fields_are_three_dims(self):
+        for field in insight_schema():
+            if field.kind is InsightKind.LEVEL:
+                assert field.dims == 3
+            else:
+                assert field.dims == 1
+
+    def test_unique_keys(self):
+        keys = [f.key for f in insight_schema()]
+        assert len(set(keys)) == len(keys)
+
+    def test_table1_examples_present(self):
+        keys = {f.key for f in insight_schema()}
+        # The eight Table I example insights all have a counterpart.
+        assert "congestion_early" in keys          # congestion during step X
+        assert "timing_easy" in keys               # easy to meet timing
+        assert "power_saving_opportunity" in keys
+        assert "sequential_power_dominant" in keys
+        assert "leakage_dominant" in keys
+        assert "harmful_clock_skew" in keys
+        assert "hold_fix_count" in keys
+        assert "weak_cell_pct" in keys
+
+
+class TestAnalyzers:
+    def test_each_analyzer_contributes(self, flow_result, small_profile):
+        outputs = {}
+        outputs.update(analyze_placement(flow_result))
+        outputs.update(analyze_timing(flow_result))
+        outputs.update(analyze_power(flow_result))
+        outputs.update(analyze_clock(flow_result))
+        outputs.update(analyze_routing(flow_result))
+        outputs.update(analyze_design(flow_result, small_profile))
+        schema_keys = {f.key for f in insight_schema()}
+        assert schema_keys <= set(outputs)
+
+    def test_levels_are_valid(self, flow_result):
+        placement = analyze_placement(flow_result)
+        for key in ("congestion_early", "congestion_mid", "congestion_late"):
+            assert placement[key] in ("low", "medium", "high")
+
+    def test_percent_fields_in_range(self, flow_result, small_profile):
+        extractor = InsightExtractor()
+        vector = extractor.extract(flow_result, small_profile)
+        for field in insight_schema():
+            if field.kind is InsightKind.PERCENT:
+                assert 0.0 <= float(vector.raw[field.key]) <= 100.0 + 1e-9, field.key
+
+    def test_node_one_hot(self, flow_result, small_profile):
+        design = analyze_design(flow_result, small_profile)
+        flags = [design[f"node_{n}"] for n in ("45nm", "28nm", "16nm", "10nm", "7nm")]
+        assert sum(bool(f) for f in flags) == 1
+        assert design["node_28nm"] is True
+
+
+class TestExtractor:
+    def test_shape_is_72(self, flow_result, small_profile):
+        vector = InsightExtractor().extract(flow_result, small_profile)
+        assert vector.values.shape == (INSIGHT_DIMS,)
+        assert np.all(np.isfinite(vector.values))
+
+    def test_values_bounded(self, flow_result, small_profile):
+        vector = InsightExtractor().extract(flow_result, small_profile)
+        assert vector.values.max() <= 2.5
+        assert vector.values.min() >= -2.5
+
+    def test_describe_lines(self, flow_result, small_profile):
+        vector = InsightExtractor().extract(flow_result, small_profile)
+        lines = vector.describe()
+        assert len(lines) == len(insight_schema())
+        assert any("Congestion" in line for line in lines)
+
+    def test_missing_key_raises(self):
+        with pytest.raises(InsightError, match="no value"):
+            InsightExtractor().encode({"congestion_early": "low"})
+
+    def test_bad_level_raises(self, flow_result, small_profile):
+        extractor = InsightExtractor()
+        vector = extractor.extract(flow_result, small_profile)
+        raw = dict(vector.raw)
+        raw["congestion_early"] = "extreme"
+        with pytest.raises(InsightError, match="expected one of"):
+            extractor.encode(raw)
+
+    def test_wrong_shape_vector_rejected(self):
+        with pytest.raises(InsightError, match="shape"):
+            InsightVector(design="x", values=np.zeros(10), raw={})
+
+    def test_congested_design_reads_congested(self):
+        profile = tiny_profile(
+            "TCg", sim_gate_count=500, utilization=0.9,
+            high_fanout_fraction=0.2, node="7nm", cluster_count=8,
+        )
+        result = run_flow(profile, FlowParameters(), seed=3)
+        vector = InsightExtractor().extract(result, profile)
+        sparse_profile = tiny_profile("TSp", sim_gate_count=200, utilization=0.4)
+        sparse_result = run_flow(sparse_profile, FlowParameters(), seed=3)
+        sparse_vector = InsightExtractor().extract(sparse_result, sparse_profile)
+        order = {"low": 0, "medium": 1, "high": 2}
+        assert (
+            order[vector.raw["congestion_final"]]
+            >= order[sparse_vector.raw["congestion_final"]]
+        )
+
+    def test_leaky_design_flags_leakage(self):
+        profile = tiny_profile("TLk", leakage_bias=3.0, activity=0.02,
+                               node="45nm", clock_tightness=1.5)
+        result = run_flow(profile, FlowParameters(), seed=3)
+        vector = InsightExtractor().extract(result, profile)
+        assert float(vector.raw["leakage_fraction"]) > 20.0

@@ -1,0 +1,103 @@
+"""End-to-end integration: archive -> alignment -> zero-shot -> online.
+
+These tests exercise the complete paper pipeline at miniature scale and
+assert the *shape* of the headline results: the aligned recommender's
+zero-shot picks must beat the bulk of known recipe sets (Table IV's Win%),
+and online fine-tuning must not regress the best-so-far QoR (Fig. 6).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.beam import beam_search
+from repro.core.crossval import evaluate_design
+from repro.core.online import OnlineConfig, OnlineFineTuner
+from repro.core.qor import QoRIntention
+from repro.core.recommender import InsightAlign
+from repro.flow.runner import run_flow
+from repro.recipes.apply import apply_recipe_set
+from repro.recipes.catalog import default_catalog
+from repro.utils.rng import derive_rng
+
+
+class TestZeroShotPipeline:
+    def test_recommendations_beat_random_median(self, mini_dataset, mini_model):
+        """Best-of-3 zero-shot beats the median known recipe set everywhere."""
+        model, _ = mini_model
+        for design in mini_dataset.designs():
+            row = evaluate_design(model, mini_dataset, design, beam_width=3,
+                                  seed=11)
+            assert row.win_pct >= 50.0, (design, row.win_pct)
+
+    def test_recommended_sets_are_evaluable(self, mini_dataset, mini_model):
+        model, _ = mini_model
+        catalog = default_catalog()
+        insight = mini_dataset.insight_for("D10")
+        for candidate in beam_search(model, insight, beam_width=3):
+            params = apply_recipe_set(list(candidate.recipe_set), catalog)
+            result = run_flow("D10", params, seed=11)
+            assert np.isfinite(result.qor["power_mw"])
+
+    def test_insight_conditioning_transfers(self, mini_dataset, mini_model):
+        """Different designs' insights should yield different proposals."""
+        model, _ = mini_model
+        picks = {
+            design: beam_search(
+                model, mini_dataset.insight_for(design), beam_width=1
+            )[0].recipe_set
+            for design in mini_dataset.designs()
+        }
+        assert len(set(picks.values())) >= 2
+
+
+class TestOnlinePipeline:
+    def test_online_never_regresses_best(self, mini_dataset, mini_model):
+        model, _ = mini_model
+        tuner = OnlineFineTuner(OnlineConfig(iterations=3, k=3, seed=9))
+        result = tuner.run(model.clone(), mini_dataset, "D10")
+        best = result.trajectory("best_score_so_far")
+        assert np.all(np.diff(best) >= -1e-12)
+
+    def test_online_explores_beyond_offline(self, mini_dataset, mini_model):
+        """The online loop evaluates recipe sets absent from the archive."""
+        model, _ = mini_model
+        tuner = OnlineFineTuner(OnlineConfig(iterations=2, k=3, seed=9))
+        result = tuner.run(model.clone(), mini_dataset, "D6")
+        known = {p.recipe_set for p in mini_dataset.by_design("D6")}
+        proposed = {
+            bits for record in result.records for bits in record.recipe_sets
+        }
+        assert proposed - known
+
+
+class TestIntentions:
+    def test_intention_changes_recommendations(self, mini_dataset):
+        """Training toward TNS-only vs power-only yields different policies."""
+        from repro.core.alignment import AlignmentConfig
+
+        config = AlignmentConfig(epochs=4, pairs_per_design=60, seed=13)
+        power_only = QoRIntention(metrics=(("power_mw", 1.0, False),))
+        tns_only = QoRIntention(metrics=(("tns_ns", 1.0, False),))
+        ia_power = InsightAlign.align_offline(
+            mini_dataset, intention=power_only, config=config
+        )
+        ia_tns = InsightAlign.align_offline(
+            mini_dataset, intention=tns_only, config=config
+        )
+        insight = mini_dataset.insight_for("D10")
+        pick_power = ia_power.recommend(insight, k=1)[0].recipe_set
+        pick_tns = ia_tns.recommend(insight, k=1)[0].recipe_set
+        assert pick_power != pick_tns
+
+
+class TestFlowRecipeEndToEnd:
+    def test_singleton_recipes_all_runnable(self):
+        """Every catalog recipe executes on a real design without error."""
+        catalog = default_catalog()
+        rng = derive_rng(0, "spot")
+        for index in rng.choice(40, size=8, replace=False):
+            bits = [0] * 40
+            bits[int(index)] = 1
+            params = apply_recipe_set(bits, catalog)
+            result = run_flow("D11", params, seed=0)
+            assert result.qor["power_mw"] > 0

@@ -1,0 +1,111 @@
+"""Tests for the intention-conditioned recommender extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import AlignmentConfig
+from repro.core.dataset import DataPoint, OfflineDataset
+from repro.core.multi_intention import (
+    CONDITIONED_METRICS,
+    MultiIntentionRecommender,
+    conditioned_insight,
+    intention_code,
+)
+from repro.core.qor import QoRIntention
+from repro.errors import TrainingError
+from repro.insights.extractor import InsightVector
+from repro.insights.schema import INSIGHT_DIMS
+from repro.utils.rng import derive_rng
+
+POWER_ONLY = QoRIntention(metrics=(("power_mw", 1.0, False),))
+TNS_ONLY = QoRIntention(metrics=(("tns_ns", 1.0, False),))
+
+
+def _conflicting_dataset(seed=0, n_points=200):
+    """Archive where recipe 5 helps power but hurts TNS, recipe 9 reversed.
+
+    Bits 5 and 9 appear in half the points so every 2x2 contrast cell is
+    well populated; the other bits are sparse background noise.
+    """
+    rng = derive_rng(seed, "conflict")
+    points = []
+    for _ in range(n_points):
+        bits = [0] * 40
+        for index in np.flatnonzero(rng.random(40) < 0.12):
+            bits[int(index)] = 1
+        bits[5] = int(rng.random() < 0.5)
+        bits[9] = int(rng.random() < 0.5)
+        power = 10.0 - 4.0 * bits[5] + 4.0 * bits[9] + rng.normal(0, 0.05)
+        tns = 5.0 + 4.0 * bits[5] - 4.0 * bits[9] + rng.normal(0, 0.05)
+        points.append(DataPoint("X", tuple(bits),
+                                {"power_mw": power, "tns_ns": tns}))
+    return OfflineDataset(
+        points=points,
+        insights={"X": InsightVector(
+            "X", rng.normal(size=(INSIGHT_DIMS,)), {}
+        )},
+    )
+
+
+class TestIntentionCode:
+    def test_normalized_and_signed(self):
+        from repro.core.multi_intention import _CODE_GAIN
+
+        code = intention_code(QoRIntention())
+        assert code.shape == (len(CONDITIONED_METRICS),)
+        assert np.abs(code).sum() == pytest.approx(_CODE_GAIN)
+        # Minimized metrics carry negative sign.
+        assert code[CONDITIONED_METRICS.index("power_mw")] < 0
+
+    def test_unsupported_metric_rejected(self):
+        bad = QoRIntention(metrics=(("area_um2", 1.0, False),))
+        with pytest.raises(TrainingError):
+            intention_code(bad)
+
+    def test_conditioned_insight_width(self):
+        insight = np.zeros(INSIGHT_DIMS)
+        out = conditioned_insight(insight, QoRIntention())
+        assert out.shape == (INSIGHT_DIMS + len(CONDITIONED_METRICS),)
+
+
+class TestMultiIntentionTraining:
+    def test_learns_conflicting_preferences(self):
+        """One model must prefer recipe 5 under power-intent and recipe 9
+        under TNS-intent, because the archive makes them trade off."""
+        dataset = _conflicting_dataset()
+        config = AlignmentConfig(
+            epochs=18, pairs_per_design=200, batch_size=128,
+            learning_rate=4e-3, seed=0,
+        )
+        recommender = MultiIntentionRecommender.train(
+            dataset, [POWER_ONLY, TNS_ONLY], config=config
+        )
+        insight = dataset.insight_for("X")
+        power_pick = recommender.recommend(insight, POWER_ONLY, k=1)[0]
+        tns_pick = recommender.recommend(insight, TNS_ONLY, k=1)[0]
+        assert power_pick.recipe_set != tns_pick.recipe_set
+        # The signature bits flip with the intention.
+        assert power_pick.recipe_set[5] == 1
+        assert power_pick.recipe_set[9] == 0
+        assert tns_pick.recipe_set[9] == 1
+        assert tns_pick.recipe_set[5] == 0
+
+    def test_empty_inputs_rejected(self):
+        dataset = _conflicting_dataset()
+        with pytest.raises(TrainingError):
+            MultiIntentionRecommender.train(dataset, [])
+        empty = OfflineDataset(points=[], insights={})
+        with pytest.raises(TrainingError):
+            MultiIntentionRecommender.train(empty, [POWER_ONLY])
+
+    def test_interpolated_intention_runs(self):
+        dataset = _conflicting_dataset()
+        config = AlignmentConfig(epochs=3, pairs_per_design=60, seed=1)
+        recommender = MultiIntentionRecommender.train(
+            dataset, [POWER_ONLY, TNS_ONLY], config=config
+        )
+        blended = QoRIntention(
+            metrics=(("power_mw", 0.5, False), ("tns_ns", 0.5, False))
+        )
+        picks = recommender.recommend(dataset.insight_for("X"), blended, k=3)
+        assert len(picks) == 3

@@ -1,0 +1,174 @@
+"""Tests for netlist containers, validation, and the synthetic generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.netlist.cell import CellInstance
+from repro.netlist.generator import _MAX_FANOUT, generate_netlist
+from repro.netlist.net import Net
+from repro.netlist.netlist import ClockSpec, Netlist
+from repro.netlist.profiles import DesignProfile, design_profiles, get_profile
+from repro.techlib.cells import CellFunction
+from repro.techlib.library import build_library
+
+from conftest import tiny_profile
+
+
+@pytest.fixture()
+def empty_netlist():
+    return Netlist(name="t", library=build_library("28nm"))
+
+
+def _cell(lib, name, function=CellFunction.INV, drive=2):
+    variant = next(c for c in lib.variants(function) if c.drive == drive)
+    return CellInstance(name=name, cell_type=variant)
+
+
+class TestNetlistContainer:
+    def test_duplicate_cell_raises(self, empty_netlist):
+        empty_netlist.add_cell(_cell(empty_netlist.library, "a"))
+        with pytest.raises(NetlistError, match="duplicate cell"):
+            empty_netlist.add_cell(_cell(empty_netlist.library, "a"))
+
+    def test_duplicate_net_raises(self, empty_netlist):
+        empty_netlist.add_net(Net(name="n1", driver=None))
+        with pytest.raises(NetlistError, match="duplicate net"):
+            empty_netlist.add_net(Net(name="n1", driver=None))
+
+    def test_validate_unknown_driver(self, empty_netlist):
+        empty_netlist.add_net(Net(name="n1", driver="ghost"))
+        with pytest.raises(NetlistError, match="unknown cell"):
+            empty_netlist.validate()
+
+    def test_validate_pin_count(self, empty_netlist):
+        lib = empty_netlist.library
+        cell = _cell(lib, "g", CellFunction.NAND2)
+        empty_netlist.add_cell(cell)
+        empty_netlist.add_net(Net(name="i0", driver=None, sinks=[("g", 0)]))
+        cell.input_nets = ("i0",)  # NAND2 needs two inputs
+        with pytest.raises(NetlistError, match="data inputs"):
+            empty_netlist.validate()
+
+    def test_position_before_placement_raises(self, empty_netlist):
+        cell = _cell(empty_netlist.library, "u")
+        with pytest.raises(RuntimeError, match="before placement"):
+            cell.placed()
+
+    def test_combinational_loop_detected(self, empty_netlist):
+        lib = empty_netlist.library
+        a = _cell(lib, "a", CellFunction.INV)
+        b = _cell(lib, "b", CellFunction.INV)
+        empty_netlist.add_cell(a)
+        empty_netlist.add_cell(b)
+        na = Net(name="na", driver="a", sinks=[("b", 0)])
+        nb = Net(name="nb", driver="b", sinks=[("a", 0)])
+        empty_netlist.add_net(na)
+        empty_netlist.add_net(nb)
+        a.output_net, a.input_nets = "na", ("nb",)
+        b.output_net, b.input_nets = "nb", ("na",)
+        with pytest.raises(NetlistError, match="loop"):
+            empty_netlist.topological_order()
+
+    def test_utilization_positive_die_required(self, empty_netlist):
+        empty_netlist.die_width_um = 0.0
+        with pytest.raises(NetlistError, match="non-positive area"):
+            empty_netlist.utilization()
+
+    def test_clock_net_must_exist(self, empty_netlist):
+        empty_netlist.clock = ClockSpec(net_name="clk", period_ps=100.0)
+        with pytest.raises(NetlistError, match="clock net"):
+            empty_netlist.validate()
+
+
+class TestGenerator:
+    def test_deterministic(self, small_profile):
+        a = generate_netlist(small_profile, seed=3)
+        b = generate_netlist(small_profile, seed=3)
+        assert a.cell_count == b.cell_count
+        assert sorted(a.nets) == sorted(b.nets)
+        assert a.clock.period_ps == b.clock.period_ps
+
+    def test_seed_changes_structure(self, small_profile):
+        a = generate_netlist(small_profile, seed=3)
+        b = generate_netlist(small_profile, seed=4)
+        pins_a = sorted((c.name, c.input_nets) for c in a.cells.values())
+        pins_b = sorted((c.name, c.input_nets) for c in b.cells.values())
+        assert pins_a != pins_b
+
+    def test_validates(self, small_netlist):
+        small_netlist.validate()  # must not raise
+
+    def test_register_count_matches_ratio(self, small_profile, small_netlist):
+        regs = len(small_netlist.sequential_cells())
+        expected = small_profile.sim_gate_count * small_profile.register_ratio
+        assert abs(regs - expected) <= max(4, 0.1 * expected)
+
+    def test_clock_feeds_all_registers(self, small_netlist):
+        clk = small_netlist.nets["clk"]
+        reg_sinks = {s for s, p in clk.sinks}
+        for reg in small_netlist.sequential_cells():
+            assert reg.name in reg_sinks
+
+    def test_fanout_capped_after_buffering(self, small_netlist):
+        for net in small_netlist.nets.values():
+            if net.is_clock:
+                continue
+            cell_sinks = sum(1 for _, p in net.sinks if p >= 0)
+            assert cell_sinks <= _MAX_FANOUT
+
+    def test_tight_clock_is_shorter(self):
+        easy = generate_netlist(tiny_profile("TE", clock_tightness=1.5), seed=1)
+        hard = generate_netlist(tiny_profile("TH", clock_tightness=1.02), seed=1)
+        assert hard.clock.period_ps < easy.clock.period_ps
+
+    def test_macros_become_blockages(self):
+        netlist = generate_netlist(tiny_profile("TM", macro_count=3), seed=1)
+        assert len(netlist.blockages) == 3
+        for (x, y, w, h) in netlist.blockages:
+            assert 0 <= x <= netlist.die_width_um
+            assert w > 0 and h > 0
+
+    def test_primary_outputs_exist(self, small_netlist):
+        assert small_netlist.primary_outputs
+        for net_name in small_netlist.primary_outputs:
+            assert net_name in small_netlist.nets
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        gates=st.integers(100, 400),
+        depth=st.integers(3, 10),
+        seed=st.integers(0, 5),
+    )
+    def test_arbitrary_profiles_valid(self, gates, depth, seed):
+        profile = tiny_profile("TP", sim_gate_count=gates, logic_depth=depth)
+        netlist = generate_netlist(profile, seed=seed)
+        netlist.validate()
+        assert netlist.clock.period_ps > 0
+        assert 0.0 < netlist.utilization() < 1.2
+
+
+class TestProfiles:
+    def test_seventeen_designs(self):
+        assert len(design_profiles()) == 17
+        assert [p.name for p in design_profiles()] == [
+            f"D{i}" for i in range(1, 18)
+        ]
+
+    def test_unknown_design_raises(self):
+        with pytest.raises(NetlistError, match="unknown design"):
+            get_profile("D99")
+
+    def test_nodes_span_45_to_7(self):
+        nodes = {p.node for p in design_profiles()}
+        assert {"45nm", "7nm"} <= nodes
+
+    def test_profile_validation(self):
+        with pytest.raises(NetlistError):
+            DesignProfile("bad", "x", "7nm", 10, 1.0, 5, 0.2, 2.0, 0.05,
+                          2, 0, 0.1, 1.1, 0.6, 0.1, 1.0, 0.5)
+
+    def test_diverse_scales(self):
+        scales = [p.reported_scale for p in design_profiles()]
+        assert max(scales) / min(scales) > 1e3

@@ -1,0 +1,114 @@
+"""Tests for Verilog / DEF interchange: write -> read roundtrips."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.generator import generate_netlist
+from repro.netlist.io import apply_def, read_verilog, write_def, write_verilog
+from repro.placement.placer import PlacerParams, place
+from repro.techlib.library import build_library
+
+from conftest import tiny_profile
+
+
+@pytest.fixture(scope="module")
+def design():
+    profile = tiny_profile("TIO", sim_gate_count=150)
+    netlist = generate_netlist(profile, seed=3)
+    return profile, netlist
+
+
+class TestVerilogRoundtrip:
+    def test_topology_preserved(self, design, tmp_path):
+        _, netlist = design
+        path = tmp_path / "design.v"
+        write_verilog(netlist, path)
+        library = build_library(netlist.library.node.name)
+        loaded = read_verilog(path, library)
+        loaded.validate()
+        assert loaded.cell_count == netlist.cell_count
+        assert loaded.net_count == netlist.net_count
+        assert sorted(loaded.primary_outputs) == sorted(netlist.primary_outputs)
+        # Per-cell connectivity identical.
+        for name, cell in netlist.cells.items():
+            twin = loaded.cells[name]
+            assert twin.cell_type.name == cell.cell_type.name
+            assert twin.input_nets == cell.input_nets
+            assert twin.output_net == cell.output_net
+
+    def test_clock_period_preserved(self, design, tmp_path):
+        _, netlist = design
+        path = tmp_path / "design.v"
+        write_verilog(netlist, path)
+        loaded = read_verilog(path, build_library(netlist.library.node.name))
+        assert loaded.clock is not None
+        assert loaded.clock.period_ps == pytest.approx(netlist.clock.period_ps)
+        assert loaded.nets["clk"].is_clock
+
+    def test_fanout_preserved(self, design, tmp_path):
+        _, netlist = design
+        path = tmp_path / "design.v"
+        write_verilog(netlist, path)
+        loaded = read_verilog(path, build_library(netlist.library.node.name))
+        for name, net in netlist.nets.items():
+            assert loaded.nets[name].fanout == net.fanout, name
+
+    def test_unknown_cell_rejected(self, tmp_path):
+        path = tmp_path / "bad.v"
+        path.write_text(
+            "module bad (clk);\n  input clk;\n  wire n1;\n"
+            "  MAGIC_X9 u1 (.A(clk), .Y(n1));\nendmodule\n"
+        )
+        with pytest.raises(NetlistError, match="unknown library cell"):
+            read_verilog(path, build_library("28nm"))
+
+    def test_missing_module_rejected(self, tmp_path):
+        path = tmp_path / "empty.v"
+        path.write_text("// nothing here\n")
+        with pytest.raises(NetlistError, match="no module"):
+            read_verilog(path, build_library("28nm"))
+
+
+class TestDefRoundtrip:
+    def test_placement_preserved(self, design, tmp_path):
+        profile, _ = design
+        netlist = generate_netlist(profile, seed=3)
+        place(netlist, PlacerParams(), seed=3)
+        path = tmp_path / "design.def"
+        write_def(netlist, path)
+
+        fresh = generate_netlist(profile, seed=3)
+        placed = apply_def(fresh, path)
+        movable = [c for c in netlist.cells.values() if c.position is not None]
+        assert placed == len(movable)
+        for cell in movable:
+            x, y = cell.position
+            fx, fy = fresh.cells[cell.name].position
+            assert fx == pytest.approx(x, abs=1e-3)
+            assert fy == pytest.approx(y, abs=1e-3)
+        assert fresh.die_width_um == pytest.approx(netlist.die_width_um, abs=1e-3)
+
+    def test_unknown_component_rejected(self, design, tmp_path):
+        profile, _ = design
+        netlist = generate_netlist(profile, seed=3)
+        place(netlist, PlacerParams(), seed=3)
+        path = tmp_path / "design.def"
+        write_def(netlist, path)
+        other = generate_netlist(tiny_profile("TIO2", sim_gate_count=100), seed=9)
+        with pytest.raises(NetlistError, match="not in netlist"):
+            apply_def(other, path)
+
+    def test_flow_on_reloaded_netlist(self, design, tmp_path):
+        """A netlist reloaded from Verilog runs the full timing chain."""
+        from repro.cts.tree import CtsParams, synthesize_clock_tree
+        from repro.timing.constraints import default_constraints
+        from repro.timing.sta import run_sta
+
+        profile, netlist = design
+        v_path = tmp_path / "design.v"
+        write_verilog(netlist, v_path)
+        loaded = read_verilog(v_path, build_library(netlist.library.node.name))
+        place(loaded, PlacerParams(), seed=3)
+        tree = synthesize_clock_tree(loaded, CtsParams(), seed=3)
+        report = run_sta(loaded, default_constraints(loaded), tree)
+        assert report.endpoint_count > 0

@@ -1,0 +1,225 @@
+"""Tests for NN layers, attention, optimizers and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn.attention import (
+    SingleHeadAttention,
+    TransformerDecoderLayer,
+    causal_mask,
+)
+from repro.nn.layers import (
+    Embedding,
+    FeedForward,
+    LayerNorm,
+    Linear,
+    Module,
+    positional_encoding,
+)
+from repro.nn.optim import SGD, Adam, clip_grad_norm
+from repro.nn.serialization import load_state, save_state
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_shapes(self):
+        layer = Linear(5, 3, seed=1)
+        out = layer(Tensor(np.ones((4, 5))))
+        assert out.shape == (4, 3)
+
+    def test_no_bias(self):
+        layer = Linear(5, 3, seed=1, bias=False)
+        assert layer.bias is None
+        zero_out = layer(Tensor(np.zeros((1, 5))))
+        assert np.allclose(zero_out.numpy(), 0.0)
+
+    def test_deterministic_init(self):
+        a = Linear(5, 3, seed=1)
+        b = Linear(5, 3, seed=1)
+        assert np.array_equal(a.weight.data, b.weight.data)
+
+    def test_gradients_reach_params(self):
+        layer = Linear(5, 3, seed=1)
+        loss = (layer(Tensor(np.ones((2, 5)))) ** 2).sum()
+        loss.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestEmbedding:
+    def test_lookup(self):
+        emb = Embedding(10, 4, seed=1)
+        out = emb(np.array([1, 1, 3]))
+        assert out.shape == (3, 4)
+        assert np.array_equal(out.numpy()[0], out.numpy()[1])
+
+    def test_scatter_grad_accumulates(self):
+        emb = Embedding(10, 4, seed=1)
+        out = emb(np.array([2, 2]))
+        out.sum().backward()
+        assert np.allclose(emb.weight.grad[2], 2.0)
+        assert np.allclose(emb.weight.grad[3], 0.0)
+
+
+class TestLayerNorm:
+    def test_normalizes(self):
+        layer = LayerNorm(8)
+        out = layer(Tensor(np.random.default_rng(0).normal(2.0, 5.0, (3, 8))))
+        assert np.allclose(out.numpy().mean(axis=-1), 0.0, atol=1e-9)
+        assert np.allclose(out.numpy().std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gamma_beta_trainable(self):
+        layer = LayerNorm(4)
+        (layer(Tensor(np.random.default_rng(1).normal(size=(2, 4)))) ** 2).sum().backward()
+        assert layer.gamma.grad is not None
+        assert layer.beta.grad is not None
+
+
+class TestModule:
+    def test_state_dict_roundtrip(self):
+        mod = FeedForward(4, 8, seed=3)
+        state = mod.state_dict()
+        twin = FeedForward(4, 8, seed=99)
+        twin.load_state_dict(state)
+        x = Tensor(np.ones((2, 4)))
+        assert np.allclose(mod(x).numpy(), twin(x).numpy())
+
+    def test_state_dict_mismatch_raises(self):
+        mod = FeedForward(4, 8, seed=3)
+        state = mod.state_dict()
+        del state["up.weight"]
+        with pytest.raises(KeyError, match="missing"):
+            FeedForward(4, 8, seed=3).load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        mod = Linear(4, 2, seed=0)
+        state = mod.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            mod.load_state_dict(state)
+
+    def test_clone_independent(self):
+        mod = Linear(4, 2, seed=0)
+        twin = mod.clone()
+        twin.weight.data += 1.0
+        assert not np.allclose(mod.weight.data, twin.weight.data)
+
+    def test_train_eval_propagates(self):
+        mod = FeedForward(4, 8, seed=0)
+        mod.eval()
+        assert not mod.training
+        assert not mod.up.training
+        mod.train()
+        assert mod.up.training
+
+
+class TestPositionalEncoding:
+    def test_shape_and_determinism(self):
+        a = positional_encoding(40, 32)
+        b = positional_encoding(40, 32)
+        assert a.shape == (40, 32)
+        assert np.array_equal(a, b)
+
+    def test_positions_distinct(self):
+        code = positional_encoding(40, 32)
+        assert not np.allclose(code[0], code[1])
+
+
+class TestAttention:
+    def test_causal_mask(self):
+        mask = causal_mask(4)
+        assert mask[0, 1] and mask[2, 3]
+        assert not mask[1, 0] and not mask[3, 3]
+
+    def test_cross_attention_shape(self):
+        attn = SingleHeadAttention(8, seed=0)
+        out = attn(Tensor(np.ones((5, 8))), Tensor(np.ones((2, 8))))
+        assert out.shape == (5, 8)
+
+    def test_decoder_causality(self):
+        dec = TransformerDecoderLayer(8, seed=0)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(6, 8))
+        mem = Tensor(rng.normal(size=(1, 8)))
+        base = dec(Tensor(x), mem).numpy()
+        x_mod = x.copy()
+        x_mod[4] += 5.0
+        modified = dec(Tensor(x_mod), mem).numpy()
+        assert np.allclose(base[:4], modified[:4])
+        assert not np.allclose(base[4:], modified[4:])
+
+    def test_memory_changes_everything(self):
+        dec = TransformerDecoderLayer(8, seed=0)
+        rng = np.random.default_rng(3)
+        x = Tensor(rng.normal(size=(6, 8)))
+        out1 = dec(x, Tensor(rng.normal(size=(1, 8)))).numpy()
+        out2 = dec(x, Tensor(rng.normal(size=(1, 8)))).numpy()
+        assert not np.allclose(out1, out2)
+
+    def test_batched_matches_loop(self):
+        dec = TransformerDecoderLayer(8, seed=0)
+        rng = np.random.default_rng(5)
+        xs = rng.normal(size=(3, 6, 8))
+        mems = rng.normal(size=(3, 1, 8))
+        batched = dec(Tensor(xs), Tensor(mems)).numpy()
+        for row in range(3):
+            single = dec(Tensor(xs[row]), Tensor(mems[row])).numpy()
+            np.testing.assert_allclose(single, batched[row], atol=1e-10)
+
+
+class TestOptim:
+    def test_sgd_descends(self):
+        x = Tensor(np.array([5.0]), requires_grad=True)
+        opt = SGD([x], lr=0.1)
+        for _ in range(50):
+            opt.zero_grad()
+            (x * x).sum().backward()
+            opt.step()
+        assert abs(float(x.data[0])) < 0.1
+
+    def test_adam_descends_quadratic(self):
+        x = Tensor(np.array([3.0, -4.0]), requires_grad=True)
+        opt = Adam([x], lr=0.2)
+        for _ in range(200):
+            opt.zero_grad()
+            (x * x).sum().backward()
+            opt.step()
+        assert np.all(np.abs(x.data) < 0.05)
+
+    def test_bad_lr_raises(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        with pytest.raises(ValueError):
+            Adam([x], lr=0.0)
+        with pytest.raises(ValueError):
+            SGD([x], lr=-1.0)
+
+    def test_clip_grad_norm(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        x.grad = np.array([30.0])
+        y = Tensor(np.array([1.0]), requires_grad=True)
+        y.grad = np.array([40.0])
+        norm = clip_grad_norm([x, y], max_norm=5.0)
+        assert norm == pytest.approx(50.0)
+        new_norm = float(np.sqrt((x.grad ** 2 + y.grad ** 2)[0]))
+        assert new_norm == pytest.approx(5.0)
+
+    def test_momentum_sgd(self):
+        x = Tensor(np.array([5.0]), requires_grad=True)
+        opt = SGD([x], lr=0.05, momentum=0.9)
+        for _ in range(60):
+            opt.zero_grad()
+            (x * x).sum().backward()
+            opt.step()
+        assert abs(float(x.data[0])) < 0.5
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        mod = TransformerDecoderLayer(8, seed=4)
+        path = tmp_path / "weights.npz"
+        save_state(mod, path)
+        twin = TransformerDecoderLayer(8, seed=99)
+        load_state(twin, path)
+        x = Tensor(np.ones((3, 8)))
+        mem = Tensor(np.ones((1, 8)))
+        assert np.allclose(mod(x, mem).numpy(), twin(x, mem).numpy())

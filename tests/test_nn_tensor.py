@@ -1,0 +1,196 @@
+"""Autograd engine tests: finite-difference checks on every operation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.tensor import Tensor
+
+
+def numeric_gradient(fn, x0, eps=1e-6):
+    """Central finite differences of a scalar-valued fn at x0."""
+    grad = np.zeros_like(x0)
+    flat = grad.ravel()
+    for index in range(x0.size):
+        plus = x0.copy().ravel()
+        minus = x0.copy().ravel()
+        plus[index] += eps
+        minus[index] -= eps
+        flat[index] = (
+            fn(plus.reshape(x0.shape)) - fn(minus.reshape(x0.shape))
+        ) / (2 * eps)
+    return grad
+
+
+def check_grad(build, x0, atol=1e-6):
+    """Compare autograd and numeric gradients for scalar loss ``build``."""
+    x = Tensor(x0.copy(), requires_grad=True)
+    loss = build(x)
+    loss.backward()
+    numeric = numeric_gradient(lambda a: build(Tensor(a)).item(), x0)
+    assert x.grad is not None
+    np.testing.assert_allclose(x.grad, numeric, atol=atol)
+
+
+RNG = np.random.default_rng(0)
+X23 = RNG.normal(size=(2, 3))
+W34 = Tensor(RNG.normal(size=(3, 4)))
+C23 = Tensor(RNG.normal(size=(2, 3)))
+
+
+class TestElementwiseGrads:
+    def test_add(self):
+        check_grad(lambda x: (x + C23).sum(), X23)
+
+    def test_mul(self):
+        check_grad(lambda x: (x * C23).sum(), X23)
+
+    def test_sub_rsub(self):
+        check_grad(lambda x: (1.0 - x).sum(), X23)
+
+    def test_div(self):
+        check_grad(lambda x: (x / (C23 + 10.0)).sum(), X23)
+
+    def test_rdiv(self):
+        check_grad(lambda x: (1.0 / (x + 10.0)).sum(), X23)
+
+    def test_pow(self):
+        check_grad(lambda x: (x ** 2).sum(), X23)
+
+    def test_neg(self):
+        check_grad(lambda x: (-x).sum(), X23)
+
+    def test_exp(self):
+        check_grad(lambda x: x.exp().sum(), X23)
+
+    def test_log(self):
+        check_grad(lambda x: (x + 10.0).log().sum(), X23)
+
+    def test_tanh(self):
+        check_grad(lambda x: x.tanh().sum(), X23)
+
+    def test_sigmoid(self):
+        check_grad(lambda x: (x.sigmoid() * C23).sum(), X23)
+
+    def test_relu(self):
+        check_grad(lambda x: (x + 0.1).relu().sum(), X23)
+
+    def test_clip_min(self):
+        check_grad(lambda x: x.clip_min(0.2).sum(), X23)
+
+    def test_log_sigmoid(self):
+        check_grad(lambda x: x.log_sigmoid().sum(), X23)
+
+    def test_softmax(self):
+        check_grad(lambda x: (x.softmax(axis=-1) * C23).sum(), X23)
+
+
+class TestShapeGrads:
+    def test_matmul(self):
+        check_grad(lambda x: ((x @ W34).tanh()).sum(), X23)
+
+    def test_batched_matmul(self):
+        a0 = RNG.normal(size=(2, 3, 4))
+        b = Tensor(RNG.normal(size=(2, 4, 3)))
+        check_grad(lambda x: ((x @ b) ** 2).sum(), a0)
+
+    def test_broadcast_add(self):
+        bias = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        x = Tensor(X23.copy())
+        loss = (x + bias).sum()
+        loss.backward()
+        np.testing.assert_allclose(bias.grad, np.full(3, 2.0))
+
+    def test_reshape(self):
+        check_grad(lambda x: (x.reshape(6) * Tensor(np.arange(6.0))).sum(), X23)
+
+    def test_transpose(self):
+        check_grad(lambda x: (x.transpose() @ C23).sum(), X23)
+
+    def test_getitem(self):
+        check_grad(lambda x: (x[0] * Tensor(np.ones(3))).sum(), X23)
+
+    def test_take_rows(self):
+        indices = np.array([0, 1, 1, 0])
+        check_grad(lambda x: (x.take_rows(indices) ** 2).sum(), X23)
+
+    def test_concat(self):
+        a0 = RNG.normal(size=(2, 2))
+
+        def build(x):
+            other = Tensor(np.ones((2, 2)))
+            return (Tensor.concat([x, other], axis=1) ** 2).sum()
+
+        check_grad(build, a0)
+
+    def test_stack(self):
+        a0 = RNG.normal(size=(2, 2))
+
+        def build(x):
+            other = Tensor(np.ones((2, 2)))
+            return (Tensor.stack([x, other], axis=0) ** 2).sum()
+
+        check_grad(build, a0)
+
+    def test_masked_fill(self):
+        mask = np.array([[True, False, False], [False, True, False]])
+        check_grad(lambda x: (x.masked_fill(mask, -5.0) * C23).sum(), X23)
+
+    def test_mean_axis(self):
+        check_grad(lambda x: (x.mean(axis=0) * Tensor(np.ones(3))).sum(), X23)
+
+    def test_sum_keepdims(self):
+        check_grad(lambda x: (x.sum(axis=1, keepdims=True) ** 2).sum(), X23)
+
+
+class TestGraphMechanics:
+    def test_backward_on_nonscalar_requires_grad_arg(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError, match="non-scalar"):
+            (x * 2).backward()
+
+    def test_grad_accumulates_over_reuse(self):
+        x = Tensor(np.array(3.0), requires_grad=True)
+        loss = x * x + x  # dx = 2x + 1 = 7
+        loss.backward()
+        assert x.grad == pytest.approx(7.0)
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array(2.0), requires_grad=True)
+        a = x * 3.0
+        b = x * 4.0
+        loss = a * b  # 12 x^2 -> d = 24x = 48
+        loss.backward()
+        assert x.grad == pytest.approx(48.0)
+
+    def test_zero_grad(self):
+        x = Tensor(np.array(1.0), requires_grad=True)
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_detach_breaks_graph(self):
+        x = Tensor(np.array(2.0), requires_grad=True)
+        y = (x * 3.0).detach()
+        loss = y * x
+        loss.backward()
+        assert x.grad == pytest.approx(6.0)  # y treated as constant
+
+    def test_no_grad_tensor_untouched(self):
+        x = Tensor(np.array(2.0))
+        y = Tensor(np.array(3.0), requires_grad=True)
+        (x * y).backward()
+        assert x.grad is None
+        assert y.grad == pytest.approx(2.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.floats(-3, 3), min_size=4, max_size=4),
+    )
+    def test_composite_expression_grads(self, values):
+        x0 = np.array(values).reshape(2, 2)
+
+        def build(x):
+            return ((x.tanh() @ Tensor(np.eye(2))).sigmoid() ** 2).sum()
+
+        check_grad(build, x0, atol=1e-5)

@@ -1,0 +1,134 @@
+"""White-box tests for the optimizer's individual moves."""
+
+import numpy as np
+import pytest
+
+from repro.cts.tree import CtsParams, synthesize_clock_tree
+from repro.flow.opt import (
+    _apply_useful_skew,
+    _power_recovery_pass,
+    _setup_sizing_pass,
+    _splice_buffer,
+)
+from repro.flow.parameters import OptParams, TradeoffWeights
+from repro.netlist.generator import generate_netlist
+from repro.placement.placer import PlacerParams, place
+from repro.techlib.cells import CellFunction
+from repro.timing.constraints import default_constraints
+from repro.timing.sta import run_sta
+
+from conftest import tiny_profile
+
+
+@pytest.fixture()
+def prepared():
+    profile = tiny_profile("TOI", sim_gate_count=240, clock_tightness=1.02)
+    netlist = generate_netlist(profile, seed=23)
+    place(netlist, PlacerParams(), seed=23)
+    tree = synthesize_clock_tree(netlist, CtsParams(), seed=23)
+    constraints = default_constraints(netlist)
+    report = run_sta(netlist, constraints, tree)
+    return netlist, tree, constraints, report
+
+
+class TestSizingPass:
+    def test_upsizes_negative_slack_cells(self, prepared):
+        netlist, tree, constraints, report = prepared
+        sizes_before = {n: c.cell_type.drive for n, c in netlist.cells.items()}
+        moved = _setup_sizing_pass(
+            netlist, report, OptParams(), TradeoffWeights(), throttle=1.0
+        )
+        assert moved > 0
+        upsized = [
+            n for n, c in netlist.cells.items()
+            if c.cell_type.drive > sizes_before[n]
+        ]
+        assert len(upsized) == moved
+        # Only cells that had negative slack moved.
+        for name in upsized:
+            assert report.cell_slack_ps[name] < 0
+
+    def test_timing_pressure_raises_quota(self, prepared):
+        netlist, tree, constraints, report = prepared
+        negatives = sum(1 for s in report.cell_slack_ps.values() if s < 0)
+        if negatives < 10:
+            pytest.skip("too few violating cells to compare quotas")
+        import copy
+
+        timing_first = _setup_sizing_pass(
+            copy.deepcopy(netlist), report, OptParams(),
+            TradeoffWeights(timing=3.0, power=0.3), throttle=1.0,
+        )
+        power_first = _setup_sizing_pass(
+            copy.deepcopy(netlist), report, OptParams(),
+            TradeoffWeights(timing=0.3, power=3.0), throttle=1.0,
+        )
+        assert timing_first >= power_first
+
+
+class TestUsefulSkew:
+    def test_capped_at_fraction_of_period(self, prepared):
+        netlist, tree, constraints, report = prepared
+        touched = _apply_useful_skew(report, tree, constraints, gain=5.0)
+        if touched == 0:
+            pytest.skip("no violating endpoints")
+        cap = 0.2 * constraints.period_ps
+        assert all(v <= cap + 1e-9 for v in tree.useful_skew_ps.values())
+
+    def test_only_violating_endpoints_touched(self, prepared):
+        netlist, tree, constraints, report = prepared
+        tree.useful_skew_ps.clear()
+        _apply_useful_skew(report, tree, constraints, gain=0.5)
+        for endpoint in tree.useful_skew_ps:
+            assert report.endpoint_slack_ps[endpoint] < 0
+
+
+class TestSpliceBuffer:
+    def test_splice_preserves_structure_and_adds_delay(self, prepared):
+        netlist, tree, constraints, _ = prepared
+        endpoint = netlist.sequential_cells()[0].name
+        base = run_sta(netlist, constraints, tree)
+        pad_cell = netlist.library.default_variant(CellFunction.BUF)
+        cells_before = netlist.cell_count
+        _splice_buffer(netlist, endpoint, pad_cell, netlist.library.node)
+        netlist.validate()
+        assert netlist.cell_count == cells_before + 1
+        after = run_sta(netlist, constraints, tree)
+        # The endpoint's min-arrival (hold) and max-arrival (setup) both
+        # shift by the pad delay: hold slack up, setup slack down.
+        assert after.endpoint_hold_slack_ps[endpoint] > \
+            base.endpoint_hold_slack_ps[endpoint]
+        assert after.endpoint_slack_ps[endpoint] < \
+            base.endpoint_slack_ps[endpoint]
+
+    def test_splice_names_unique(self, prepared):
+        netlist, _, _, _ = prepared
+        pad_cell = netlist.library.default_variant(CellFunction.BUF)
+        regs = [c.name for c in netlist.sequential_cells()[:3]]
+        for endpoint in regs:
+            _splice_buffer(netlist, endpoint, pad_cell, netlist.library.node)
+        names = [n for n in netlist.cells if n.startswith("holdbuf_")]
+        assert len(names) == len(set(names)) >= 3
+
+
+class TestPowerRecovery:
+    def test_downsizes_only_slack_rich_cells(self, prepared):
+        netlist, tree, constraints, _ = prepared
+        # Relax the clock so everything has headroom.
+        import dataclasses
+
+        relaxed = dataclasses.replace(
+            constraints, period_ps=constraints.period_ps * 3.0
+        )
+        report = run_sta(netlist, relaxed, tree)
+        drives_before = {n: c.cell_type.drive for n, c in netlist.cells.items()}
+        moved = _power_recovery_pass(
+            netlist, report, relaxed,
+            OptParams(leakage_recovery=2.0, downsize_slack_margin=0.1),
+            TradeoffWeights(power=2.0),
+        )
+        assert moved > 0
+        margin = 0.1 * relaxed.period_ps / max(0.5, 2.0)
+        for name, cell in netlist.cells.items():
+            if cell.cell_type.drive < drives_before[name]:
+                assert report.cell_slack_ps[name] > margin

@@ -1,0 +1,169 @@
+"""Tests for Pareto utilities, terminal viz, and netlist statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.pareto import (
+    coverage_ratio,
+    dominates,
+    hypervolume_2d,
+    pareto_front,
+    pareto_front_mask,
+    qor_points,
+)
+from repro.errors import TrainingError
+from repro.netlist.stats import compute_stats
+from repro.viz import ascii_heatmap, sparkline, trajectory_panel
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates([1.0, 1.0], [2.0, 2.0])
+        assert dominates([1.0, 2.0], [2.0, 2.0])
+
+    def test_no_self_dominance(self):
+        assert not dominates([1.0, 1.0], [1.0, 1.0])
+
+    def test_incomparable(self):
+        assert not dominates([1.0, 3.0], [3.0, 1.0])
+        assert not dominates([3.0, 1.0], [1.0, 3.0])
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        points = np.array([[1, 5], [2, 3], [4, 2], [5, 5], [3, 4]])
+        mask = pareto_front_mask(points)
+        np.testing.assert_array_equal(mask, [True, True, True, False, False])
+
+    def test_front_points_mutually_incomparable(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 10, size=(40, 2))
+        front = pareto_front(points)
+        for i in range(len(front)):
+            for j in range(len(front)):
+                if i != j:
+                    assert not dominates(front[i], front[j])
+
+    def test_1d_rejected(self):
+        with pytest.raises(TrainingError):
+            pareto_front_mask(np.array([1.0, 2.0]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_front_dominates_everything_else(self, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.uniform(0, 10, size=(25, 2))
+        mask = pareto_front_mask(points)
+        front = points[mask]
+        for dominated in points[~mask]:
+            assert any(dominates(f, dominated) for f in front)
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        hv = hypervolume_2d(np.array([[1.0, 1.0]]), reference=(3.0, 3.0))
+        assert hv == pytest.approx(4.0)
+
+    def test_staircase(self):
+        points = np.array([[1.0, 2.0], [2.0, 1.0]])
+        hv = hypervolume_2d(points, reference=(3.0, 3.0))
+        # Two 2x1 rectangles overlapping in a 1x1 square: 2 + 2 - 1 = 3.
+        assert hv == pytest.approx(3.0)
+
+    def test_points_beyond_reference_ignored(self):
+        hv = hypervolume_2d(np.array([[5.0, 5.0]]), reference=(3.0, 3.0))
+        assert hv == 0.0
+
+    def test_monotone_in_points(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 2.5, size=(10, 2))
+        subset_hv = hypervolume_2d(points[:5], (3.0, 3.0))
+        full_hv = hypervolume_2d(points, (3.0, 3.0))
+        assert full_hv >= subset_hv - 1e-12
+
+    def test_coverage_ratio(self):
+        archive = np.array([[1.0, 2.0], [2.0, 1.0]])
+        candidates = np.array([[0.5, 0.5]])
+        ratio = coverage_ratio(candidates, archive, (3.0, 3.0))
+        assert ratio > 1.0  # the candidate extends past the archive front
+
+    def test_zero_archive_raises(self):
+        with pytest.raises(TrainingError):
+            coverage_ratio(
+                np.array([[1.0, 1.0]]), np.array([[9.0, 9.0]]), (3.0, 3.0)
+            )
+
+    def test_qor_points_extraction(self):
+        points = qor_points([
+            {"power_mw": 1.0, "tns_ns": 2.0, "other": 9.0},
+            {"power_mw": 3.0, "tns_ns": 4.0},
+        ])
+        np.testing.assert_array_equal(points, [[1.0, 2.0], [3.0, 4.0]])
+
+
+class TestViz:
+    def test_heatmap_shape_and_legend(self):
+        grid = np.arange(12.0).reshape(3, 4)
+        text = ascii_heatmap(grid, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 1 + 3 + 1  # title + rows + legend
+        assert all(line.startswith("|") for line in lines[1:4])
+
+    def test_heatmap_extremes(self):
+        grid = np.array([[0.0, 1.0]])
+        text = ascii_heatmap(grid, legend=False)
+        assert text.splitlines()[-1] == "| @|".replace(" ", " ")
+
+    def test_heatmap_nan(self):
+        grid = np.array([[np.nan, 1.0]])
+        assert "?" in ascii_heatmap(grid, legend=False)
+
+    def test_heatmap_rejects_1d(self):
+        with pytest.raises(ValueError):
+            ascii_heatmap(np.arange(4.0))
+
+    def test_sparkline_monotone(self):
+        line = sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_trajectory_panel(self):
+        text = trajectory_panel(["a", "bb"], [[1, 2], [3, 1]])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "1 -> 2" in lines[0]
+
+    def test_trajectory_panel_mismatch(self):
+        with pytest.raises(ValueError):
+            trajectory_panel(["a"], [[1], [2]])
+
+
+class TestNetlistStats:
+    def test_stats_consistency(self, small_netlist):
+        stats = compute_stats(small_netlist)
+        assert stats.cell_count == small_netlist.cell_count
+        assert stats.register_count == len(small_netlist.sequential_cells())
+        assert stats.register_count + stats.combinational_count <= stats.cell_count
+        assert sum(stats.function_mix.values()) == stats.cell_count
+        assert sum(stats.drive_mix.values()) == stats.cell_count
+        assert stats.max_fanout >= 1
+        assert 0.0 <= stats.rent_exponent <= 1.0
+
+    def test_render_contains_key_sections(self, small_netlist):
+        text = compute_stats(small_netlist).render()
+        for token in ("Netlist statistics", "fanout", "logic depth",
+                      "function mix", "rent exponent"):
+            assert token in text
+
+    def test_fanout_histogram_covers_all_nets(self, small_netlist):
+        stats = compute_stats(small_netlist)
+        nets_with_fanout = sum(
+            1 for n in small_netlist.nets.values()
+            if not n.is_clock and n.fanout > 0
+        )
+        assert sum(stats.fanout_histogram.values()) == nets_with_fanout

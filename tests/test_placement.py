@@ -1,0 +1,180 @@
+"""Tests for the placement engine: grid, congestion maps, placer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netlist.generator import generate_netlist
+from repro.placement.congestion import (
+    classify_congestion,
+    congestion_overflow,
+    congestion_summary,
+    net_bounding_boxes,
+    rudy_map,
+    rudy_map_fast,
+)
+from repro.placement.grid import PlacementGrid
+from repro.placement.placer import PlacerParams, place
+from repro.utils.rng import derive_rng
+
+from conftest import tiny_profile
+
+
+@pytest.fixture()
+def grid():
+    return PlacementGrid.for_die(100.0, 100.0, blockages=[], target_bins=10)
+
+
+class TestGrid:
+    def test_bin_geometry(self, grid):
+        assert grid.bins_x == 10 and grid.bins_y == 10
+        assert grid.bin_width_um == pytest.approx(10.0)
+        assert grid.bin_area_um2 == pytest.approx(100.0)
+
+    def test_bin_indices_clipped(self, grid):
+        rows, cols = grid.bin_indices(np.array([-5.0, 150.0]), np.array([50.0, 50.0]))
+        assert cols[0] == 0 and cols[1] == grid.bins_x - 1
+
+    def test_blockage_rasterized(self):
+        grid = PlacementGrid.for_die(
+            100.0, 100.0, blockages=[(0.0, 0.0, 50.0, 50.0)], target_bins=10
+        )
+        assert grid.blockage_fraction[0, 0] == pytest.approx(1.0)
+        assert grid.blockage_fraction[9, 9] == pytest.approx(0.0)
+        assert grid.blockage_fraction.max() <= 1.0
+
+    def test_density_conserves_area(self, grid):
+        rng = derive_rng(0, "dens")
+        xs = rng.uniform(0, 100, 200)
+        ys = rng.uniform(0, 100, 200)
+        areas = np.full(200, 2.0)
+        density = grid.density_map(xs, ys, areas, blockage_penalty=False)
+        total_used = (density * grid.bin_area_um2).sum()
+        assert total_used == pytest.approx(400.0, rel=1e-9)
+
+    def test_blockage_penalty_flag(self):
+        grid = PlacementGrid.for_die(
+            100.0, 100.0, blockages=[(0.0, 0.0, 15.0, 15.0)], target_bins=10
+        )
+        xs = np.array([50.0])
+        ys = np.array([50.0])
+        areas = np.array([1.0])
+        with_pen = grid.density_map(xs, ys, areas, blockage_penalty=True)
+        without = grid.density_map(xs, ys, areas, blockage_penalty=False)
+        assert with_pen[0, 0] > without[0, 0]
+
+
+class TestRudy:
+    def test_fast_matches_reference(self, grid):
+        rng = derive_rng(1, "rudy")
+        boxes = []
+        lengths = []
+        for _ in range(40):
+            x0, y0 = rng.uniform(0, 80, 2)
+            w, h = rng.uniform(1, 20, 2)
+            boxes.append((x0, y0, x0 + w, y0 + h))
+            lengths.append(w + h)
+        boxes = np.array(boxes)
+        lengths = np.array(lengths)
+        slow = rudy_map(grid, boxes, lengths, supply_um_per_bin=50.0)
+        fast = rudy_map_fast(grid, boxes, lengths, supply_um_per_bin=50.0)
+        assert np.allclose(slow, fast, atol=1e-9)
+
+    def test_empty_nets(self, grid):
+        fast = rudy_map_fast(grid, np.zeros((0, 4)), np.zeros(0), 50.0)
+        assert fast.shape == (10, 10)
+        assert np.all(fast == 0.0)
+
+    def test_demand_conserved(self, grid):
+        boxes = np.array([[5.0, 5.0, 25.0, 25.0]])
+        lengths = np.array([40.0])
+        demand_map = rudy_map_fast(grid, boxes, lengths, 1.0)
+        # supply=1 and no blockage => map is demand directly
+        assert demand_map.sum() == pytest.approx(40.0, rel=1e-9)
+
+    def test_bounding_boxes(self):
+        pins = [np.array([[0.0, 0.0], [4.0, 2.0]])]
+        boxes = net_bounding_boxes(pins)
+        assert np.allclose(boxes[0], [0.0, 0.0, 4.0, 2.0])
+
+    def test_overflow_threshold(self):
+        congestion = np.array([[0.5, 1.5], [2.0, 0.1]])
+        assert congestion_overflow(congestion) == pytest.approx(1.5)
+
+    def test_summary_keys(self):
+        summary = congestion_summary(np.ones((4, 4)))
+        assert {"peak", "mean", "p95", "overflow", "hotspot_fraction"} <= set(summary)
+
+    def test_classification_bands(self):
+        assert classify_congestion(0.3) == "low"
+        assert classify_congestion(1.0) == "medium"
+        assert classify_congestion(2.0) == "high"
+
+
+class TestPlacer:
+    def test_all_cells_placed_inside_die(self, placed_netlist):
+        netlist, _ = placed_netlist
+        for cell in netlist.cells.values():
+            if cell.is_clock_cell:
+                continue
+            x, y = cell.placed()
+            assert 0.0 <= x <= netlist.die_width_um
+            assert 0.0 <= y <= netlist.die_height_um
+
+    def test_wirelengths_annotated(self, placed_netlist):
+        netlist, _ = placed_netlist
+        data_nets = [n for n in netlist.nets.values() if not n.is_clock]
+        assert all(n.wire_length_um > 0 for n in data_nets)
+        assert all(n.wire_cap_ff > 0 for n in data_nets)
+
+    def test_checkpoints_recorded(self, placed_netlist):
+        _, result = placed_netlist
+        assert set(result.congestion_checkpoints) == {"early", "mid", "late"}
+        assert set(result.congestion_levels) == {"early", "mid", "late", "final"}
+
+    def test_deterministic(self, small_profile):
+        n1 = generate_netlist(small_profile, seed=7)
+        n2 = generate_netlist(small_profile, seed=7)
+        r1 = place(n1, PlacerParams(), seed=3)
+        r2 = place(n2, PlacerParams(), seed=3)
+        assert r1.total_hpwl_um == pytest.approx(r2.total_hpwl_um)
+        assert n1.cells["u_0"].position == n2.cells["u_0"].position
+
+    def test_legalized_density_bounded(self, placed_netlist):
+        _, result = placed_netlist
+        assert result.peak_density < 3.0
+
+    def test_effort_increases_iterations(self, small_profile):
+        netlist = generate_netlist(small_profile, seed=7)
+        low = place(netlist, PlacerParams(effort=0.5), seed=3)
+        netlist2 = generate_netlist(small_profile, seed=7)
+        high = place(netlist2, PlacerParams(effort=2.0), seed=3)
+        assert high.iterations_run > low.iterations_run
+
+    def test_timing_weight_shortens_critical_nets(self):
+        profile = tiny_profile("TW", sim_gate_count=300, logic_depth=8)
+        base_nl = generate_netlist(profile, seed=5)
+        place(base_nl, PlacerParams(timing_net_weight=0.0), seed=5)
+        weighted_nl = generate_netlist(profile, seed=5)
+        place(weighted_nl, PlacerParams(timing_net_weight=2.5), seed=5)
+        max_level = max(c.level for c in base_nl.cells.values())
+
+        def deep_wire(netlist):
+            total = 0.0
+            for net in netlist.nets.values():
+                if net.is_clock or net.driver not in netlist.cells:
+                    continue
+                if netlist.cells[net.driver].level >= max_level - 1:
+                    total += net.wire_length_um
+            return total
+
+        assert deep_wire(weighted_nl) < deep_wire(base_nl) * 1.05
+
+    @settings(max_examples=5, deadline=None)
+    @given(spread=st.floats(0.3, 2.5), seed=st.integers(0, 3))
+    def test_placement_always_legalizes(self, spread, seed):
+        profile = tiny_profile("TL", sim_gate_count=200, utilization=0.7)
+        netlist = generate_netlist(profile, seed=seed)
+        result = place(netlist, PlacerParams(spread_strength=spread), seed=seed)
+        assert result.peak_density < 4.0
+        assert result.total_hpwl_um > 0

@@ -1,0 +1,159 @@
+"""Tests for power analysis, global routing, and DRC estimation."""
+
+import numpy as np
+import pytest
+
+from repro.cts.tree import CtsParams, synthesize_clock_tree
+from repro.errors import FlowError
+from repro.netlist.generator import generate_netlist
+from repro.placement.placer import PlacerParams, place
+from repro.power.analysis import analyze_power
+from repro.routing.drc import estimate_drcs
+from repro.routing.groute import RouteParams, RoutingResult, global_route
+
+from conftest import tiny_profile
+
+
+@pytest.fixture(scope="module")
+def routed_design():
+    profile = tiny_profile("TR", sim_gate_count=300, utilization=0.8,
+                           high_fanout_fraction=0.1)
+    netlist = generate_netlist(profile, seed=21)
+    placement = place(netlist, PlacerParams(), seed=21)
+    tree = synthesize_clock_tree(netlist, CtsParams(), seed=21)
+    return netlist, placement, tree
+
+
+class TestPower:
+    def test_breakdown_positive(self, routed_design):
+        netlist, _, tree = routed_design
+        report = analyze_power(netlist, tree)
+        assert report.leakage_mw > 0
+        assert report.combinational_mw > 0
+        assert report.sequential_mw > 0
+        assert report.clock_mw > 0
+        assert report.total_mw == pytest.approx(
+            report.leakage_mw + report.dynamic_mw
+        )
+
+    def test_leakage_bias_scales_leakage_only(self, routed_design):
+        netlist, _, tree = routed_design
+        base = analyze_power(netlist, tree, leakage_bias=1.0)
+        biased = analyze_power(netlist, tree, leakage_bias=2.0)
+        assert biased.leakage_mw == pytest.approx(2.0 * base.leakage_mw)
+        assert biased.combinational_mw == pytest.approx(base.combinational_mw)
+
+    def test_clock_gating_reduces_sequential_and_clock(self, routed_design):
+        netlist, _, tree = routed_design
+        off = analyze_power(netlist, tree, clock_gating_efficiency=0.0)
+        on = analyze_power(netlist, tree, clock_gating_efficiency=0.8)
+        assert on.sequential_mw < off.sequential_mw
+        assert on.clock_mw < off.clock_mw
+        assert on.combinational_mw == pytest.approx(off.combinational_mw)
+
+    def test_fractions_in_unit_range(self, routed_design):
+        netlist, _, tree = routed_design
+        report = analyze_power(netlist, tree)
+        assert 0.0 < report.leakage_fraction < 1.0
+        assert 0.0 < report.sequential_fraction < 1.0
+
+    def test_no_clock_raises(self, routed_design):
+        netlist, _, tree = routed_design
+        saved = netlist.clock
+        netlist.clock = None
+        try:
+            with pytest.raises(FlowError):
+                analyze_power(netlist, tree)
+        finally:
+            netlist.clock = saved
+
+
+class TestRouting:
+    def test_route_annotates_parasitics(self, routed_design):
+        netlist, placement, _ = routed_design
+        before = {n.name: n.wire_length_um for n in netlist.nets.values()}
+        result = global_route(netlist, placement.grid, RouteParams(), seed=1)
+        assert result.routed_wirelength_um > 0
+        after = {n.name: n.wire_length_um for n in netlist.nets.values()}
+        # Routing may lengthen nets (detours) but never shortens them.
+        for name in before:
+            assert after[name] >= before[name] - 1e-9
+
+    def test_diffusion_reduces_overflow(self, routed_design):
+        netlist, placement, _ = routed_design
+        result = global_route(netlist, placement.grid, RouteParams(effort=2.0), seed=1)
+        assert result.overflow_total <= result.overflow_initial + 1e-9
+
+    def test_cheap_detours_cut_overflow(self):
+        profile = tiny_profile("TD", sim_gate_count=400, utilization=0.9,
+                               high_fanout_fraction=0.15, node="7nm")
+        res = {}
+        for label, cost in (("cheap", 0.4), ("costly", 2.5)):
+            netlist = generate_netlist(profile, seed=3)
+            placement = place(netlist, PlacerParams(), seed=3)
+            res[label] = global_route(
+                netlist, placement.grid, RouteParams(detour_cost=cost), seed=3
+            )
+        assert res["cheap"].overflow_total <= res["costly"].overflow_total + 1e-9
+
+    def test_layer_promotion_speeds_critical_nets(self, routed_design):
+        profile = tiny_profile("TP2", sim_gate_count=300)
+        netlist = generate_netlist(profile, seed=5)
+        placement = place(netlist, PlacerParams(), seed=5)
+        target = next(
+            n.name for n in netlist.nets.values()
+            if not n.is_clock and n.wire_length_um > 0
+        )
+        before = netlist.nets[target].wire_delay_ps
+        global_route(
+            netlist, placement.grid,
+            RouteParams(layer_promotion=0.3),
+            critical_nets=[target], seed=5,
+        )
+        assert netlist.nets[target].wire_delay_ps < before or before == 0.0
+
+    def test_congestion_summary_present(self, routed_design):
+        netlist, placement, _ = routed_design
+        result = global_route(netlist, placement.grid, RouteParams(), seed=1)
+        assert {"peak", "mean", "p95"} <= set(result.congestion)
+
+    def test_detour_ratio_bounds(self, routed_design):
+        netlist, placement, _ = routed_design
+        result = global_route(netlist, placement.grid, RouteParams(), seed=1)
+        assert 0.0 <= result.detour_ratio < 1.0
+
+
+class TestDrc:
+    def test_zero_overflow_low_density_is_clean(self):
+        routing = RoutingResult(
+            overflow_total=0.0, overflow_initial=0.0,
+            detour_wirelength_um=0.0, routed_wirelength_um=100.0,
+        )
+        assert estimate_drcs(routing, peak_density=0.7, cell_count=1000) == 0
+
+    def test_overflow_drives_drcs(self):
+        routing = RoutingResult(
+            overflow_total=200.0, overflow_initial=300.0,
+            detour_wirelength_um=0.0, routed_wirelength_um=100.0,
+        )
+        assert estimate_drcs(routing, peak_density=0.7, cell_count=1000) > 0
+
+    def test_superlinear_in_overflow(self):
+        def drcs(overflow):
+            routing = RoutingResult(
+                overflow_total=overflow, overflow_initial=overflow,
+                detour_wirelength_um=0.0, routed_wirelength_um=100.0,
+            )
+            return estimate_drcs(routing, 0.5, 1000)
+        assert drcs(400.0) > 2 * drcs(200.0)
+
+    def test_bad_cell_count_raises(self):
+        routing = RoutingResult(0.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            estimate_drcs(routing, 0.5, 0)
+
+    def test_density_term(self):
+        routing = RoutingResult(0.0, 0.0, 0.0, 1.0)
+        dense = estimate_drcs(routing, peak_density=1.6, cell_count=5000)
+        sparse = estimate_drcs(routing, peak_density=0.8, cell_count=5000)
+        assert dense > sparse

@@ -1,0 +1,34 @@
+"""Smoke coverage: every one of the 17 designs runs the full flow cleanly.
+
+Table IV depends on all 17 profiles producing sane QoR; this guards each
+profile individually (fast seeds, default parameters) so a profile-level
+regression is pinpointed rather than discovered deep inside a bench.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flow.parameters import FlowParameters
+from repro.flow.runner import run_flow
+from repro.flow.stages import FlowStage
+from repro.netlist.profiles import design_profiles
+
+
+@pytest.mark.parametrize(
+    "profile", design_profiles(), ids=lambda p: p.name
+)
+class TestEveryDesignRuns:
+    def test_flow_produces_sane_qor(self, profile):
+        result = run_flow(profile.name, FlowParameters(), seed=0)
+        qor = result.qor
+        assert qor["power_mw"] > 0
+        assert qor["tns_ns"] >= 0
+        assert qor["area_um2"] > 0
+        assert np.isfinite(list(qor.values())).all()
+        # Trajectory is complete.
+        assert len(result.snapshots) == 5
+        signoff = result.snapshot(FlowStage.SIGNOFF)
+        assert 0.0 <= signoff.get("leakage_fraction") <= 1.0
+        # Tight-clock profiles retain timing pressure; easy ones close.
+        if profile.clock_tightness <= 1.06:
+            assert qor["wns_ns"] < 0.05

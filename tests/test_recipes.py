@@ -1,0 +1,122 @@
+"""Tests for the recipe catalog and recipe-set application."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RecipeError
+from repro.flow.parameters import FlowParameters
+from repro.recipes.apply import _CLAMPS, apply_recipe_set
+from repro.recipes.catalog import RecipeCatalog, default_catalog
+from repro.recipes.recipe import Adjustment, Recipe, RecipeCategory
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog()
+
+
+class TestCatalog:
+    def test_forty_recipes(self, catalog):
+        assert len(catalog) == 40
+
+    def test_five_categories_populated(self, catalog):
+        for category in RecipeCategory:
+            assert len(catalog.by_category(category)) >= 7
+
+    def test_unique_names(self, catalog):
+        names = catalog.names()
+        assert len(set(names)) == 40
+
+    def test_index_roundtrip(self, catalog):
+        for index, recipe in enumerate(catalog):
+            assert catalog.index_of(recipe.name) == index
+
+    def test_unknown_recipe_raises(self, catalog):
+        with pytest.raises(RecipeError):
+            catalog.index_of("recipe_of_power_overwhelming")
+
+    def test_subset_from_names(self, catalog):
+        bits = catalog.subset_from_names(["cts_tight_skew"])
+        assert sum(bits) == 1
+        assert bits[catalog.index_of("cts_tight_skew")] == 1
+
+    def test_duplicate_names_rejected(self, catalog):
+        recipe = catalog[0]
+        with pytest.raises(RecipeError, match="duplicate"):
+            RecipeCatalog([recipe, recipe])
+
+    def test_every_recipe_has_description_and_adjustments(self, catalog):
+        for recipe in catalog:
+            assert recipe.description
+            assert recipe.adjustments
+
+    def test_empty_recipe_rejected(self):
+        with pytest.raises(RecipeError, match="adjusts nothing"):
+            Recipe("r", RecipeCategory.TIMING, "d", ())
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(RecipeError, match="unknown adjustment op"):
+            Adjustment("placer.effort", "frobnicate", 1.0)
+
+    def test_all_adjustments_target_real_knobs(self, catalog):
+        flat = FlowParameters().flat()
+        for recipe in catalog:
+            for adj in recipe.adjustments:
+                assert adj.knob in flat, f"{recipe.name} -> {adj.knob}"
+
+
+class TestApply:
+    def test_empty_set_is_defaults(self, catalog):
+        params = apply_recipe_set([0] * 40, catalog)
+        assert params.flat() == FlowParameters().flat()
+
+    def test_wrong_length_raises(self, catalog):
+        with pytest.raises(RecipeError, match="bits"):
+            apply_recipe_set([0] * 39, catalog)
+
+    def test_single_recipe_moves_its_knob(self, catalog):
+        bits = catalog.subset_from_names(["cts_strong_buffers"])
+        params = apply_recipe_set(bits, catalog)
+        assert params.cts.buffer_drive == 8
+
+    def test_scales_compose(self, catalog):
+        bits = catalog.subset_from_names(
+            ["groute_effort_high", "intent_runtime_saver"]
+        )
+        params = apply_recipe_set(bits, catalog)
+        # 2.0 (high) * 0.6 (saver) = 1.2
+        assert params.route.effort == pytest.approx(1.2)
+
+    def test_opposing_sets_last_wins(self, catalog):
+        bits = catalog.subset_from_names(["cong_spread_wide", "cong_pack_tight"])
+        params = apply_recipe_set(bits, catalog)
+        # cong_pack_tight is later in catalog order.
+        assert params.placer.spread_strength == pytest.approx(0.45)
+
+    def test_integer_knobs_are_ints(self, catalog):
+        bits = catalog.subset_from_names(["timing_setup_blitz"])
+        params = apply_recipe_set(bits, catalog)
+        assert isinstance(params.opt.setup_passes, int)
+        assert params.opt.setup_passes == 6
+
+    def test_buffer_drive_snaps_to_library(self, catalog):
+        bits = catalog.subset_from_names(["cts_lean_buffers"])
+        params = apply_recipe_set(bits, catalog)
+        assert params.cts.buffer_drive in (2, 4, 8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(bits=st.lists(st.integers(0, 1), min_size=40, max_size=40))
+    def test_any_combination_yields_valid_params(self, bits, catalog):
+        params = apply_recipe_set(bits, catalog)
+        flat = params.flat()
+        for knob, (low, high) in _CLAMPS.items():
+            assert low - 1e-9 <= flat[knob] <= high + 1e-9, knob
+        # Constructors re-validate their invariants (e.g. tradeoffs >= 0).
+        assert params.opt.setup_passes >= 1
+
+    def test_all_singletons_valid(self, catalog):
+        for index in range(40):
+            bits = [0] * 40
+            bits[index] = 1
+            params = apply_recipe_set(bits, catalog)
+            assert params.flat()

@@ -1,0 +1,74 @@
+"""Tests for facade persistence and the errors hierarchy."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.model import InsightAlignModel
+from repro.core.qor import QoRIntention
+from repro.core.recommender import InsightAlign
+from repro.errors import (
+    FlowError,
+    InsightError,
+    LibraryError,
+    ModelError,
+    NetlistError,
+    RecipeError,
+    ReproError,
+    TrainingError,
+)
+from repro.insights.schema import INSIGHT_DIMS
+
+
+class TestFacadePersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        intention = QoRIntention(
+            metrics=(("power_mw", 0.6, False), ("tns_ns", 0.4, False))
+        )
+        ia = InsightAlign(InsightAlignModel(seed=3), intention=intention)
+        path = tmp_path / "model.npz"
+        ia.save(path)
+        restored = InsightAlign.load(path)
+
+        insight = np.random.default_rng(0).normal(size=(INSIGHT_DIMS,))
+        original = ia.model.probabilities(insight)
+        loaded = restored.model.probabilities(insight)
+        np.testing.assert_allclose(original, loaded, atol=1e-12)
+        assert restored.intention.metrics == intention.metrics
+
+    def test_recommendations_survive_roundtrip(self, tmp_path):
+        ia = InsightAlign(InsightAlignModel(seed=4))
+        path = tmp_path / "model.npz"
+        ia.save(path)
+        restored = InsightAlign.load(path)
+        insight = np.random.default_rng(1).normal(size=(INSIGHT_DIMS,))
+        original = [r.recipe_set for r in ia.recommend(insight, k=3)]
+        loaded = [r.recipe_set for r in restored.recommend(insight, k=3)]
+        assert original == loaded
+
+
+class TestErrorsHierarchy:
+    @pytest.mark.parametrize("exc", [
+        NetlistError, LibraryError, FlowError, RecipeError,
+        InsightError, ModelError, TrainingError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+
+class TestLazyTopLevel:
+    def test_exports_resolve(self):
+        assert repro.InsightAlign is InsightAlign
+        assert callable(repro.build_offline_dataset)
+        assert len(repro.design_profiles()) == 17
+        assert len(repro.default_catalog()) == 40
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_real_symbol
+
+    def test_dir_lists_exports(self):
+        assert "InsightAlign" in dir(repro)
+        assert "compound_scores" in dir(repro)

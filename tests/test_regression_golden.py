@@ -1,0 +1,86 @@
+"""Golden regression pins: deterministic outputs that must not drift.
+
+These tests pin exact (to float tolerance) values of the deterministic
+pipeline so that accidental physics or RNG-stream changes are caught
+immediately.  If a change is *intentional* (e.g. a calibration fix),
+regenerate the pins with::
+
+    python tests/test_regression_golden.py
+
+which prints the current values in copy-pasteable form.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flow.parameters import FlowParameters
+from repro.flow.runner import run_flow
+from repro.netlist.generator import generate_netlist
+from repro.netlist.profiles import get_profile
+from repro.recipes.apply import apply_recipe_set
+from repro.recipes.catalog import default_catalog
+
+# Pinned flow outputs for (design, seed 0, default parameters).
+GOLDEN_DEFAULT = {
+    "D11": {"tns_ns": 0.0, "power_mw": 0.0165388985, "drc_count": 0.0},
+    "D6": {"tns_ns": 0.0, "power_mw": 60.5438731533, "drc_count": 0.0},
+}
+
+# Pinned flow outputs for D11 with a fixed recipe pair.
+GOLDEN_RECIPE = {"tns_ns": 0.0018626636, "power_mw": 0.0164421059}
+
+_REL = 2e-3  # float64 pipeline, generous rounding for cross-platform drift
+
+
+def _run_default(design):
+    return run_flow(design, FlowParameters(), seed=0)
+
+
+def _run_recipe():
+    catalog = default_catalog()
+    bits = catalog.subset_from_names(["intent_power_first", "cts_loose_skew"])
+    return run_flow("D11", apply_recipe_set(bits, catalog), seed=0)
+
+
+class TestGoldenFlow:
+    @pytest.mark.parametrize("design", sorted(GOLDEN_DEFAULT))
+    def test_default_flow_pinned(self, design):
+        result = _run_default(design)
+        for key, expected in GOLDEN_DEFAULT[design].items():
+            measured = result.qor[key]
+            if expected == 0.0:
+                assert measured == pytest.approx(0.0, abs=1e-6), (design, key)
+            else:
+                assert measured == pytest.approx(expected, rel=_REL), (
+                    design, key, measured
+                )
+
+    def test_recipe_flow_pinned(self):
+        result = _run_recipe()
+        for key, expected in GOLDEN_RECIPE.items():
+            assert result.qor[key] == pytest.approx(expected, rel=_REL), (
+                key, result.qor[key]
+            )
+
+    def test_netlist_structure_pinned(self):
+        netlist = generate_netlist(get_profile("D11"), seed=0)
+        assert netlist.cell_count == 401
+        assert netlist.net_count == 402
+        assert netlist.clock.period_ps == pytest.approx(1114.174, rel=1e-3)
+
+
+def _print_current():
+    print("GOLDEN_DEFAULT = {")
+    for design in sorted(GOLDEN_DEFAULT):
+        qor = _run_default(design).qor
+        print(f'    "{design}": {{"tns_ns": {qor["tns_ns"]:.4f}, '
+              f'"power_mw": {qor["power_mw"]:.4f}, '
+              f'"drc_count": {qor["drc_count"]:.1f}}},')
+    print("}")
+    qor = _run_recipe().qor
+    print(f'GOLDEN_RECIPE = {{"tns_ns": {qor["tns_ns"]:.4f}, '
+          f'"power_mw": {qor["power_mw"]:.4f}}}')
+
+
+if __name__ == "__main__":
+    _print_current()

@@ -1,0 +1,101 @@
+"""White-box routing tests: detour charging, supply model, geometry."""
+
+import numpy as np
+import pytest
+
+from repro.netlist.generator import generate_netlist
+from repro.placement.placer import PlacerParams, place
+from repro.routing.groute import (
+    RouteParams,
+    _demand_map,
+    _net_geometry,
+    _supply_per_bin,
+    global_route,
+)
+
+from conftest import tiny_profile
+
+
+@pytest.fixture()
+def routed_setup():
+    profile = tiny_profile("TRI", sim_gate_count=260, utilization=0.85,
+                           node="7nm", high_fanout_fraction=0.12)
+    netlist = generate_netlist(profile, seed=81)
+    placement = place(netlist, PlacerParams(), seed=81)
+    return netlist, placement
+
+
+class TestGeometry:
+    def test_net_geometry_covers_routable_nets(self, routed_setup):
+        netlist, placement = routed_setup
+        boxes, lengths, names = _net_geometry(netlist)
+        assert len(boxes) == len(lengths) == len(names)
+        # Routable = at least two placed cell pins (driver + cell sink).
+        routable = [
+            n for n in netlist.nets.values()
+            if not n.is_clock and n.wire_length_um > 0
+            and n.driver is not None
+            and sum(1 for s, p in n.sinks if p >= 0) >= 1
+        ]
+        assert len(names) == len(routable)
+
+    def test_demand_map_conserves_length(self, routed_setup):
+        netlist, placement = routed_setup
+        boxes, lengths, _ = _net_geometry(netlist)
+        demand = _demand_map(placement.grid, boxes, lengths)
+        assert demand.sum() == pytest.approx(lengths.sum(), rel=1e-9)
+
+    def test_supply_proportional_to_track_density(self, routed_setup):
+        """At a fixed grid, a finer-pitch node offers more supply per bin."""
+        netlist, placement = routed_setup
+        fine = _supply_per_bin(netlist, placement.grid)
+        coarse_netlist = generate_netlist(
+            tiny_profile("TRI45", sim_gate_count=260, node="45nm"), seed=81
+        )
+        coarse = _supply_per_bin(coarse_netlist, placement.grid)
+        pitch_ratio = (coarse_netlist.library.node.track_pitch_um
+                       / netlist.library.node.track_pitch_um)
+        assert fine == pytest.approx(coarse * pitch_ratio, rel=1e-9)
+        assert fine > coarse
+
+
+class TestDetourCharging:
+    def test_detours_lengthen_nets_in_overflow_regions(self, routed_setup):
+        netlist, placement = routed_setup
+        before = {n.name: n.wire_length_um for n in netlist.nets.values()}
+        result = global_route(
+            netlist, placement.grid,
+            RouteParams(detour_cost=0.5, effort=2.0), seed=81,
+        )
+        if result.detour_wirelength_um <= 0:
+            pytest.skip("design routed without detours")
+        grew = [
+            n.name for n in netlist.nets.values()
+            if not n.is_clock and n.wire_length_um > before[n.name] + 1e-12
+        ]
+        assert grew
+
+    def test_rc_reannotated_after_detours(self, routed_setup):
+        netlist, placement = routed_setup
+        global_route(netlist, placement.grid, RouteParams(detour_cost=0.5),
+                     seed=81)
+        node = netlist.library.node
+        for net in netlist.nets.values():
+            if net.is_clock:
+                continue
+            assert net.wire_cap_ff == pytest.approx(
+                net.wire_length_um * node.wire_cap_ff_per_um, rel=1e-9
+            )
+
+    def test_effort_reduces_residual_overflow(self, routed_setup):
+        netlist, placement = routed_setup
+        low_nl = generate_netlist(
+            tiny_profile("TRI", sim_gate_count=260, utilization=0.85,
+                         node="7nm", high_fanout_fraction=0.12), seed=81)
+        place(low_nl, PlacerParams(), seed=81)
+        low = global_route(low_nl, placement.grid, RouteParams(effort=0.25),
+                           seed=81)
+        high = global_route(netlist, placement.grid, RouteParams(effort=3.0),
+                            seed=81)
+        assert high.overflow_total <= low.overflow_total + 1e-9
+        assert high.iterations_run > low.iterations_run

@@ -1,0 +1,77 @@
+"""Tests for flow-runner helper functions and the netlist cache."""
+
+import numpy as np
+import pytest
+
+from repro.flow.runner import (
+    _avg_fanout,
+    _endpoint_slack_stats,
+    _fresh_netlist,
+    _high_fanout_fraction,
+    _macro_fraction,
+    _runtime_proxy,
+)
+from repro.flow.parameters import FlowParameters
+from repro.netlist.generator import generate_netlist
+from repro.placement.placer import PlacerParams
+
+from conftest import tiny_profile
+
+
+class TestNetlistCache:
+    def test_fresh_copies_are_independent(self, small_profile):
+        a = _fresh_netlist(small_profile, seed=7)
+        b = _fresh_netlist(small_profile, seed=7)
+        assert a is not b
+        a.cells[next(iter(a.cells))].position = (1.0, 2.0)
+        assert b.cells[next(iter(b.cells))].position is None
+
+    def test_cache_matches_direct_generation(self, small_profile):
+        cached = _fresh_netlist(small_profile, seed=7)
+        direct = generate_netlist(small_profile, seed=7)
+        assert cached.cell_count == direct.cell_count
+        assert cached.clock.period_ps == direct.clock.period_ps
+
+
+class TestStructuralStats:
+    def test_high_fanout_fraction_bounds(self, small_netlist):
+        fraction = _high_fanout_fraction(small_netlist)
+        assert 0.0 <= fraction <= 1.0
+
+    def test_avg_fanout_positive(self, small_netlist):
+        assert _avg_fanout(small_netlist) > 0.0
+
+    def test_macro_fraction(self):
+        netlist = generate_netlist(tiny_profile("TMF", macro_count=2), seed=1)
+        fraction = _macro_fraction(netlist)
+        assert 0.0 < fraction < 0.5
+        clean = generate_netlist(tiny_profile("TMF0", macro_count=0), seed=1)
+        assert _macro_fraction(clean) == 0.0
+
+
+class TestSlackStats:
+    class _FakeReport:
+        def __init__(self, slacks):
+            self.endpoint_slack_ps = slacks
+
+    def test_empty(self):
+        stats = _endpoint_slack_stats(self._FakeReport({}), 100.0)
+        assert stats == {"spread": 0.0, "near_critical": 0.0, "headroom": 0.0}
+
+    def test_values(self):
+        slacks = {"a": -10.0, "b": -8.0, "c": 50.0, "d": 90.0}
+        stats = _endpoint_slack_stats(self._FakeReport(slacks), period_ps=100.0)
+        # near-critical: slack <= wns + 10 -> a and b.
+        assert stats["near_critical"] == pytest.approx(0.5)
+        # headroom: slack > 20 -> c and d.
+        assert stats["headroom"] == pytest.approx(0.5)
+        assert stats["spread"] == pytest.approx(np.std([-10.0, -8.0, 50.0, 90.0]))
+
+
+class TestRuntimeProxy:
+    def test_default_is_one(self):
+        assert _runtime_proxy(FlowParameters()) == pytest.approx(1.0)
+
+    def test_scales_with_effort(self):
+        params = FlowParameters(placer=PlacerParams(effort=2.0))
+        assert _runtime_proxy(params) > 1.0

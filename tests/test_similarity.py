@@ -1,0 +1,70 @@
+"""Tests for insight-space design similarity."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InsightError
+from repro.insights.similarity import (
+    cosine_similarity,
+    nearest_designs,
+    similarity_matrix,
+)
+
+
+class TestCosine:
+    def test_identical_vectors(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_similarity(v, v) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine_similarity(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(0.0)
+
+    def test_opposite(self):
+        v = np.array([1.0, -2.0])
+        assert cosine_similarity(v, -v) == pytest.approx(-1.0)
+
+    def test_zero_vector(self):
+        assert cosine_similarity(np.zeros(3), np.ones(3)) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(InsightError):
+            cosine_similarity(np.zeros(3), np.zeros(4))
+
+
+class TestMatrix:
+    def test_symmetric_unit_diagonal(self):
+        rng = np.random.default_rng(0)
+        insights = {f"D{i}": rng.normal(size=8) for i in range(5)}
+        names, matrix = similarity_matrix(insights)
+        assert names == sorted(insights)
+        np.testing.assert_allclose(matrix, matrix.T)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_real_designs_cluster_sensibly(self, mini_dataset):
+        """Similar small 45nm designs (D10, D11) should be mutually closer
+        than either is to the 28nm MCU (D6)."""
+        insights = {d: mini_dataset.insight_for(d) for d in mini_dataset.designs()}
+        sim = {
+            pair: cosine_similarity(insights[pair[0]], insights[pair[1]])
+            for pair in (("D10", "D11"), ("D10", "D6"), ("D11", "D6"))
+        }
+        assert sim[("D10", "D11")] >= min(sim[("D10", "D6")], sim[("D11", "D6")])
+
+
+class TestNearest:
+    def test_orders_by_similarity(self):
+        insights = {
+            "A": np.array([1.0, 0.0]),
+            "B": np.array([0.7, 0.7]),
+            "C": np.array([0.0, 1.0]),
+        }
+        ranked = nearest_designs(np.array([1.0, 0.1]), insights, k=3)
+        assert [name for name, _ in ranked] == ["A", "B", "C"]
+
+    def test_k_bounds(self):
+        insights = {"A": np.ones(2)}
+        assert len(nearest_designs(np.ones(2), insights, k=5)) == 1
+        with pytest.raises(InsightError):
+            nearest_designs(np.ones(2), insights, k=0)

@@ -1,0 +1,101 @@
+"""Tests for Monte-Carlo statistical timing."""
+
+import numpy as np
+import pytest
+
+from repro.cts.tree import CtsParams, synthesize_clock_tree
+from repro.errors import FlowError
+from repro.netlist.generator import generate_netlist
+from repro.placement.placer import PlacerParams, place
+from repro.timing.constraints import default_constraints
+from repro.timing.sta import run_sta
+from repro.timing.statistical import run_statistical_sta
+
+from conftest import tiny_profile
+
+
+@pytest.fixture(scope="module")
+def mc_design():
+    profile = tiny_profile("TMC", sim_gate_count=220, clock_tightness=1.15)
+    netlist = generate_netlist(profile, seed=61)
+    place(netlist, PlacerParams(), seed=61)
+    tree = synthesize_clock_tree(netlist, CtsParams(), seed=61)
+    constraints = default_constraints(netlist)
+    return netlist, tree, constraints
+
+
+class TestStatisticalSta:
+    def test_zero_sigma_matches_nominal(self, mc_design):
+        netlist, tree, constraints = mc_design
+        mc = run_statistical_sta(netlist, constraints, tree,
+                                 samples=4, sigma=0.0)
+        nominal = run_sta(netlist, constraints, tree)
+        reg_wns = min(
+            s for e, s in nominal.endpoint_slack_ps.items()
+            if not e.startswith("PO:")
+        )
+        np.testing.assert_allclose(mc.wns_samples_ps, reg_wns, atol=1e-9)
+
+    def test_mean_wns_near_nominal(self, mc_design):
+        """Mean-corrected variation keeps the average close to nominal.
+
+        (The max over paths is convex, so MC WNS is biased slightly worse
+        than nominal — that bias *is* the OCV effect being modeled.)"""
+        netlist, tree, constraints = mc_design
+        mc = run_statistical_sta(netlist, constraints, tree,
+                                 samples=400, sigma=0.05, seed=1)
+        nominal = run_sta(netlist, constraints, tree)
+        reg_wns = min(
+            s for e, s in nominal.endpoint_slack_ps.items()
+            if not e.startswith("PO:")
+        )
+        assert mc.mean_wns_ps <= reg_wns + 1e-9
+        assert abs(mc.mean_wns_ps - reg_wns) < 0.15 * constraints.period_ps
+
+    def test_quantiles_ordered(self, mc_design):
+        netlist, tree, constraints = mc_design
+        mc = run_statistical_sta(netlist, constraints, tree,
+                                 samples=300, sigma=0.06, seed=2)
+        assert mc.wns_quantile_ps(0.01) <= mc.wns_quantile_ps(0.5)
+        assert mc.wns_quantile_ps(0.5) <= mc.wns_quantile_ps(0.99)
+
+    def test_more_variation_more_spread(self, mc_design):
+        netlist, tree, constraints = mc_design
+        tight = run_statistical_sta(netlist, constraints, tree,
+                                    samples=300, sigma=0.02, seed=3)
+        loose = run_statistical_sta(netlist, constraints, tree,
+                                    samples=300, sigma=0.10, seed=3)
+        assert loose.wns_samples_ps.std() > tight.wns_samples_ps.std()
+
+    def test_yield_and_derate(self, mc_design):
+        netlist, tree, constraints = mc_design
+        mc = run_statistical_sta(netlist, constraints, tree,
+                                 samples=300, sigma=0.05, seed=4)
+        assert 0.0 <= mc.yield_fraction <= 1.0
+        nominal = run_sta(netlist, constraints, tree)
+        derate = mc.implied_derate(nominal.wns_ps, constraints.period_ps)
+        assert derate >= 0.0
+
+    def test_deterministic_given_seed(self, mc_design):
+        netlist, tree, constraints = mc_design
+        a = run_statistical_sta(netlist, constraints, tree,
+                                samples=50, sigma=0.05, seed=9)
+        b = run_statistical_sta(netlist, constraints, tree,
+                                samples=50, sigma=0.05, seed=9)
+        np.testing.assert_array_equal(a.wns_samples_ps, b.wns_samples_ps)
+
+    def test_bad_args_rejected(self, mc_design):
+        netlist, tree, constraints = mc_design
+        with pytest.raises(FlowError):
+            run_statistical_sta(netlist, constraints, tree, samples=0)
+        with pytest.raises(FlowError):
+            run_statistical_sta(netlist, constraints, tree, sigma=-0.1)
+
+    def test_tns_consistent_with_wns(self, mc_design):
+        netlist, tree, constraints = mc_design
+        mc = run_statistical_sta(netlist, constraints, tree,
+                                 samples=100, sigma=0.05, seed=5)
+        # Any sample with negative WNS must have positive TNS and vice versa.
+        failing = mc.wns_samples_ps < 0
+        assert np.all(mc.tns_samples_ps[failing] > 0)
+        assert np.all(mc.tns_samples_ps[~failing] == 0.0)

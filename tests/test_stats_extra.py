@@ -1,0 +1,65 @@
+"""Extra hypothesis coverage for tensor reductions and stats edge cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.tensor import Tensor
+from repro.utils.stats import exponential_smoothing, robust_zscores
+
+
+class TestTensorReductionProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=30))
+    def test_sum_matches_numpy(self, values):
+        array = np.array(values)
+        assert Tensor(array).sum().item() == pytest.approx(array.sum(), rel=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=30))
+    def test_mean_matches_numpy(self, values):
+        array = np.array(values)
+        assert Tensor(array).mean().item() == pytest.approx(array.mean(), rel=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.floats(-5, 5), min_size=4, max_size=4),
+    )
+    def test_softmax_rows_sum_to_one(self, values):
+        array = np.array(values).reshape(2, 2)
+        out = Tensor(array).softmax(axis=-1).numpy()
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=1e-12)
+        assert np.all(out > 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(-30, 30), min_size=1, max_size=20))
+    def test_log_sigmoid_bounds(self, values):
+        out = Tensor(np.array(values)).log_sigmoid().numpy()
+        assert np.all(out <= 0.0)
+        assert np.all(np.isfinite(out))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(-700, 700))
+    def test_sigmoid_never_overflows(self, value):
+        out = Tensor(np.array([value])).sigmoid().numpy()
+        assert 0.0 <= out[0] <= 1.0
+
+
+class TestSmoothingProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.floats(-100, 100), min_size=1, max_size=25),
+        st.floats(0.05, 1.0),
+    )
+    def test_smoothed_stays_in_range(self, values, alpha):
+        out = exponential_smoothing(values, alpha=alpha)
+        assert out.min() >= min(values) - 1e-9
+        assert out.max() <= max(values) + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=30))
+    def test_zscore_output_bounded_by_data_spread(self, values):
+        z = robust_zscores(np.array(values))
+        assert np.all(np.isfinite(z))
+        # At most sqrt(n-1) in magnitude for any z-scored sample.
+        assert np.abs(z).max() <= np.sqrt(len(values)) + 1e-6

@@ -1,0 +1,98 @@
+"""Tests for the sweep utility, interaction summary and fold balance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FlowError
+from repro.flow.parameters import FlowParameters
+from repro.flow.sweep import SweepResult, set_knob, sweep
+
+from conftest import tiny_profile
+
+
+class TestSetKnob:
+    def test_float_knob(self):
+        params = set_knob(FlowParameters(), "placer.effort", 2.0)
+        assert params.placer.effort == 2.0
+        # Original untouched (frozen dataclasses).
+        assert FlowParameters().placer.effort == 1.0
+
+    def test_integer_knob_rounds(self):
+        params = set_knob(FlowParameters(), "opt.setup_passes", 4.6)
+        assert params.opt.setup_passes == 5
+        assert isinstance(params.opt.setup_passes, int)
+
+    def test_unknown_section(self):
+        with pytest.raises(FlowError, match="unknown knob"):
+            set_knob(FlowParameters(), "warp.factor", 9.0)
+
+    def test_unknown_field(self):
+        with pytest.raises(FlowError, match="no field"):
+            set_knob(FlowParameters(), "placer.caffeine", 9.0)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        profile = tiny_profile("TSw", sim_gate_count=150)
+        return sweep(
+            profile,
+            axes={
+                "opt.vt_swap_bias": [0.8, 1.2],
+                "opt.clock_gating_efficiency": [0.0, 0.6],
+            },
+            seed=3,
+        )
+
+    def test_full_factorial(self, result):
+        assert len(result.grid) == 4
+        assert len(result.qors) == 4
+        assert result.knobs == [
+            "opt.vt_swap_bias", "opt.clock_gating_efficiency",
+        ]
+
+    def test_knob_effect_visible(self, result):
+        """Higher Vt bias must raise leakage at both gating levels."""
+        by_point = dict(zip(result.grid, result.qors))
+        for gating in (0.0, 0.6):
+            low = by_point[(0.8, gating)]["leakage_mw"]
+            high = by_point[(1.2, gating)]["leakage_mw"]
+            assert high > low
+
+    def test_best_lookup(self, result):
+        point, qor = result.best("power_mw", minimize=True)
+        assert qor["power_mw"] == min(result.column("power_mw"))
+        assert point in result.grid
+
+    def test_render_table(self, result):
+        text = result.render()
+        assert "opt.vt_swap_bias" in text
+        assert text.count("\n") >= 5
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(FlowError):
+            sweep("D11", axes={})
+
+
+class TestInteractionSummary:
+    def test_summary_covers_all_designs(self, mini_dataset):
+        from repro.recipes.interactions import interaction_summary
+
+        summary = interaction_summary(mini_dataset)
+        assert set(summary) == set(mini_dataset.designs())
+        for report in summary.values():
+            assert report.main_effects.shape == (40,)
+
+
+class TestFoldBalance:
+    def test_fold_loads_roughly_equal(self, mini_dataset):
+        from repro.core.crossval import make_folds
+
+        folds = make_folds(mini_dataset, k=3, seed=2)
+        loads = [
+            sum(len(mini_dataset.by_design(d)) for d in fold)
+            for fold in folds
+        ]
+        assert max(loads) - min(loads) <= max(
+            len(mini_dataset.by_design(d)) for d in mini_dataset.designs()
+        )

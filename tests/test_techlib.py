@@ -1,0 +1,126 @@
+"""Tests for the technology library: nodes, cells, characterization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LibraryError
+from repro.techlib import (
+    TECH_NODES,
+    CellFunction,
+    build_library,
+    get_node,
+)
+from repro.techlib.cells import DRIVE_STRENGTHS, characterize
+
+
+class TestNodes:
+    def test_five_nodes(self):
+        assert set(TECH_NODES) == {"45nm", "28nm", "16nm", "10nm", "7nm"}
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(LibraryError, match="unknown technology node"):
+            get_node("3nm")
+
+    def test_delay_shrinks_with_node(self):
+        delays = [get_node(n).gate_delay_ps for n in ("45nm", "28nm", "16nm", "10nm", "7nm")]
+        assert delays == sorted(delays, reverse=True)
+
+    def test_wire_resistance_grows_with_scaling(self):
+        assert get_node("7nm").wire_res_ohm_per_um > get_node("45nm").wire_res_ohm_per_um
+
+    def test_vdd_shrinks(self):
+        assert get_node("7nm").vdd < get_node("45nm").vdd
+
+    def test_finfet_flag(self):
+        assert get_node("7nm").is_finfet
+        assert not get_node("45nm").is_finfet
+
+
+class TestCharacterize:
+    def test_bad_drive_raises(self):
+        with pytest.raises(ValueError, match="drive strength"):
+            characterize(CellFunction.INV, 3, get_node("28nm"))
+
+    def test_upsizing_lowers_resistance(self):
+        node = get_node("28nm")
+        x1 = characterize(CellFunction.NAND2, 1, node)
+        x4 = characterize(CellFunction.NAND2, 4, node)
+        assert x4.drive_res_kohm < x1.drive_res_kohm
+        assert x4.area_um2 > x1.area_um2
+        assert x4.leakage_nw > x1.leakage_nw
+        assert x4.input_cap_ff > x1.input_cap_ff
+
+    def test_weak_flag_is_x1(self):
+        node = get_node("16nm")
+        assert characterize(CellFunction.INV, 1, node).is_weak
+        assert not characterize(CellFunction.INV, 2, node).is_weak
+
+    def test_delay_model_monotone_in_load(self):
+        cell = characterize(CellFunction.AOI21, 2, get_node("45nm"))
+        assert cell.delay_ps(10.0) > cell.delay_ps(1.0)
+
+    def test_negative_load_raises(self):
+        cell = characterize(CellFunction.INV, 2, get_node("45nm"))
+        with pytest.raises(ValueError, match="negative load"):
+            cell.delay_ps(-1.0)
+
+    def test_dff_slower_than_inv(self):
+        node = get_node("28nm")
+        dff = characterize(CellFunction.DFF, 2, node)
+        inv = characterize(CellFunction.INV, 2, node)
+        assert dff.intrinsic_delay_ps > inv.intrinsic_delay_ps
+
+    @given(st.sampled_from(list(CellFunction)), st.sampled_from(DRIVE_STRENGTHS))
+    def test_all_characterizations_positive(self, function, drive):
+        cell = characterize(function, drive, get_node("7nm"))
+        assert cell.intrinsic_delay_ps > 0
+        assert cell.drive_res_kohm > 0
+        assert cell.input_cap_ff > 0
+        assert cell.area_um2 > 0
+        assert cell.leakage_nw > 0
+
+
+class TestLibrary:
+    def test_full_catalog(self):
+        lib = build_library("28nm")
+        assert len(lib.cells) == len(CellFunction) * len(DRIVE_STRENGTHS)
+
+    def test_cell_lookup(self):
+        lib = build_library("16nm")
+        cell = lib.cell("NAND2_X2")
+        assert cell.function is CellFunction.NAND2
+        assert cell.drive == 2
+
+    def test_unknown_cell_raises(self):
+        lib = build_library("16nm")
+        with pytest.raises(LibraryError, match="not in"):
+            lib.cell("NAND9_X1")
+
+    def test_variants_sorted_by_drive(self):
+        lib = build_library("45nm")
+        drives = [c.drive for c in lib.variants(CellFunction.INV)]
+        assert drives == sorted(drives)
+
+    def test_upsize_chain_terminates(self):
+        lib = build_library("45nm")
+        cell = lib.variants(CellFunction.BUF)[0]
+        steps = 0
+        while cell is not None:
+            cell = lib.upsize(cell)
+            steps += 1
+            assert steps < 10
+        assert steps == len(DRIVE_STRENGTHS)
+
+    def test_downsize_of_weakest_is_none(self):
+        lib = build_library("45nm")
+        weakest = lib.variants(CellFunction.INV)[0]
+        assert lib.downsize(weakest) is None
+
+    def test_default_variant_is_x2(self):
+        lib = build_library("10nm")
+        assert lib.default_variant(CellFunction.DFF).drive == 2
+
+    def test_upsize_downsize_roundtrip(self):
+        lib = build_library("7nm")
+        x2 = lib.cell("XOR2_X2")
+        assert lib.downsize(lib.upsize(x2)) == x2

@@ -1,0 +1,176 @@
+"""Tests for STA: graph construction, arrivals, setup/hold checks, slacks."""
+
+import numpy as np
+import pytest
+
+from repro.cts.tree import CtsParams, synthesize_clock_tree
+from repro.errors import FlowError
+from repro.netlist.generator import generate_netlist
+from repro.placement.placer import PlacerParams, place
+from repro.timing.constraints import TimingConstraints, default_constraints
+from repro.timing.graph import build_timing_graph, output_load_ff
+from repro.timing.sta import run_sta
+
+from conftest import tiny_profile
+
+
+@pytest.fixture(scope="module")
+def design():
+    profile = tiny_profile("TT", sim_gate_count=260, logic_depth=7,
+                           clock_tightness=1.05)
+    netlist = generate_netlist(profile, seed=13)
+    place(netlist, PlacerParams(), seed=13)
+    tree = synthesize_clock_tree(netlist, CtsParams(), seed=13)
+    return netlist, tree
+
+
+class TestConstraints:
+    def test_derived_from_clock(self, design):
+        netlist, _ = design
+        constraints = default_constraints(netlist)
+        assert constraints.period_ps == pytest.approx(netlist.clock.period_ps)
+        assert constraints.setup_ps > 0
+        assert constraints.hold_ps > 0
+
+    def test_no_clock_raises(self, design):
+        netlist, _ = design
+        saved = netlist.clock
+        netlist.clock = None
+        try:
+            with pytest.raises(FlowError):
+                default_constraints(netlist)
+        finally:
+            netlist.clock = saved
+
+    def test_non_positive_period_raises(self):
+        with pytest.raises(FlowError):
+            TimingConstraints(
+                period_ps=0.0, input_delay_ps=1.0, output_delay_ps=1.0,
+                setup_ps=1.0, hold_ps=1.0, clock_uncertainty_ps=0.0,
+            )
+
+
+class TestGraph:
+    def test_loads_include_wire_and_pins(self, design):
+        netlist, _ = design
+        graph = build_timing_graph(netlist)
+        for name, load in graph.output_load_ff.items():
+            net = netlist.net_of_output(name)
+            if net is not None and net.sinks:
+                assert load >= net.wire_cap_ff
+
+    def test_delay_scale_uniform(self, design):
+        netlist, _ = design
+        g1 = build_timing_graph(netlist, delay_scale=1.0)
+        g2 = build_timing_graph(netlist, delay_scale=2.0)
+        for name in g1.cell_delay_ps:
+            assert g2.cell_delay_ps[name] == pytest.approx(
+                2.0 * g1.cell_delay_ps[name]
+            )
+
+    def test_every_register_has_endpoint_fanin(self, design):
+        netlist, _ = design
+        graph = build_timing_graph(netlist)
+        for reg in netlist.sequential_cells():
+            assert graph.endpoint_fanin[reg.name], reg.name
+
+    def test_output_load_of_sinkless_cell(self, design):
+        netlist, _ = design
+        # A cell whose output goes nowhere reports just the wire cap.
+        graph = build_timing_graph(netlist)
+        assert all(v >= 0 for v in graph.output_load_ff.values())
+
+
+class TestSta:
+    def test_report_consistency(self, design):
+        netlist, tree = design
+        report = run_sta(netlist, default_constraints(netlist), tree)
+        slacks = np.array(list(report.endpoint_slack_ps.values()))
+        assert report.wns_ps == pytest.approx(slacks.min())
+        assert report.tns_ps == pytest.approx(np.maximum(0, -slacks).sum())
+        assert report.violating_endpoints == int((slacks < 0).sum())
+        assert report.endpoint_count == len(slacks)
+
+    def test_tns_nonnegative(self, design):
+        netlist, tree = design
+        report = run_sta(netlist, default_constraints(netlist), tree)
+        assert report.tns_ps >= 0.0
+        assert report.hold_tns_ps >= 0.0
+
+    def test_longer_period_monotone_better(self, design):
+        netlist, tree = design
+        base = default_constraints(netlist)
+        relaxed = TimingConstraints(
+            period_ps=base.period_ps * 1.5,
+            input_delay_ps=base.input_delay_ps,
+            output_delay_ps=base.output_delay_ps,
+            setup_ps=base.setup_ps,
+            hold_ps=base.hold_ps,
+            clock_uncertainty_ps=base.clock_uncertainty_ps,
+        )
+        r_base = run_sta(netlist, base, tree)
+        r_relaxed = run_sta(netlist, relaxed, tree)
+        assert r_relaxed.wns_ps > r_base.wns_ps
+        assert r_relaxed.tns_ps <= r_base.tns_ps
+
+    def test_delay_scale_monotone(self, design):
+        netlist, tree = design
+        constraints = default_constraints(netlist)
+        fast = run_sta(netlist, constraints, tree, delay_scale=0.8)
+        slow = run_sta(netlist, constraints, tree, delay_scale=1.2)
+        assert fast.wns_ps > slow.wns_ps
+        assert fast.tns_ps <= slow.tns_ps
+
+    def test_ideal_clock_no_skew_effects(self, design):
+        netlist, _ = design
+        report = run_sta(netlist, default_constraints(netlist), None)
+        assert report.harmful_skew_paths == 0
+
+    def test_useful_skew_improves_setup_hurts_hold(self, design):
+        netlist, tree = design
+        constraints = default_constraints(netlist)
+        base = run_sta(netlist, constraints, tree)
+        violating = [
+            e for e, s in base.endpoint_slack_ps.items()
+            if s < 0 and not e.startswith("PO:")
+        ]
+        if not violating:
+            pytest.skip("design happens to meet timing")
+        target = violating[0]
+        tree.useful_skew_ps[target] = 30.0
+        try:
+            skewed = run_sta(netlist, constraints, tree)
+            assert skewed.endpoint_slack_ps[target] == pytest.approx(
+                base.endpoint_slack_ps[target] + 30.0
+            )
+            assert skewed.endpoint_hold_slack_ps[target] == pytest.approx(
+                base.endpoint_hold_slack_ps[target] - 30.0
+            )
+        finally:
+            tree.useful_skew_ps.clear()
+
+    def test_critical_path_traced(self, design):
+        netlist, tree = design
+        report = run_sta(netlist, default_constraints(netlist), tree)
+        assert report.critical_path
+        # Path starts at a launch register and ends at the capture register.
+        assert netlist.cells[report.critical_path[0]].is_sequential
+        assert netlist.cells[report.critical_path[-1]].is_sequential
+
+    def test_cell_slacks_lower_bound_endpoints(self, design):
+        netlist, tree = design
+        report = run_sta(netlist, default_constraints(netlist), tree)
+        worst_cell = min(report.cell_slack_ps.values())
+        assert worst_cell == pytest.approx(report.wns_ps, abs=1.0) or worst_cell <= report.wns_ps + 1.0
+
+    def test_slack_histogram_shape(self, design):
+        netlist, tree = design
+        report = run_sta(netlist, default_constraints(netlist), tree)
+        counts, edges = report.slack_histogram(bins=8)
+        assert counts.sum() == report.endpoint_count
+        assert len(edges) == 9
+
+    def test_weak_cell_pct_in_range(self, design):
+        netlist, tree = design
+        report = run_sta(netlist, default_constraints(netlist), tree)
+        assert 0.0 <= report.weak_cell_pct <= 100.0
