@@ -43,6 +43,9 @@ _EXPORTS = {
     "compound_scores": ("repro.core.qor", "compound_scores"),
     "design_profiles": ("repro.netlist.profiles", "design_profiles"),
     "default_catalog": ("repro.recipes.catalog", "default_catalog"),
+    "FlowExecutor": ("repro.runtime.executor", "FlowExecutor"),
+    "RetryPolicy": ("repro.runtime.executor", "RetryPolicy"),
+    "FaultInjector": ("repro.runtime.faults", "FaultInjector"),
 }
 
 
@@ -67,5 +70,8 @@ __all__ = [
     "compound_scores",
     "design_profiles",
     "default_catalog",
+    "FlowExecutor",
+    "RetryPolicy",
+    "FaultInjector",
     "__version__",
 ]

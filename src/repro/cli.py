@@ -80,6 +80,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_align.add_argument("--pairs-per-design", type=int, default=160)
     p_align.add_argument("--lam", type=float, default=2.0)
     p_align.add_argument("--seed", type=int, default=0)
+    p_align.add_argument("--checkpoint", default="",
+                         help="crash-safe checkpoint path (written atomically"
+                              " every --checkpoint-every epochs)")
+    p_align.add_argument("--checkpoint-every", type=int, default=1,
+                         help="epochs between checkpoints (default 1)")
+    p_align.add_argument("--resume", default="",
+                         help="resume training from a checkpoint file; "
+                              "continues bit-identically with the same seed")
 
     p_rec = sub.add_parser("recommend", help="zero-shot recommendation")
     p_rec.add_argument("--model", required=True, help="saved model .npz")
@@ -203,6 +211,9 @@ def cmd_align(args) -> int:
     config = AlignmentConfig(
         lam=args.lam, epochs=args.epochs,
         pairs_per_design=args.pairs_per_design, seed=args.seed,
+        checkpoint_path=args.checkpoint or None,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=args.resume or None,
     )
     ia = InsightAlign.align_offline(
         dataset, holdout=_split(args.holdout), config=config, verbose=True

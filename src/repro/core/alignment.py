@@ -43,6 +43,14 @@ class AlignmentConfig:
     min_score_gap: float = 0.02
     convergence_tolerance: float = 1e-4
     seed: int = 0
+    # Crash-safety: when ``checkpoint_path`` is set, the trainer atomically
+    # writes model/optimizer/RNG/history state there every
+    # ``checkpoint_every`` epochs; ``resume_from`` restores such a file and
+    # continues bit-identically (same seed + same data => same final
+    # weights as an uninterrupted run).
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 1
+    resume_from: Optional[str] = None
     # Optional behaviour-cloning anchor on winners (DPO+SFT mixing).  The
     # paper's Algorithm 1 is pure margin-DPO (weight 0.0, the default);
     # because DPO's uniform-reference objective only constrains likelihood
@@ -87,6 +95,10 @@ class AlignmentTrainer:
         if len(dataset) == 0:
             raise TrainingError("cannot align on an empty dataset")
         cfg = self.config
+        if cfg.checkpoint_every < 1:
+            raise TrainingError(
+                f"checkpoint_every must be >= 1, got {cfg.checkpoint_every}"
+            )
         rng = derive_rng(cfg.seed, "alignment")
         if model is None:
             model = InsightAlignModel(seed=cfg.seed)
@@ -96,7 +108,13 @@ class AlignmentTrainer:
         per_design = self._prepare(dataset, intention)
         probe = self._epoch_batches(per_design, derive_rng(cfg.seed, "probe"))[0]
         previous_probe = None
-        for epoch in range(cfg.epochs):
+        start_epoch = 0
+        if cfg.resume_from:
+            start_epoch = self._restore(model, optimizer, rng, history)
+            previous_probe = (
+                history.probe_loss[-1] if history.probe_loss else None
+            )
+        for epoch in range(start_epoch, cfg.epochs):
             batches = self._epoch_batches(per_design, rng)
             losses: List[float] = []
             correct = 0
@@ -119,13 +137,80 @@ class AlignmentTrainer:
                     f"probe {probe_loss:.4f} "
                     f"pair-acc {history.epoch_pair_accuracy[-1]:.3f}"
                 )
-            if (
+            converged = (
                 previous_probe is not None
                 and abs(previous_probe - probe_loss) < cfg.convergence_tolerance
-            ):
-                break
+            )
             previous_probe = probe_loss
+            if cfg.checkpoint_path and (
+                converged
+                or (epoch + 1) % cfg.checkpoint_every == 0
+                or epoch + 1 == cfg.epochs
+            ):
+                self._checkpoint(
+                    model, optimizer, rng, history, epoch, converged
+                )
+            if converged:
+                break
         return model, history
+
+    # ------------------------------------------------------------------
+    def _checkpoint(self, model, optimizer, rng, history, epoch, converged):
+        """Atomically persist everything resume needs (crash-safe)."""
+        from repro.runtime.checkpoint import TrainingCheckpoint, save_checkpoint
+
+        save_checkpoint(
+            TrainingCheckpoint(
+                kind="alignment",
+                step=epoch,
+                model_state=model.state_dict(),
+                optimizer_state=optimizer.state_dict(),
+                rng_state=rng.bit_generator.state,
+                payload={
+                    "epoch_loss": list(history.epoch_loss),
+                    "epoch_pair_accuracy": list(history.epoch_pair_accuracy),
+                    "probe_loss": list(history.probe_loss),
+                    "converged": bool(converged),
+                    "seed": self.config.seed,
+                },
+            ),
+            self.config.checkpoint_path,
+        )
+
+    def _restore(self, model, optimizer, rng, history) -> int:
+        """Load ``resume_from`` into the live objects; returns next epoch.
+
+        Restoring model weights, Adam moments and the epoch RNG's
+        bit-generator state at an epoch boundary makes the continued run
+        bit-identical to one that never stopped (same seed, same data).
+        """
+        from repro.errors import CheckpointError
+        from repro.runtime.checkpoint import load_checkpoint
+
+        cfg = self.config
+        checkpoint = load_checkpoint(cfg.resume_from, expected_kind="alignment")
+        saved_seed = checkpoint.payload.get("seed")
+        if saved_seed is not None and saved_seed != cfg.seed:
+            raise CheckpointError(
+                f"checkpoint was trained with seed {saved_seed}, "
+                f"config has seed {cfg.seed}; resuming would diverge"
+            )
+        try:
+            model.load_state_dict(checkpoint.model_state)
+        except (KeyError, ValueError) as err:
+            raise CheckpointError(
+                f"checkpoint weights do not fit this model: {err}"
+            ) from err
+        optimizer.load_state_dict(checkpoint.optimizer_state)
+        rng.bit_generator.state = checkpoint.rng_state
+        history.epoch_loss[:] = checkpoint.payload.get("epoch_loss", [])
+        history.epoch_pair_accuracy[:] = checkpoint.payload.get(
+            "epoch_pair_accuracy", []
+        )
+        history.probe_loss[:] = checkpoint.payload.get("probe_loss", [])
+        if checkpoint.payload.get("converged"):
+            return cfg.epochs  # training already converged; skip the loop
+        return checkpoint.step + 1
 
     def _eval_loss(self, model, insights, winners, losers, margins) -> float:
         """Margin-DPO loss on a fixed batch, no gradient step."""

@@ -8,10 +8,22 @@ PPO clipped surrogate (advantages = centered batch scores).  Insights are
 refreshed from the best run of each iteration, so the conditioning context
 tracks the design as the paper describes ("additional insights are
 gathered, providing a progressively generalized view of the design").
+
+Fault tolerance: every flow invocation goes through a
+:class:`~repro.runtime.executor.FlowExecutor` (deadline + bounded retries +
+typed errors).  A recipe set whose evaluation still fails is recorded in
+the iteration's :class:`FlowFailure` list, logged with its typed cause, and
+excluded from the DPO/PPO batch — the iteration proceeds with the
+surviving K' < K runs.  If fewer than ``min_successes`` survive, the model
+update (and insight refresh) for that iteration is skipped entirely rather
+than learning from a degenerate batch.  With ``checkpoint_path`` set, the
+full loop state is atomically persisted every ``checkpoint_every``
+iterations and ``resume_from`` continues a killed run bit-identically.
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -24,14 +36,16 @@ from repro.core.policy import sequence_log_prob, sequence_log_prob_value
 from repro.core.ppo import advantages_from_scores, ppo_loss
 from repro.core.qor import DesignNormalizer, QoRIntention
 from repro.errors import TrainingError
-from repro.flow.runner import run_flow
 from repro.insights.extractor import InsightExtractor
 from repro.netlist.profiles import get_profile
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import Tensor
 from repro.recipes.apply import apply_recipe_set
 from repro.recipes.catalog import default_catalog
+from repro.runtime.executor import FlowExecutor
 from repro.utils.rng import derive_rng
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -49,11 +63,35 @@ class OnlineConfig:
     insight_refresh: float = 0.3
     explore_samples: int = 1
     seed: int = 0
+    # Fault tolerance: an iteration updates the model only when at least
+    # ``min_successes`` of its K evaluations survived the executor.
+    min_successes: int = 1
+    # Crash safety: atomic checkpoint of the full loop state (model,
+    # optimizer, RNG, observed runs, records) every N iterations, and
+    # bit-identical resume from such a file.
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 1
+    resume_from: Optional[str] = None
+
+
+@dataclass
+class FlowFailure:
+    """One recipe-set evaluation the executor gave up on."""
+
+    iteration: int
+    recipe_set: Tuple[int, ...]
+    error_type: str
+    message: str
+    attempts: int
 
 
 @dataclass
 class IterationRecord:
-    """Everything one online iteration produced (Fig. 6/7 raw data)."""
+    """Everything one online iteration produced (Fig. 6/7 raw data).
+
+    ``recipe_sets`` / ``qors`` / ``scores`` hold only the *surviving*
+    evaluations (aligned by index); failed ones land in ``failures``.
+    """
 
     iteration: int
     recipe_sets: List[Tuple[int, ...]]
@@ -63,6 +101,8 @@ class IterationRecord:
     avg_top5_so_far: float
     best_power_so_far: float
     best_tns_so_far: float
+    failures: List[FlowFailure] = field(default_factory=list)
+    updated: bool = True
 
 
 @dataclass
@@ -85,12 +125,31 @@ class OnlineResult:
                 out.append((record.iteration, qor, score))
         return out
 
+    @property
+    def failures(self) -> List[FlowFailure]:
+        """Every failed evaluation across the whole run, in order."""
+        out: List[FlowFailure] = []
+        for record in self.records:
+            out.extend(record.failures)
+        return out
+
 
 class OnlineFineTuner:
-    """Runs the closed-loop fine-tuning of an aligned model on one design."""
+    """Runs the closed-loop fine-tuning of an aligned model on one design.
 
-    def __init__(self, config: OnlineConfig = OnlineConfig()) -> None:
+    ``executor`` supervises every flow invocation; the default wraps
+    :func:`repro.flow.runner.run_flow` with the standard retry policy.
+    Pass a custom one to add deadlines, change the backoff schedule, or
+    (in tests) inject faults and virtual time.
+    """
+
+    def __init__(
+        self,
+        config: OnlineConfig = OnlineConfig(),
+        executor: Optional[FlowExecutor] = None,
+    ) -> None:
         self.config = config
+        self.executor = executor if executor is not None else FlowExecutor()
 
     def run(
         self,
@@ -101,6 +160,14 @@ class OnlineFineTuner:
         verbose: bool = False,
     ) -> OnlineResult:
         cfg = self.config
+        if cfg.min_successes < 0:
+            raise TrainingError(
+                f"min_successes must be >= 0, got {cfg.min_successes}"
+            )
+        if cfg.checkpoint_every < 1:
+            raise TrainingError(
+                f"checkpoint_every must be >= 1, got {cfg.checkpoint_every}"
+            )
         rng = derive_rng(cfg.seed, "online", design)
         catalog = default_catalog()
         extractor = InsightExtractor()
@@ -113,48 +180,159 @@ class OnlineFineTuner:
         seen: set = set()
         result = OnlineResult(design=design)
         best_overall: Tuple[float, Optional[Dict[str, float]]] = (-np.inf, None)
+        start_iteration = 0
+        if cfg.resume_from:
+            start_iteration, insight, best_overall = self._restore(
+                model, optimizer, rng, design, observed, seen, result
+            )
 
-        for iteration in range(cfg.iterations):
+        for iteration in range(start_iteration, cfg.iterations):
             proposals = self._propose(model, insight, seen, rng)
+            survivors: List[Tuple[int, ...]] = []
             qors: List[Dict[str, float]] = []
             scores: List[float] = []
+            failures: List[FlowFailure] = []
             best_run = None
             best_run_score = -np.inf
             for bits in proposals:
                 params = apply_recipe_set(list(bits), catalog)
-                flow = run_flow(design, params, seed=dataset.seed)
+                report = self.executor.try_execute(
+                    design, params, seed=dataset.seed
+                )
+                seen.add(bits)
+                if not report.ok:
+                    error = report.error
+                    failures.append(FlowFailure(
+                        iteration=iteration,
+                        recipe_set=bits,
+                        error_type=type(error).__name__,
+                        message=str(error),
+                        attempts=len(report.attempts),
+                    ))
+                    logger.warning(
+                        "%s iter %d: recipe set evaluation failed after "
+                        "%d attempt(s) with %s: %s",
+                        design, iteration, len(report.attempts),
+                        type(error).__name__, error,
+                    )
+                    continue
+                flow = report.result
                 score = normalizer.score(flow.qor, intention)
+                survivors.append(bits)
                 qors.append(dict(flow.qor))
                 scores.append(score)
                 observed.append((bits, score))
-                seen.add(bits)
                 if score > best_run_score:
                     best_run_score = score
                     best_run = flow
                 if score > best_overall[0]:
                     best_overall = (score, dict(flow.qor))
 
-            self._update(model, optimizer, insight, proposals, scores, observed, rng)
-
-            if cfg.insight_refresh > 0 and best_run is not None:
-                fresh = extractor.extract(best_run, profile).values
-                insight = (
-                    (1.0 - cfg.insight_refresh) * insight
-                    + cfg.insight_refresh * fresh
+            updated = len(survivors) >= max(1, cfg.min_successes)
+            if updated:
+                self._update(
+                    model, optimizer, insight, survivors, scores, observed, rng
+                )
+                if cfg.insight_refresh > 0 and best_run is not None:
+                    fresh = extractor.extract(best_run, profile).values
+                    insight = (
+                        (1.0 - cfg.insight_refresh) * insight
+                        + cfg.insight_refresh * fresh
+                    )
+            else:
+                logger.warning(
+                    "%s iter %d: only %d/%d evaluations survived "
+                    "(min_successes=%d), skipping the model update",
+                    design, iteration, len(survivors), len(proposals),
+                    cfg.min_successes,
                 )
 
             record = self._record(
-                iteration, proposals, qors, scores, observed, best_overall[1]
+                iteration, survivors, qors, scores, observed, best_overall[1]
             )
+            record.failures = failures
+            record.updated = updated
             result.records.append(record)
+            if cfg.checkpoint_path and (
+                (iteration + 1) % cfg.checkpoint_every == 0
+                or iteration + 1 == cfg.iterations
+            ):
+                self._checkpoint(
+                    model, optimizer, rng, design, iteration,
+                    observed, seen, insight, best_overall, result,
+                )
             if verbose:
                 print(
                     f"{design} iter {iteration}: best so far "
                     f"{record.best_score_so_far:.3f} "
-                    f"avg-top5 {record.avg_top5_so_far:.3f}"
+                    f"avg-top5 {record.avg_top5_so_far:.3f} "
+                    f"({len(survivors)}/{len(proposals)} runs ok)"
                 )
         result.model = model
         return result
+
+    # ------------------------------------------------------------------
+    def _checkpoint(self, model, optimizer, rng, design, iteration,
+                    observed, seen, insight, best_overall, result) -> None:
+        """Atomically persist the full loop state at an iteration boundary."""
+        from repro.runtime.checkpoint import TrainingCheckpoint, save_checkpoint
+
+        save_checkpoint(
+            TrainingCheckpoint(
+                kind="online",
+                step=iteration,
+                model_state=model.state_dict(),
+                optimizer_state=optimizer.state_dict(),
+                rng_state=rng.bit_generator.state,
+                payload={
+                    "design": design,
+                    "seed": self.config.seed,
+                    "observed": list(observed),
+                    "seen": sorted(seen),
+                    "insight": np.asarray(insight).copy(),
+                    "best_overall": best_overall,
+                    "records": list(result.records),
+                },
+            ),
+            self.config.checkpoint_path,
+        )
+
+    def _restore(self, model, optimizer, rng, design, observed, seen, result):
+        """Load ``resume_from`` into the live loop state (bit-identical)."""
+        from repro.errors import CheckpointError
+        from repro.runtime.checkpoint import load_checkpoint
+
+        cfg = self.config
+        checkpoint = load_checkpoint(cfg.resume_from, expected_kind="online")
+        payload = checkpoint.payload
+        if payload.get("design") != design:
+            raise CheckpointError(
+                f"checkpoint is for design {payload.get('design')!r}, "
+                f"cannot resume fine-tuning on {design!r}"
+            )
+        saved_seed = payload.get("seed")
+        if saved_seed is not None and saved_seed != cfg.seed:
+            raise CheckpointError(
+                f"checkpoint was tuned with seed {saved_seed}, "
+                f"config has seed {cfg.seed}; resuming would diverge"
+            )
+        try:
+            model.load_state_dict(checkpoint.model_state)
+        except (KeyError, ValueError) as err:
+            raise CheckpointError(
+                f"checkpoint weights do not fit this model: {err}"
+            ) from err
+        optimizer.load_state_dict(checkpoint.optimizer_state)
+        rng.bit_generator.state = checkpoint.rng_state
+        observed[:] = [
+            (tuple(bits), float(score)) for bits, score in payload["observed"]
+        ]
+        seen.clear()
+        seen.update(tuple(bits) for bits in payload["seen"])
+        result.records[:] = payload.get("records", [])
+        insight = np.asarray(payload["insight"]).copy()
+        best_score, best_qor = payload["best_overall"]
+        return checkpoint.step + 1, insight, (best_score, best_qor)
 
     # ------------------------------------------------------------------
     def _propose(self, model, insight, seen, rng) -> List[Tuple[int, ...]]:
@@ -223,15 +401,26 @@ class OnlineFineTuner:
     def _record(
         self, iteration, proposals, qors, scores, observed, best_qor
     ) -> IterationRecord:
+        # ``observed`` / ``best_qor`` can be empty when every evaluation so
+        # far failed; report NaN rather than aborting the whole run.
         all_scores = np.array([s for _, s in observed])
-        top5 = np.sort(all_scores)[-5:]
+        if all_scores.size:
+            best_so_far = float(all_scores.max())
+            avg_top5 = float(np.sort(all_scores)[-5:].mean())
+        else:
+            best_so_far = float("nan")
+            avg_top5 = float("nan")
         return IterationRecord(
             iteration=iteration,
             recipe_sets=list(proposals),
             qors=qors,
             scores=scores,
-            best_score_so_far=float(all_scores.max()),
-            avg_top5_so_far=float(top5.mean()),
-            best_power_so_far=float(best_qor["power_mw"]),
-            best_tns_so_far=float(best_qor["tns_ns"]),
+            best_score_so_far=best_so_far,
+            avg_top5_so_far=avg_top5,
+            best_power_so_far=(
+                float(best_qor["power_mw"]) if best_qor else float("nan")
+            ),
+            best_tns_so_far=(
+                float(best_qor["tns_ns"]) if best_qor else float("nan")
+            ),
         )

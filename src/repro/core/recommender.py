@@ -116,8 +116,10 @@ class InsightAlign:
 
     # ------------------------------------------------------------------
     def save(self, path) -> None:
-        """Persist weights + intention to an .npz archive."""
+        """Atomically persist weights + intention to an .npz archive."""
         import numpy as np
+
+        from repro.nn.serialization import atomic_savez
 
         state = self.model.state_dict()
         meta = {
@@ -128,7 +130,7 @@ class InsightAlign:
                 [(n, str(w), str(int(g))) for n, w, g in self.intention.metrics]
             ),
         }
-        np.savez(path, **state, **meta)
+        atomic_savez(path, **state, **meta)
 
     @classmethod
     def load(cls, path) -> "InsightAlign":

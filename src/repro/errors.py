@@ -17,6 +17,19 @@ class FlowError(ReproError):
     """Raised when a physical-design flow stage fails or is misconfigured."""
 
 
+class FlowTimeout(FlowError):
+    """Raised when a flow run exceeds its per-run deadline (hung tool)."""
+
+
+class FlowCrash(FlowError):
+    """Raised when the flow tool dies with an unexpected exception."""
+
+
+class CorruptQoR(FlowError):
+    """Raised when a flow run returns NaN/inf metrics or a truncated
+    trajectory (partial snapshot) instead of a usable QoR report."""
+
+
 class RecipeError(ReproError):
     """Raised for unknown recipes or malformed recipe sets."""
 
@@ -31,3 +44,7 @@ class ModelError(ReproError):
 
 class TrainingError(ReproError):
     """Raised when alignment / fine-tuning receives unusable data."""
+
+
+class CheckpointError(ReproError):
+    """Raised for unreadable, incompatible or mismatched checkpoints."""

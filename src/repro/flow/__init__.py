@@ -9,7 +9,13 @@ the insight analyzers consume and returning the final QoR.
 
 from repro.flow.parameters import FlowParameters, OptParams, TradeoffWeights
 from repro.flow.result import FlowResult, StageSnapshot
-from repro.flow.runner import run_flow
+from repro.flow.runner import (
+    clear_netlist_cache,
+    netlist_cache_info,
+    run_flow,
+    set_netlist_cache_limit,
+    validate_qor,
+)
 from repro.flow.stages import FlowStage
 
 __all__ = [
@@ -20,4 +26,8 @@ __all__ = [
     "StageSnapshot",
     "run_flow",
     "FlowStage",
+    "clear_netlist_cache",
+    "netlist_cache_info",
+    "set_netlist_cache_limit",
+    "validate_qor",
 ]

@@ -12,8 +12,12 @@ Reported power / TNS are scaled by the profile's ``reported_scale`` so the
 
 from __future__ import annotations
 
+import math
 import pickle
-from typing import Dict, Union
+from collections import OrderedDict
+from typing import Dict, List, Optional, Union
+
+from repro.errors import CorruptQoR
 
 from repro.cts.skew import analyze_skew
 from repro.cts.tree import synthesize_clock_tree
@@ -31,18 +35,87 @@ from repro.routing.groute import global_route
 from repro.timing.constraints import default_constraints
 from repro.timing.sta import run_sta
 
-# Cache of pristine netlists keyed by (profile name, seed): generation is the
-# most expensive step and every recipe evaluation restarts from the same RTL.
-_NETLIST_CACHE: Dict[tuple, bytes] = {}
+# LRU cache of pristine netlists keyed by (profile name, seed): generation is
+# the most expensive step and every recipe evaluation restarts from the same
+# RTL.  Bounded so long online runs sweeping many designs don't grow memory
+# without limit; least-recently-used entries are evicted past the cap.
+_NETLIST_CACHE: "OrderedDict[tuple, bytes]" = OrderedDict()
+_NETLIST_CACHE_LIMIT = 32
+
+
+def clear_netlist_cache() -> None:
+    """Drop every cached pristine netlist (frees memory immediately)."""
+    _NETLIST_CACHE.clear()
+
+
+def set_netlist_cache_limit(limit: int) -> int:
+    """Resize the netlist LRU cache, evicting oldest entries as needed.
+
+    Returns the previous limit so callers can restore it.
+    """
+    global _NETLIST_CACHE_LIMIT
+    if limit < 1:
+        raise ValueError(f"netlist cache limit must be >= 1, got {limit}")
+    previous = _NETLIST_CACHE_LIMIT
+    _NETLIST_CACHE_LIMIT = int(limit)
+    while len(_NETLIST_CACHE) > _NETLIST_CACHE_LIMIT:
+        _NETLIST_CACHE.popitem(last=False)
+    return previous
+
+
+def netlist_cache_info() -> Dict[str, int]:
+    """Current cache occupancy: ``{"size": ..., "limit": ...}``."""
+    return {"size": len(_NETLIST_CACHE), "limit": _NETLIST_CACHE_LIMIT}
 
 
 def _fresh_netlist(profile: DesignProfile, seed: int) -> Netlist:
     key = (profile.name, seed)
-    if key not in _NETLIST_CACHE:
-        _NETLIST_CACHE[key] = pickle.dumps(
+    cached = _NETLIST_CACHE.get(key)
+    if cached is None:
+        cached = pickle.dumps(
             generate_netlist(profile, seed=seed), protocol=pickle.HIGHEST_PROTOCOL
         )
-    return pickle.loads(_NETLIST_CACHE[key])
+        _NETLIST_CACHE[key] = cached
+        while len(_NETLIST_CACHE) > _NETLIST_CACHE_LIMIT:
+            _NETLIST_CACHE.popitem(last=False)
+    else:
+        _NETLIST_CACHE.move_to_end(key)
+    return pickle.loads(cached)
+
+
+# The metrics every signoff QoR dict must carry, finite, for downstream
+# normalization/scoring to be meaningful.
+REQUIRED_QOR_KEYS = (
+    "tns_ns", "wns_ns", "hold_tns_ns", "power_mw", "leakage_mw",
+    "area_um2", "wirelength_um", "drc_count", "hold_fix_count",
+    "runtime_proxy",
+)
+
+
+def validate_qor(qor: Dict[str, float], design: str = "?",
+                 required: Optional[tuple] = REQUIRED_QOR_KEYS) -> None:
+    """Reject NaN/inf/missing metrics with a typed :class:`CorruptQoR`.
+
+    Applied at the ``run_flow`` boundary (and again by the executor on
+    whatever the tool handed back) so corrupt numbers can never silently
+    poison alignment scores.
+    """
+    bad: List[str] = []
+    for key, value in qor.items():
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            bad.append(f"{key}={value!r}")
+    if bad:
+        raise CorruptQoR(
+            f"flow run on {design} produced non-finite QoR metrics: "
+            + ", ".join(sorted(bad))
+        )
+    if required:
+        missing = [key for key in required if key not in qor]
+        if missing:
+            raise CorruptQoR(
+                f"flow run on {design} is missing QoR metrics: "
+                + ", ".join(missing)
+            )
 
 
 def run_flow(
@@ -190,6 +263,7 @@ def run_flow(
         "runtime_proxy": runtime,
     }))
 
+    validate_qor(qor, design=profile.name)
     return FlowResult(
         design=profile.name,
         qor=qor,

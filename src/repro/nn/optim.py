@@ -50,6 +50,22 @@ class SGD:
         for param in self.params:
             param.zero_grad()
 
+    def state_dict(self) -> dict:
+        """Resumable snapshot of the momentum buffers (for checkpoints)."""
+        return {
+            "kind": "sgd",
+            "lr": self.lr,
+            "momentum": self.momentum,
+            "velocity": [v.copy() for v in self._velocity],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore buffers saved by :meth:`state_dict`."""
+        _check_optimizer_state(state, "sgd", self.params, state.get("velocity"))
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self._velocity = [np.array(v, copy=True) for v in state["velocity"]]
+
 
 class Adam:
     """Adam (Kingma & Ba) with bias correction."""
@@ -94,3 +110,47 @@ class Adam:
     def zero_grad(self) -> None:
         for param in self.params:
             param.zero_grad()
+
+    def state_dict(self) -> dict:
+        """Resumable snapshot of the Adam moments (for checkpoints)."""
+        return {
+            "kind": "adam",
+            "lr": self.lr,
+            "betas": (self.beta1, self.beta2),
+            "epsilon": self.epsilon,
+            "weight_decay": self.weight_decay,
+            "step_count": self._step_count,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore moments saved by :meth:`state_dict`."""
+        _check_optimizer_state(state, "adam", self.params, state.get("m"))
+        _check_optimizer_state(state, "adam", self.params, state.get("v"))
+        self.lr = float(state["lr"])
+        self.beta1, self.beta2 = (float(b) for b in state["betas"])
+        self.epsilon = float(state["epsilon"])
+        self.weight_decay = float(state["weight_decay"])
+        self._step_count = int(state["step_count"])
+        self._m = [np.array(m, copy=True) for m in state["m"]]
+        self._v = [np.array(v, copy=True) for v in state["v"]]
+
+
+def _check_optimizer_state(state: dict, kind: str, params, buffers) -> None:
+    """Shared shape/kind validation for optimizer ``load_state_dict``."""
+    if state.get("kind") != kind:
+        raise ValueError(
+            f"optimizer state is {state.get('kind')!r}, expected {kind!r}"
+        )
+    if buffers is None or len(buffers) != len(params):
+        count = None if buffers is None else len(buffers)
+        raise ValueError(
+            f"optimizer state holds {count} buffers for {len(params)} params"
+        )
+    for buffer, param in zip(buffers, params):
+        if np.shape(buffer) != param.data.shape:
+            raise ValueError(
+                f"optimizer buffer shape {np.shape(buffer)} does not match "
+                f"parameter shape {param.data.shape}"
+            )

@@ -1,22 +1,55 @@
-"""Model weight persistence as numpy .npz archives."""
+"""Model weight persistence as numpy .npz archives.
+
+All writes are atomic: the archive is assembled in a temporary file in the
+destination directory, fsynced, then ``os.replace``\\ d over the target —
+so a crash mid-save can never corrupt an existing model file.
+"""
 
 from __future__ import annotations
 
 import os
+import tempfile
 from typing import Union
 
 from repro.nn.layers import Module
 
 import numpy as np
 
-
-def save_state(module: Module, path: Union[str, os.PathLike]) -> None:
-    """Write the module's state dict to ``path`` (.npz)."""
-    state = module.state_dict()
-    np.savez(path, **state)
+PathLike = Union[str, os.PathLike]
 
 
-def load_state(module: Module, path: Union[str, os.PathLike]) -> None:
+def atomic_savez(path: PathLike, **arrays) -> None:
+    """``np.savez`` with all-or-nothing semantics.
+
+    Writing through a file object keeps numpy from appending ``.npz`` to
+    the temporary name, so the final ``os.replace`` lands exactly on
+    ``path`` whatever its extension.
+    """
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def save_state(module: Module, path: PathLike) -> None:
+    """Atomically write the module's state dict to ``path`` (.npz)."""
+    atomic_savez(path, **module.state_dict())
+
+
+def load_state(module: Module, path: PathLike) -> None:
     """Load weights saved by :func:`save_state` into ``module``."""
     with np.load(path) as archive:
         state = {name: archive[name] for name in archive.files}

@@ -1,0 +1,53 @@
+"""Resilience layer: supervised flow execution, fault injection, checkpoints.
+
+This package is the spine between the learning loops and the (in production,
+flaky and hours-long) P&R tool invocation:
+
+- :mod:`repro.runtime.executor` — :class:`FlowExecutor` wraps ``run_flow``
+  with per-run deadlines, bounded retries with exponential backoff + seeded
+  jitter, and a typed failure taxonomy (``FlowTimeout`` / ``FlowCrash`` /
+  ``CorruptQoR``, all :class:`~repro.errors.FlowError`).
+- :mod:`repro.runtime.faults` — a deterministic, seedable
+  :class:`FaultInjector` that makes the simulated tool misbehave on demand
+  so every failure mode is testable.
+- :mod:`repro.runtime.checkpoint` — atomic (temp file + ``os.replace``)
+  training checkpoints enabling bit-identical crash/resume for offline
+  alignment and the online loop.
+- :mod:`repro.runtime.clock` — injectable virtual time so none of the above
+  ever blocks a test on real wall-clock.
+
+See ``docs/robustness.md`` for the end-to-end story.
+"""
+
+from repro.runtime.checkpoint import (
+    CHECKPOINT_VERSION,
+    TrainingCheckpoint,
+    atomic_pickle,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.runtime.clock import RecordingSleep, VirtualClock
+from repro.runtime.executor import (
+    FlowAttempt,
+    FlowExecutor,
+    FlowRunReport,
+    RetryPolicy,
+)
+from repro.runtime.faults import FaultInjector, FaultKind, SimulatedToolCrash
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "FaultInjector",
+    "FaultKind",
+    "FlowAttempt",
+    "FlowExecutor",
+    "FlowRunReport",
+    "RecordingSleep",
+    "RetryPolicy",
+    "SimulatedToolCrash",
+    "TrainingCheckpoint",
+    "VirtualClock",
+    "atomic_pickle",
+    "load_checkpoint",
+    "save_checkpoint",
+]

@@ -1,0 +1,129 @@
+"""Crash-safe training checkpoints: atomic write, versioned load.
+
+A checkpoint captures everything a trainer needs to continue *bit-
+identically* after a crash: model weights, optimizer moments, the training
+RNG's bit-generator state, the step counter, and trainer-specific payload
+(history lists, the online loop's observed set, ...).
+
+Durability contract: :func:`atomic_pickle` writes to a temporary file in
+the destination directory, fsyncs it, then ``os.replace``\\ s it over the
+target — so at every instant the target path holds either the previous
+complete checkpoint or the new complete checkpoint, never a torn write.
+A crash mid-save costs at most one checkpoint interval of progress.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import CheckpointError
+
+PathLike = Union[str, os.PathLike]
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class TrainingCheckpoint:
+    """One resumable training state.
+
+    Attributes:
+        kind: Producing loop, ``"alignment"`` or ``"online"`` — guards
+            against resuming the wrong trainer from a file.
+        step: Last *completed* unit of work (epoch / iteration, 0-based);
+            resume continues at ``step + 1``.
+        model_state: ``Module.state_dict()`` arrays.
+        optimizer_state: ``Adam.state_dict()`` / ``SGD.state_dict()``.
+        rng_state: ``numpy`` bit-generator state of the training stream,
+            captured at the step boundary.
+        payload: Trainer-specific extras (histories, observed runs, ...).
+    """
+
+    kind: str
+    step: int
+    model_state: Dict[str, Any]
+    optimizer_state: Dict[str, Any]
+    rng_state: Dict[str, Any]
+    payload: Dict[str, Any] = field(default_factory=dict)
+    version: int = CHECKPOINT_VERSION
+
+
+def atomic_pickle(payload: Any, path: PathLike) -> None:
+    """Pickle ``payload`` to ``path`` with all-or-nothing semantics."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.remove(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def save_checkpoint(checkpoint: TrainingCheckpoint, path: PathLike) -> None:
+    """Atomically persist a checkpoint."""
+    atomic_pickle(
+        {
+            "version": checkpoint.version,
+            "kind": checkpoint.kind,
+            "step": checkpoint.step,
+            "model_state": checkpoint.model_state,
+            "optimizer_state": checkpoint.optimizer_state,
+            "rng_state": checkpoint.rng_state,
+            "payload": checkpoint.payload,
+        },
+        path,
+    )
+
+
+def load_checkpoint(
+    path: PathLike, expected_kind: Optional[str] = None
+) -> TrainingCheckpoint:
+    """Load and validate a checkpoint written by :func:`save_checkpoint`."""
+    path = os.fspath(path)
+    try:
+        with open(path, "rb") as handle:
+            raw = pickle.load(handle)
+    except FileNotFoundError:
+        raise CheckpointError(f"no checkpoint at {path!r}") from None
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as err:
+        raise CheckpointError(f"unreadable checkpoint {path!r}: {err}") from err
+    if not isinstance(raw, dict) or "version" not in raw:
+        raise CheckpointError(f"{path!r} is not a training checkpoint")
+    if raw["version"] != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has version {raw['version']}, "
+            f"this build reads version {CHECKPOINT_VERSION}"
+        )
+    if expected_kind is not None and raw.get("kind") != expected_kind:
+        raise CheckpointError(
+            f"checkpoint {path!r} was written by the {raw.get('kind')!r} "
+            f"loop, cannot resume the {expected_kind!r} loop from it"
+        )
+    try:
+        return TrainingCheckpoint(
+            kind=raw["kind"],
+            step=int(raw["step"]),
+            model_state=raw["model_state"],
+            optimizer_state=raw["optimizer_state"],
+            rng_state=raw["rng_state"],
+            payload=raw.get("payload", {}),
+            version=int(raw["version"]),
+        )
+    except KeyError as err:
+        raise CheckpointError(
+            f"checkpoint {path!r} is missing field {err}"
+        ) from None

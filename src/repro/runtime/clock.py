@@ -1,0 +1,51 @@
+"""Deterministic time sources for the resilience layer.
+
+The executor measures per-run deadlines and sleeps between retries through
+injectable ``clock``/``sleep`` callables so tests never block on real wall
+time.  :class:`VirtualClock` is the test-side implementation: a monotonic
+counter whose ``sleep`` simply advances it.  Sharing one instance between a
+:class:`~repro.runtime.faults.FaultInjector` and a
+:class:`~repro.runtime.executor.FlowExecutor` lets a simulated hang move the
+executor's notion of time past the deadline without any real waiting.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A manually-advanced monotonic clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start in the past: {start}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    # Allow passing the instance directly as the ``clock`` callable.
+    __call__ = now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new reading."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance a monotonic clock by {seconds}")
+        self._now += float(seconds)
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        """Drop-in for ``time.sleep`` that advances virtual time instead."""
+        self.advance(max(0.0, seconds))
+
+
+class RecordingSleep:
+    """A ``sleep`` stand-in that records requested delays (for tests)."""
+
+    def __init__(self, clock: VirtualClock = None) -> None:
+        self.calls = []
+        self._clock = clock
+
+    def __call__(self, seconds: float) -> None:
+        self.calls.append(float(seconds))
+        if self._clock is not None:
+            self._clock.sleep(seconds)

@@ -1,0 +1,136 @@
+"""Deterministic fault injection for the simulated P&R tool.
+
+In a real deployment the flow invocation is the flaky, hours-long external
+dependency: the tool crashes, hangs past its deadline, or emits corrupt
+reports.  The simulated flow in :mod:`repro.flow.runner` never misbehaves,
+so this module makes it misbehave *on demand* — a seeded
+:class:`FaultInjector` wraps any flow callable and, at a configured rate,
+replaces the call's outcome with one of four failure modes:
+
+- ``CRASH``            — the tool process dies (an opaque ``RuntimeError``).
+- ``HANG``             — the run takes ``hang_s`` longer than usual; paired
+  with a shared :class:`~repro.runtime.clock.VirtualClock` this pushes the
+  executor past its deadline without real waiting.
+- ``CORRUPT_QOR``      — the run "succeeds" but one QoR metric is NaN.
+- ``PARTIAL_SNAPSHOT`` — the run returns with a truncated stage trajectory
+  (the tool was killed mid-flow but left a half-written report).
+
+Every decision is drawn from a private :func:`~repro.utils.rng.derive_rng`
+stream, so a given ``(seed, call-sequence)`` always produces the same fault
+schedule — failure-path tests are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.runtime.clock import VirtualClock
+from repro.utils.rng import derive_rng
+
+
+class FaultKind(enum.Enum):
+    """The ways the simulated tool can misbehave."""
+
+    CRASH = "crash"
+    HANG = "hang"
+    CORRUPT_QOR = "corrupt_qor"
+    PARTIAL_SNAPSHOT = "partial_snapshot"
+
+
+class SimulatedToolCrash(RuntimeError):
+    """The opaque, untyped error a dying external tool would surface.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: the executor is
+    expected to translate unexpected exceptions into ``FlowCrash``.
+    """
+
+
+class FaultInjector:
+    """Wraps a flow callable and injects seeded, reproducible faults.
+
+    Args:
+        rate: Probability in ``[0, 1]`` that any given call misbehaves.
+        kinds: Fault modes to draw from (uniformly); default all four.
+        seed: Seeds the private decision stream.
+        hang_s: Simulated extra latency of a ``HANG`` fault.
+        clock: Clock advanced by ``HANG`` faults.  Share this instance with
+            the executor so hangs are observable as deadline overruns; a
+            private clock is created when omitted (hangs then only show up
+            in :attr:`history`).
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        kinds: Optional[Sequence[FaultKind]] = None,
+        seed: int = 0,
+        hang_s: float = 3600.0,
+        clock: Optional[VirtualClock] = None,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {rate}")
+        self.rate = float(rate)
+        self.kinds: Tuple[FaultKind, ...] = (
+            tuple(FaultKind) if kinds is None else tuple(kinds)
+        )
+        if not self.kinds:
+            raise ValueError("fault injector needs at least one fault kind")
+        self.hang_s = float(hang_s)
+        self.clock = clock if clock is not None else VirtualClock()
+        self._rng = derive_rng(seed, "fault-injector")
+        self.calls = 0
+        self.history: List[Tuple[int, Optional[FaultKind]]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def fault_count(self) -> int:
+        return sum(1 for _, kind in self.history if kind is not None)
+
+    def draw(self) -> Optional[FaultKind]:
+        """Decide (and record) whether the next call misbehaves, and how."""
+        index = self.calls
+        self.calls += 1
+        kind: Optional[FaultKind] = None
+        if self._rng.random() < self.rate:
+            kind = self.kinds[int(self._rng.integers(0, len(self.kinds)))]
+        self.history.append((index, kind))
+        return kind
+
+    def wrap(self, flow_fn: Callable) -> Callable:
+        """Return ``flow_fn`` with this injector's misbehaviour layered on."""
+
+        def faulty_flow(*args, **kwargs):
+            kind = self.draw()
+            if kind is FaultKind.CRASH:
+                raise SimulatedToolCrash(
+                    "simulated P&R tool crashed (exit code 139)"
+                )
+            if kind is FaultKind.HANG:
+                self.clock.sleep(self.hang_s)
+                return flow_fn(*args, **kwargs)
+            result = flow_fn(*args, **kwargs)
+            if kind is FaultKind.CORRUPT_QOR:
+                return self._corrupt_qor(result)
+            if kind is FaultKind.PARTIAL_SNAPSHOT:
+                return self._truncate_snapshots(result)
+            return result
+
+        return faulty_flow
+
+    # ------------------------------------------------------------------
+    def _corrupt_qor(self, result):
+        """Poison one metric with NaN (in place; the run is already lost)."""
+        keys = sorted(result.qor)
+        if keys:
+            victim = keys[int(self._rng.integers(0, len(keys)))]
+            result.qor[victim] = math.nan
+        return result
+
+    def _truncate_snapshots(self, result):
+        """Drop the tail of the stage trajectory (tool killed mid-flow)."""
+        if result.snapshots:
+            keep = max(1, len(result.snapshots) // 2)
+            result.snapshots = result.snapshots[:keep]
+        return result

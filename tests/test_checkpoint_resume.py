@@ -1,0 +1,252 @@
+"""Crash-safe checkpoints: atomic writes, resume bit-identity, CLI flags."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.alignment import AlignmentConfig, AlignmentTrainer
+from repro.core.dataset import DataPoint, OfflineDataset
+from repro.errors import CheckpointError
+from repro.flow.runner import REQUIRED_QOR_KEYS
+from repro.insights.extractor import InsightVector
+from repro.insights.schema import INSIGHT_DIMS
+from repro.nn.layers import Linear
+from repro.nn.optim import Adam
+from repro.nn.serialization import load_state, save_state
+from repro.runtime import (
+    TrainingCheckpoint,
+    atomic_pickle,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def synthetic_dataset(seed=0, designs=("A", "B"), points_per_design=24):
+    """A tiny archive with random-but-deterministic QoR (no flow runs)."""
+    rng = np.random.default_rng(seed)
+    points, insights = [], {}
+    for design in designs:
+        insights[design] = InsightVector(
+            design, rng.normal(size=(INSIGHT_DIMS,)), {}
+        )
+        for _ in range(points_per_design):
+            bits = tuple(int(b) for b in rng.integers(0, 2, size=40))
+            qor = {key: float(rng.uniform(0.5, 2.0))
+                   for key in REQUIRED_QOR_KEYS}
+            points.append(DataPoint(design, bits, qor))
+    return OfflineDataset(points=points, insights=insights, seed=seed)
+
+
+class TestAtomicPickle:
+    def test_roundtrip_and_no_stray_tmp_files(self, tmp_path):
+        target = tmp_path / "state.pkl"
+        atomic_pickle({"x": 1}, target)
+        with open(target, "rb") as handle:
+            assert pickle.load(handle) == {"x": 1}
+        assert os.listdir(tmp_path) == ["state.pkl"]
+
+    def test_crash_mid_save_preserves_previous_file(self, tmp_path, monkeypatch):
+        target = tmp_path / "state.pkl"
+        atomic_pickle({"generation": 1}, target)
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(pickle, "dump", explode)
+        with pytest.raises(OSError):
+            atomic_pickle({"generation": 2}, target)
+        monkeypatch.undo()
+        with open(target, "rb") as handle:
+            assert pickle.load(handle) == {"generation": 1}
+        assert os.listdir(tmp_path) == ["state.pkl"]
+
+
+class TestAtomicModelSave:
+    def test_crash_mid_save_preserves_previous_weights(self, tmp_path, monkeypatch):
+        module = Linear(4, 3, seed=0)
+        target = tmp_path / "model.npz"
+        save_state(module, target)
+        original = dict(np.load(target))
+
+        def explode(*args, **kwargs):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", explode)
+        with pytest.raises(OSError):
+            save_state(Linear(4, 3, seed=9), target)
+        monkeypatch.undo()
+        reread = dict(np.load(target))
+        assert sorted(reread) == sorted(original)
+        for name in original:
+            np.testing.assert_array_equal(reread[name], original[name])
+        assert os.listdir(tmp_path) == ["model.npz"]
+
+    def test_roundtrip_unchanged(self, tmp_path):
+        module = Linear(5, 2, seed=3)
+        target = tmp_path / "model.npz"
+        save_state(module, target)
+        clone = Linear(5, 2, seed=4)
+        load_state(clone, target)
+        for (_, a), (_, b) in zip(module.named_parameters(),
+                                  clone.named_parameters()):
+            np.testing.assert_array_equal(a.data, b.data)
+
+
+class TestCheckpointFile:
+    def make_checkpoint(self, step=2):
+        return TrainingCheckpoint(
+            kind="alignment",
+            step=step,
+            model_state={"w": np.arange(4.0)},
+            optimizer_state={"kind": "adam"},
+            rng_state=np.random.default_rng(0).bit_generator.state,
+            payload={"note": "hello"},
+        )
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "ck.pkl"
+        save_checkpoint(self.make_checkpoint(), path)
+        loaded = load_checkpoint(path, expected_kind="alignment")
+        assert loaded.step == 2
+        assert loaded.payload["note"] == "hello"
+        np.testing.assert_array_equal(loaded.model_state["w"], np.arange(4.0))
+
+    def test_missing_file_is_typed(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(tmp_path / "absent.pkl")
+
+    def test_wrong_kind_is_rejected(self, tmp_path):
+        path = tmp_path / "ck.pkl"
+        save_checkpoint(self.make_checkpoint(), path)
+        with pytest.raises(CheckpointError, match="alignment"):
+            load_checkpoint(path, expected_kind="online")
+
+    def test_garbage_file_is_typed(self, tmp_path):
+        path = tmp_path / "ck.pkl"
+        path.write_bytes(b"not a pickle")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_foreign_pickle_is_rejected(self, tmp_path):
+        path = tmp_path / "ck.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump([1, 2, 3], handle)
+        with pytest.raises(CheckpointError, match="not a training checkpoint"):
+            load_checkpoint(path)
+
+
+class TestOptimizerState:
+    def test_adam_resume_is_bit_identical(self):
+        def fresh():
+            module = Linear(6, 4, seed=1)
+            return module, Adam(module.parameters(), lr=1e-2)
+
+        def step(module, optimizer, value):
+            for param in module.parameters():
+                param.grad = np.full_like(param.data, value)
+            optimizer.step()
+            optimizer.zero_grad()
+
+        # Uninterrupted: 4 steps.
+        module_a, opt_a = fresh()
+        for value in (0.1, -0.2, 0.3, -0.4):
+            step(module_a, opt_a, value)
+
+        # Interrupted after 2 steps, state carried through a state_dict.
+        module_b, opt_b = fresh()
+        for value in (0.1, -0.2):
+            step(module_b, opt_b, value)
+        saved_opt = opt_b.state_dict()
+        saved_weights = {n: t.data.copy()
+                         for n, t in module_b.named_parameters()}
+
+        module_c, opt_c = fresh()
+        for name, tensor in module_c.named_parameters():
+            tensor.data = saved_weights[name].copy()
+        opt_c.load_state_dict(saved_opt)
+        for value in (0.3, -0.4):
+            step(module_c, opt_c, value)
+
+        for (_, a), (_, c) in zip(module_a.named_parameters(),
+                                  module_c.named_parameters()):
+            np.testing.assert_array_equal(a.data, c.data)
+
+    def test_kind_mismatch_rejected(self):
+        module = Linear(3, 3, seed=0)
+        optimizer = Adam(module.parameters())
+        with pytest.raises(ValueError, match="adam"):
+            optimizer.load_state_dict({"kind": "sgd"})
+
+    def test_shape_mismatch_rejected(self):
+        module = Linear(3, 3, seed=0)
+        optimizer = Adam(module.parameters())
+        state = optimizer.state_dict()
+        state["m"][0] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape"):
+            optimizer.load_state_dict(state)
+
+
+class TestAlignmentResume:
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path):
+        """Killing mid-training and resuming reproduces the exact weights."""
+        dataset = synthetic_dataset(seed=5)
+        ckpt = tmp_path / "align.ck"
+        common = dict(pairs_per_design=40, batch_size=64, seed=7)
+
+        model_a, history_a = AlignmentTrainer(
+            AlignmentConfig(epochs=5, **common)
+        ).train(dataset)
+
+        AlignmentTrainer(
+            AlignmentConfig(epochs=2, checkpoint_path=str(ckpt), **common)
+        ).train(dataset)
+        model_c, history_c = AlignmentTrainer(
+            AlignmentConfig(epochs=5, resume_from=str(ckpt), **common)
+        ).train(dataset)
+
+        state_a, state_c = model_a.state_dict(), model_c.state_dict()
+        assert sorted(state_a) == sorted(state_c)
+        for name in state_a:
+            np.testing.assert_array_equal(state_a[name], state_c[name])
+        assert history_a.epoch_loss == history_c.epoch_loss
+        assert history_a.probe_loss == history_c.probe_loss
+
+    def test_resume_with_different_seed_is_rejected(self, tmp_path):
+        dataset = synthetic_dataset(seed=5)
+        ckpt = tmp_path / "align.ck"
+        AlignmentTrainer(AlignmentConfig(
+            epochs=1, pairs_per_design=40, batch_size=64, seed=7,
+            checkpoint_path=str(ckpt),
+        )).train(dataset)
+        with pytest.raises(CheckpointError, match="seed"):
+            AlignmentTrainer(AlignmentConfig(
+                epochs=3, pairs_per_design=40, batch_size=64, seed=8,
+                resume_from=str(ckpt),
+            )).train(dataset)
+
+    def test_checkpoint_written_on_cadence(self, tmp_path):
+        dataset = synthetic_dataset(seed=5)
+        ckpt = tmp_path / "align.ck"
+        AlignmentTrainer(AlignmentConfig(
+            epochs=4, pairs_per_design=40, batch_size=64, seed=7,
+            checkpoint_path=str(ckpt), checkpoint_every=2,
+        )).train(dataset)
+        loaded = load_checkpoint(ckpt, expected_kind="alignment")
+        assert loaded.step == 3  # last completed epoch
+        assert len(loaded.payload["epoch_loss"]) == 4
+
+
+class TestCliFlags:
+    def test_align_accepts_checkpoint_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "align", "--dataset", "d.pkl", "--out", "m.npz",
+            "--checkpoint", "ck.pkl", "--checkpoint-every", "3",
+            "--resume", "old.pkl",
+        ])
+        assert args.checkpoint == "ck.pkl"
+        assert args.checkpoint_every == 3
+        assert args.resume == "old.pkl"

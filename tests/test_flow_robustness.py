@@ -1,0 +1,146 @@
+"""Flow-layer robustness: bounded netlist cache, QoR validation, degenerate
+training data."""
+
+import numpy as np
+import pytest
+
+from conftest import tiny_profile
+from repro.core.alignment import AlignmentConfig, AlignmentTrainer
+from repro.core.dataset import DataPoint, OfflineDataset
+from repro.errors import CorruptQoR, TrainingError
+from repro.flow.runner import (
+    REQUIRED_QOR_KEYS,
+    _NETLIST_CACHE,
+    _fresh_netlist,
+    clear_netlist_cache,
+    netlist_cache_info,
+    run_flow,
+    set_netlist_cache_limit,
+    validate_qor,
+)
+from repro.insights.extractor import InsightVector
+from repro.insights.schema import INSIGHT_DIMS
+
+
+@pytest.fixture()
+def scratch_cache():
+    """Run against an empty cache, restore occupancy/limit afterwards."""
+    saved = dict(_NETLIST_CACHE)
+    previous = set_netlist_cache_limit(32)
+    clear_netlist_cache()
+    yield
+    clear_netlist_cache()
+    _NETLIST_CACHE.update(saved)
+    set_netlist_cache_limit(previous)
+
+
+class TestNetlistCacheBound:
+    def test_cache_never_exceeds_limit(self, scratch_cache):
+        set_netlist_cache_limit(2)
+        for index in range(4):
+            _fresh_netlist(tiny_profile(name=f"C{index}"), seed=0)
+        info = netlist_cache_info()
+        assert info["size"] == 2
+        assert info["limit"] == 2
+
+    def test_eviction_is_least_recently_used(self, scratch_cache):
+        set_netlist_cache_limit(2)
+        _fresh_netlist(tiny_profile(name="C0"), seed=0)
+        _fresh_netlist(tiny_profile(name="C1"), seed=0)
+        # Touch C0 so C1 becomes the eviction victim.
+        _fresh_netlist(tiny_profile(name="C0"), seed=0)
+        _fresh_netlist(tiny_profile(name="C2"), seed=0)
+        keys = {name for name, _ in _NETLIST_CACHE}
+        assert keys == {"C0", "C2"}
+
+    def test_clear_empties_cache(self, scratch_cache):
+        _fresh_netlist(tiny_profile(name="C0"), seed=0)
+        assert netlist_cache_info()["size"] == 1
+        clear_netlist_cache()
+        assert netlist_cache_info()["size"] == 0
+
+    def test_shrinking_limit_evicts_immediately(self, scratch_cache):
+        for index in range(4):
+            _fresh_netlist(tiny_profile(name=f"C{index}"), seed=0)
+        set_netlist_cache_limit(1)
+        assert netlist_cache_info()["size"] == 1
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            set_netlist_cache_limit(0)
+
+
+class TestQoRValidation:
+    def good_qor(self):
+        return {key: 1.0 for key in REQUIRED_QOR_KEYS}
+
+    def test_finite_qor_passes(self):
+        validate_qor(self.good_qor(), design="T1")
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"),
+                                     float("-inf")])
+    def test_nonfinite_metric_rejected(self, bad):
+        qor = self.good_qor()
+        qor["power_mw"] = bad
+        with pytest.raises(CorruptQoR, match="power_mw"):
+            validate_qor(qor, design="T1")
+
+    def test_non_numeric_metric_rejected(self):
+        qor = self.good_qor()
+        qor["tns_ns"] = "broken"
+        with pytest.raises(CorruptQoR, match="tns_ns"):
+            validate_qor(qor, design="T1")
+
+    def test_missing_required_metric_rejected(self):
+        qor = self.good_qor()
+        del qor["runtime_proxy"]
+        with pytest.raises(CorruptQoR, match="runtime_proxy"):
+            validate_qor(qor, design="T1")
+
+    def test_required_check_can_be_disabled(self):
+        validate_qor({"only_metric": 1.0}, design="T1", required=None)
+
+    def test_run_flow_boundary_rejects_nan(self, small_profile, monkeypatch):
+        """A corrupt internal metric surfaces as a typed error, not data."""
+        import repro.flow.runner as runner
+
+        monkeypatch.setattr(
+            runner, "_runtime_proxy", lambda params: float("nan")
+        )
+        with pytest.raises(CorruptQoR, match="runtime_proxy"):
+            run_flow(small_profile, seed=7)
+
+    def test_run_flow_output_is_valid(self, flow_result):
+        validate_qor(flow_result.qor, design=flow_result.design)
+
+
+class TestDegenerateTrainingData:
+    def test_empty_dataset_is_typed(self):
+        dataset = OfflineDataset(points=[], insights={})
+        with pytest.raises(TrainingError, match="empty dataset"):
+            AlignmentTrainer().train(dataset)
+
+    def test_identical_scores_are_typed(self):
+        """All-equal QoR leaves no preference pairs — a clear error."""
+        rng = np.random.default_rng(0)
+        qor = {key: 1.0 for key in REQUIRED_QOR_KEYS}
+        points = [
+            DataPoint("Z", tuple(int(b) for b in rng.integers(0, 2, size=40)),
+                      dict(qor))
+            for _ in range(12)
+        ]
+        insights = {"Z": InsightVector("Z", np.zeros(INSIGHT_DIMS), {})}
+        dataset = OfflineDataset(points=points, insights=insights)
+        with pytest.raises(TrainingError, match="preference pairs"):
+            AlignmentTrainer(AlignmentConfig(epochs=1)).train(dataset)
+
+    def test_single_point_design_is_typed(self):
+        rng = np.random.default_rng(0)
+        qor = {key: 1.0 for key in REQUIRED_QOR_KEYS}
+        points = [DataPoint(
+            "Z", tuple(int(b) for b in rng.integers(0, 2, size=40)), qor
+        )]
+        insights = {"Z": InsightVector("Z", np.zeros(INSIGHT_DIMS), {})}
+        dataset = OfflineDataset(points=points, insights=insights)
+        with pytest.raises(TrainingError, match="preference pairs"):
+            AlignmentTrainer(AlignmentConfig(epochs=1)).train(dataset)

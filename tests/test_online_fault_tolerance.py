@@ -1,0 +1,213 @@
+"""Online loop under injected faults: graceful degradation + crash/resume.
+
+The flow callable here is a cheap deterministic stand-in for ``run_flow``
+(the loop's contract is the callable's signature and the QoR dict), so
+these tests exercise ten-iteration trajectories in milliseconds.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import DataPoint, OfflineDataset
+from repro.core.model import InsightAlignModel
+from repro.core.online import FlowFailure, OnlineConfig, OnlineFineTuner
+from repro.errors import CheckpointError, TrainingError
+from repro.flow.result import FlowResult
+from repro.flow.runner import REQUIRED_QOR_KEYS
+from repro.insights.extractor import InsightVector
+from repro.insights.schema import INSIGHT_DIMS
+from repro.runtime import (
+    FaultInjector,
+    FaultKind,
+    FlowExecutor,
+    RetryPolicy,
+    VirtualClock,
+)
+
+DESIGN = "D6"  # real profile name: the loop resolves it via get_profile()
+
+
+@pytest.fixture(scope="module")
+def archive():
+    """A tiny synthetic archive (no real flow runs)."""
+    rng = np.random.default_rng(0)
+    points = []
+    insights = {}
+    for design in (DESIGN, "D10"):
+        insights[design] = InsightVector(
+            design, rng.normal(size=(INSIGHT_DIMS,)), {}
+        )
+        for _ in range(30):
+            bits = tuple(int(b) for b in rng.integers(0, 2, size=40))
+            qor = {key: float(rng.uniform(0.5, 2.0))
+                   for key in REQUIRED_QOR_KEYS}
+            points.append(DataPoint(design, bits, qor))
+    return OfflineDataset(points=points, insights=insights, seed=0)
+
+
+def fake_flow(design, params, seed=0):
+    """Deterministic per-parameter QoR, no simulation."""
+    fingerprint = hash((
+        round(params.placer.effort, 6),
+        round(params.opt.vt_swap_bias, 6),
+        round(params.route.effort, 6),
+    ))
+    base = 1.0 + (abs(fingerprint) % 1000) / 1000.0
+    return FlowResult(
+        design=str(design),
+        qor={key: base * (index + 1) * 0.1
+             for index, key in enumerate(REQUIRED_QOR_KEYS)},
+    )
+
+
+def faulty_executor(rate, seed=5, max_attempts=2):
+    clock = VirtualClock()
+    injector = FaultInjector(
+        rate=rate, seed=seed, hang_s=100.0, clock=clock,
+        kinds=[FaultKind.CRASH, FaultKind.HANG, FaultKind.CORRUPT_QOR],
+    )
+    executor = FlowExecutor(
+        flow_fn=injector.wrap(fake_flow),
+        policy=RetryPolicy(max_attempts=max_attempts, base_delay_s=0.5),
+        deadline_s=10.0, clock=clock, sleep=clock.sleep, seed=seed,
+    )
+    return executor, injector
+
+
+class TestGracefulDegradation:
+    def test_ten_iterations_survive_30pct_faults(self, archive, caplog):
+        """The ISSUE acceptance scenario: 30% fault rate, 10 iterations."""
+        executor, injector = faulty_executor(rate=0.3)
+        tuner = OnlineFineTuner(
+            OnlineConfig(iterations=10, k=3, insight_refresh=0.0, seed=3),
+            executor=executor,
+        )
+        model = InsightAlignModel(seed=5)
+        initial = {n: w.copy() for n, w in model.state_dict().items()}
+        with caplog.at_level(logging.WARNING, logger="repro.core.online"):
+            result = tuner.run(model, archive, DESIGN)
+
+        assert len(result.records) == 10
+        assert injector.fault_count > 0
+        # Every record accounts for all K proposals: survivors + failures.
+        for record in result.records:
+            assert len(record.recipe_sets) + len(record.failures) == 3
+            assert len(record.recipe_sets) == len(record.scores)
+        # Every terminal failure is typed and logged.
+        failures = result.failures
+        assert failures, "a 30% fault rate over 30 runs must kill some"
+        for failure in failures:
+            assert isinstance(failure, FlowFailure)
+            assert failure.error_type in {
+                "FlowCrash", "FlowTimeout", "CorruptQoR"
+            }
+            assert failure.attempts >= 1
+        logged = [r for r in caplog.records if "evaluation failed" in r.message]
+        assert len(logged) == len(failures)
+        # The model still learned from the survivors.
+        final = model.state_dict()
+        assert any(not np.array_equal(initial[n], final[n]) for n in final)
+
+    def test_total_blackout_skips_updates_but_completes(self, archive):
+        """rate=1.0: zero survivors, no update, run still finishes."""
+        executor, _ = faulty_executor(rate=1.0, max_attempts=1)
+        tuner = OnlineFineTuner(
+            OnlineConfig(iterations=3, k=2, insight_refresh=0.0, seed=3),
+            executor=executor,
+        )
+        model = InsightAlignModel(seed=5)
+        initial = {n: w.copy() for n, w in model.state_dict().items()}
+        result = tuner.run(model, archive, DESIGN)
+        assert len(result.records) == 3
+        assert all(not record.updated for record in result.records)
+        assert all(record.scores == [] for record in result.records)
+        assert len(result.failures) == 6
+        final = model.state_dict()
+        for name in final:
+            np.testing.assert_array_equal(initial[name], final[name])
+        # Degenerate records report NaN rather than fake numbers.
+        assert np.isnan(result.records[0].best_score_so_far)
+
+    def test_min_successes_floor_gates_the_update(self, archive):
+        """With a floor of K, any failure in the batch skips the update."""
+        executor, injector = faulty_executor(rate=0.5, max_attempts=1)
+        tuner = OnlineFineTuner(
+            OnlineConfig(iterations=4, k=3, min_successes=3,
+                         insight_refresh=0.0, seed=3),
+            executor=executor,
+        )
+        result = tuner.run(InsightAlignModel(seed=5), archive, DESIGN)
+        for record in result.records:
+            assert record.updated == (len(record.scores) >= 3)
+        assert any(not record.updated for record in result.records)
+
+    def test_fault_free_executor_updates_every_iteration(self, archive):
+        tuner = OnlineFineTuner(
+            OnlineConfig(iterations=3, k=3, insight_refresh=0.0, seed=3),
+            executor=FlowExecutor(flow_fn=fake_flow),
+        )
+        result = tuner.run(InsightAlignModel(seed=5), archive, DESIGN)
+        assert all(record.updated for record in result.records)
+        assert result.failures == []
+
+
+class TestOnlineCheckpointResume:
+    def run_loop(self, archive, config):
+        model = InsightAlignModel(seed=9)
+        tuner = OnlineFineTuner(
+            config, executor=FlowExecutor(flow_fn=fake_flow)
+        )
+        result = tuner.run(model, archive, DESIGN)
+        return model, result
+
+    def test_kill_and_resume_matches_uninterrupted(self, archive, tmp_path):
+        ckpt = str(tmp_path / "online.ck")
+        common = dict(k=3, insight_refresh=0.0, seed=3)
+
+        model_a, result_a = self.run_loop(
+            archive, OnlineConfig(iterations=4, **common)
+        )
+        self.run_loop(
+            archive,
+            OnlineConfig(iterations=2, checkpoint_path=ckpt, **common),
+        )
+        model_c, result_c = self.run_loop(
+            archive, OnlineConfig(iterations=4, resume_from=ckpt, **common)
+        )
+
+        state_a, state_c = model_a.state_dict(), model_c.state_dict()
+        for name in state_a:
+            np.testing.assert_array_equal(state_a[name], state_c[name])
+        assert len(result_c.records) == 4
+        assert [r.best_score_so_far for r in result_a.records] == \
+               [r.best_score_so_far for r in result_c.records]
+        assert [r.recipe_sets for r in result_a.records] == \
+               [r.recipe_sets for r in result_c.records]
+
+    def test_resume_on_wrong_design_rejected(self, archive, tmp_path):
+        ckpt = str(tmp_path / "online.ck")
+        self.run_loop(archive, OnlineConfig(
+            iterations=1, k=2, insight_refresh=0.0, seed=3,
+            checkpoint_path=ckpt,
+        ))
+        tuner = OnlineFineTuner(
+            OnlineConfig(iterations=2, k=2, insight_refresh=0.0, seed=3,
+                         resume_from=ckpt),
+            executor=FlowExecutor(flow_fn=fake_flow),
+        )
+        with pytest.raises(CheckpointError, match="design"):
+            tuner.run(InsightAlignModel(seed=9), archive, "D10")
+
+    def test_bad_config_values_are_typed(self, archive):
+        with pytest.raises(TrainingError, match="min_successes"):
+            OnlineFineTuner(
+                OnlineConfig(iterations=1, min_successes=-1),
+                executor=FlowExecutor(flow_fn=fake_flow),
+            ).run(InsightAlignModel(seed=1), archive, DESIGN)
+        with pytest.raises(TrainingError, match="checkpoint_every"):
+            OnlineFineTuner(
+                OnlineConfig(iterations=1, checkpoint_every=0),
+                executor=FlowExecutor(flow_fn=fake_flow),
+            ).run(InsightAlignModel(seed=1), archive, DESIGN)

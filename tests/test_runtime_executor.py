@@ -1,0 +1,227 @@
+"""FlowExecutor: deadlines, retry/backoff ordering, typed failure taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CorruptQoR,
+    FlowCrash,
+    FlowError,
+    FlowTimeout,
+    RecipeError,
+)
+from repro.flow.result import FlowResult
+from repro.flow.runner import REQUIRED_QOR_KEYS
+from repro.runtime import (
+    FlowExecutor,
+    RecordingSleep,
+    RetryPolicy,
+    VirtualClock,
+)
+
+
+def fake_qor(**overrides):
+    qor = {key: 1.0 for key in REQUIRED_QOR_KEYS}
+    qor.update(overrides)
+    return qor
+
+
+def fake_flow(design, params, seed=0):
+    return FlowResult(design=str(design), qor=fake_qor())
+
+
+def make_executor(flow_fn, **kwargs):
+    clock = kwargs.pop("clock", VirtualClock())
+    sleep = RecordingSleep(clock)
+    executor = FlowExecutor(flow_fn=flow_fn, clock=clock, sleep=sleep, **kwargs)
+    return executor, sleep
+
+
+class TestSuccessPath:
+    def test_first_try_success(self):
+        executor, sleep = make_executor(fake_flow)
+        result = executor.execute("D6", None)
+        assert result.qor["power_mw"] == 1.0
+        assert sleep.calls == []
+
+    def test_report_records_single_ok_attempt(self):
+        executor, _ = make_executor(fake_flow)
+        report = executor.try_execute("D6", None)
+        assert report.ok
+        assert report.error is None
+        assert len(report.attempts) == 1
+        assert report.attempts[0].ok
+
+
+class TestRetrySchedule:
+    def test_recovers_after_transient_crashes(self):
+        calls = {"n": 0}
+
+        def flaky(design, params, seed=0):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("segfault")
+            return fake_flow(design, params, seed)
+
+        executor, sleep = make_executor(
+            flaky, policy=RetryPolicy(max_attempts=3, base_delay_s=1.0)
+        )
+        report = executor.try_execute("D6", None)
+        assert report.ok
+        assert [a.ok for a in report.attempts] == [False, False, True]
+        assert all(isinstance(a.error, FlowCrash)
+                   for a in report.attempts[:2])
+        assert len(sleep.calls) == 2
+
+    def test_backoff_is_exponential_with_bounded_jitter(self):
+        def always_crash(design, params, seed=0):
+            raise RuntimeError("dead")
+
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_s=2.0, multiplier=3.0,
+            max_delay_s=1000.0, jitter=0.25,
+        )
+        executor, sleep = make_executor(always_crash, policy=policy, seed=13)
+        report = executor.try_execute("D6", None)
+        assert not report.ok
+        assert len(sleep.calls) == 3
+        for retry_index, delay in enumerate(sleep.calls):
+            raw = 2.0 * 3.0 ** retry_index
+            assert raw <= delay < raw * 1.25
+        # Strictly increasing: exponential growth dominates the jitter here.
+        assert sleep.calls == sorted(sleep.calls)
+
+    def test_backoff_respects_max_delay(self):
+        def always_crash(design, params, seed=0):
+            raise RuntimeError("dead")
+
+        policy = RetryPolicy(max_attempts=4, base_delay_s=10.0,
+                             multiplier=10.0, max_delay_s=15.0, jitter=0.0)
+        executor, sleep = make_executor(always_crash, policy=policy)
+        executor.try_execute("D6", None)
+        assert sleep.calls == [10.0, 15.0, 15.0]
+
+    def test_retry_schedule_is_seed_deterministic(self):
+        def always_crash(design, params, seed=0):
+            raise RuntimeError("dead")
+
+        policy = RetryPolicy(max_attempts=4, base_delay_s=1.0, jitter=0.5)
+        executor_a, sleep_a = make_executor(always_crash, policy=policy, seed=7)
+        executor_b, sleep_b = make_executor(always_crash, policy=policy, seed=7)
+        executor_a.try_execute("D6", None)
+        executor_b.try_execute("D6", None)
+        assert sleep_a.calls == sleep_b.calls
+
+    def test_no_sleep_after_final_attempt(self):
+        def always_crash(design, params, seed=0):
+            raise RuntimeError("dead")
+
+        executor, sleep = make_executor(
+            always_crash, policy=RetryPolicy(max_attempts=2, base_delay_s=1.0)
+        )
+        report = executor.try_execute("D6", None)
+        assert len(report.attempts) == 2
+        assert len(sleep.calls) == 1
+        assert report.attempts[-1].backoff_s is None
+
+
+class TestFailureTaxonomy:
+    def test_crash_is_typed_with_cause(self):
+        def dies(design, params, seed=0):
+            raise ValueError("tool wrote no DEF")
+
+        executor, _ = make_executor(
+            dies, policy=RetryPolicy(max_attempts=1)
+        )
+        with pytest.raises(FlowCrash) as excinfo:
+            executor.execute("D6", None)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert isinstance(excinfo.value, FlowError)
+
+    def test_deadline_overrun_is_flow_timeout(self):
+        clock = VirtualClock()
+
+        def slow(design, params, seed=0):
+            clock.advance(50.0)
+            return fake_flow(design, params, seed)
+
+        executor, _ = make_executor(
+            slow, clock=clock, deadline_s=10.0,
+            policy=RetryPolicy(max_attempts=2, base_delay_s=0.1),
+        )
+        with pytest.raises(FlowTimeout):
+            executor.execute("D6", None)
+
+    def test_within_deadline_passes(self):
+        clock = VirtualClock()
+
+        def quick(design, params, seed=0):
+            clock.advance(5.0)
+            return fake_flow(design, params, seed)
+
+        executor, _ = make_executor(quick, clock=clock, deadline_s=10.0)
+        assert executor.execute("D6", None).qor["tns_ns"] == 1.0
+
+    def test_nan_qor_is_corrupt(self):
+        def corrupt(design, params, seed=0):
+            return FlowResult(design=str(design),
+                              qor=fake_qor(power_mw=float("nan")))
+
+        executor, _ = make_executor(
+            corrupt, policy=RetryPolicy(max_attempts=1)
+        )
+        with pytest.raises(CorruptQoR, match="power_mw"):
+            executor.execute("D6", None)
+
+    def test_partial_snapshots_rejected_when_floor_set(self):
+        executor, _ = make_executor(
+            fake_flow, min_snapshots=5, policy=RetryPolicy(max_attempts=1)
+        )
+        with pytest.raises(CorruptQoR, match="partial"):
+            executor.execute("D6", None)
+
+    def test_config_bugs_are_not_retried(self):
+        calls = {"n": 0}
+
+        def misconfigured(design, params, seed=0):
+            calls["n"] += 1
+            raise RecipeError("unknown recipe #99")
+
+        executor, _ = make_executor(
+            misconfigured, policy=RetryPolicy(max_attempts=5, base_delay_s=0.1)
+        )
+        with pytest.raises(RecipeError):
+            executor.try_execute("D6", None)
+        assert calls["n"] == 1
+
+
+class TestReport:
+    def test_exhausted_report_exposes_terminal_error(self):
+        def always_crash(design, params, seed=0):
+            raise RuntimeError("dead")
+
+        executor, _ = make_executor(
+            always_crash, policy=RetryPolicy(max_attempts=3, base_delay_s=0.1)
+        )
+        report = executor.try_execute("D6", None)
+        assert not report.ok
+        assert isinstance(report.error, FlowCrash)
+        assert len(report.attempts) == 3
+        assert report.total_elapsed_s >= 0.0
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"base_delay_s": -1.0},
+        {"multiplier": 0.5},
+        {"jitter": 1.0},
+        {"jitter": -0.1},
+    ])
+    def test_rejects_bad_policies(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_rejects_bad_deadline(self):
+        with pytest.raises(ValueError):
+            FlowExecutor(flow_fn=fake_flow, deadline_s=0.0)

@@ -1,0 +1,104 @@
+"""FaultInjector: seeded determinism and per-kind misbehaviour."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.flow.result import FlowResult, StageSnapshot
+from repro.flow.runner import REQUIRED_QOR_KEYS
+from repro.flow.stages import FlowStage
+from repro.runtime import FaultInjector, FaultKind, SimulatedToolCrash, VirtualClock
+
+
+def fake_flow(design, params, seed=0):
+    snapshots = [StageSnapshot(stage, {"m": 1.0}) for stage in FlowStage]
+    return FlowResult(
+        design=str(design),
+        qor={key: 1.0 for key in REQUIRED_QOR_KEYS},
+        snapshots=snapshots,
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_fault_schedule(self):
+        schedules = []
+        for _ in range(2):
+            injector = FaultInjector(rate=0.4, seed=21)
+            for _ in range(60):
+                injector.draw()
+            schedules.append(injector.history)
+        assert schedules[0] == schedules[1]
+
+    def test_different_seeds_diverge(self):
+        a = FaultInjector(rate=0.5, seed=1)
+        b = FaultInjector(rate=0.5, seed=2)
+        for _ in range(60):
+            a.draw()
+            b.draw()
+        assert a.history != b.history
+
+    def test_rate_extremes(self):
+        never = FaultInjector(rate=0.0, seed=0)
+        always = FaultInjector(rate=1.0, seed=0)
+        for _ in range(50):
+            assert never.draw() is None
+            assert always.draw() is not None
+        assert never.fault_count == 0
+        assert always.fault_count == 50
+
+    def test_rate_is_roughly_respected(self):
+        injector = FaultInjector(rate=0.3, seed=11)
+        draws = [injector.draw() for _ in range(500)]
+        observed = sum(1 for kind in draws if kind is not None) / len(draws)
+        assert 0.2 < observed < 0.4
+
+
+class TestFaultKinds:
+    def test_crash_raises_opaque_tool_error(self):
+        injector = FaultInjector(rate=1.0, kinds=[FaultKind.CRASH], seed=0)
+        wrapped = injector.wrap(fake_flow)
+        with pytest.raises(SimulatedToolCrash):
+            wrapped("D6", None)
+
+    def test_hang_advances_shared_clock(self):
+        clock = VirtualClock()
+        injector = FaultInjector(
+            rate=1.0, kinds=[FaultKind.HANG], seed=0,
+            hang_s=123.0, clock=clock,
+        )
+        result = injector.wrap(fake_flow)("D6", None)
+        assert clock.now() == 123.0
+        # The run itself still "finished" — only late.
+        assert result.qor["power_mw"] == 1.0
+
+    def test_corrupt_qor_poisons_one_metric(self):
+        injector = FaultInjector(
+            rate=1.0, kinds=[FaultKind.CORRUPT_QOR], seed=3
+        )
+        result = injector.wrap(fake_flow)("D6", None)
+        poisoned = [k for k, v in result.qor.items() if math.isnan(v)]
+        assert len(poisoned) == 1
+
+    def test_partial_snapshot_truncates_trajectory(self):
+        injector = FaultInjector(
+            rate=1.0, kinds=[FaultKind.PARTIAL_SNAPSHOT], seed=0
+        )
+        result = injector.wrap(fake_flow)("D6", None)
+        assert 1 <= len(result.snapshots) < len(FlowStage)
+
+    def test_clean_call_passes_through_untouched(self):
+        injector = FaultInjector(rate=0.0, seed=0)
+        result = injector.wrap(fake_flow)("D6", None)
+        assert len(result.snapshots) == len(FlowStage)
+        assert all(np.isfinite(list(result.qor.values())))
+
+
+class TestValidation:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            FaultInjector(rate=1.5)
+
+    def test_rejects_empty_kinds(self):
+        with pytest.raises(ValueError):
+            FaultInjector(rate=0.5, kinds=[])
