@@ -1,0 +1,97 @@
+"""Serving throughput: sequential per-request decoding vs. the batched
+service, requests/sec at varying concurrency.
+
+The baseline is the paper-literal decoder the facade used before the
+serving layer existed: one ``beam_search_reference`` call per request, each
+issuing a full-sequence autograd forward per beam per step.  The contender
+is the end-to-end :class:`~repro.serving.service.RecommendationService`
+path — micro-batch scheduler, admission control, cache lookups and the
+KV-cached :class:`~repro.serving.engine.InferenceEngine` — i.e. the batched
+number *includes* all serving overhead, not just the decode kernel.
+
+Acceptance gate (ISSUE 2): >= 5x speedup at concurrency >= 8 on the
+default model size.  Set ``REPRO_SERVING_BENCH_TINY=1`` for the CI smoke
+configuration (fewer concurrency points, fewer requests, same assertion).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.beam import beam_search_reference
+from repro.core.model import InsightAlignModel
+from repro.core.recommender import InsightAlign
+from repro.insights.schema import INSIGHT_DIMS
+from repro.serving import RecommendationService, ServingConfig
+
+from common import run_once
+
+K = 5
+TINY = os.environ.get("REPRO_SERVING_BENCH_TINY", "") not in ("", "0")
+CONCURRENCIES = (1, 8) if TINY else (1, 2, 4, 8, 16, 32)
+
+
+def _sequential_rps(recommender, insights):
+    started = time.perf_counter()
+    for row in insights:
+        beam_search_reference(recommender.model, row, beam_width=K)
+    elapsed = time.perf_counter() - started
+    return len(insights) / elapsed, elapsed
+
+
+def _service_rps(recommender, insights):
+    service = RecommendationService(
+        recommender,
+        ServingConfig(
+            max_batch_size=max(8, len(insights)),
+            max_wait_s=0.0,          # dispatch as soon as polled
+            max_queue_depth=max(64, len(insights)),
+            cache_capacity=0,        # measure decode, not cache hits
+        ),
+    )
+    started = time.perf_counter()
+    tickets = [service.submit(row, k=K) for row in insights]
+    service.run_until_idle()
+    elapsed = time.perf_counter() - started
+    assert all(t.done for t in tickets)
+    return len(insights) / elapsed, elapsed
+
+
+def test_serving_throughput(benchmark):
+    # Default (paper) model size: n = 40 recipes, dim = 32, 72-d insights.
+    recommender = InsightAlign(InsightAlignModel(seed=0))
+
+    def run_all():
+        table = {}
+        for concurrency in CONCURRENCIES:
+            insights = np.random.default_rng(concurrency).normal(
+                size=(concurrency, INSIGHT_DIMS)
+            )
+            seq_rps, seq_s = _sequential_rps(recommender, insights)
+            bat_rps, bat_s = _service_rps(recommender, insights)
+            table[concurrency] = {
+                "sequential_rps": seq_rps,
+                "batched_rps": bat_rps,
+                "speedup": seq_s / bat_s,
+            }
+        return table
+
+    table = run_once(benchmark, run_all)
+
+    print("\n=== Serving throughput: sequential vs. batched service ===")
+    print(f"{'conc':>5} {'seq req/s':>10} {'svc req/s':>10} {'speedup':>8}")
+    for concurrency, row in table.items():
+        print(f"{concurrency:>5} {row['sequential_rps']:>10.1f} "
+              f"{row['batched_rps']:>10.1f} {row['speedup']:>7.1f}x")
+
+    # The batched path must never be slower, even for a single request
+    # (the no-degradation edge case), with slack for timer noise on a
+    # sub-10ms measurement.
+    assert table[1]["speedup"] >= 0.8
+    # The ISSUE acceptance gate: >= 5x at every concurrency >= 8.
+    for concurrency, row in table.items():
+        if concurrency >= 8:
+            assert row["speedup"] >= 5.0, (
+                f"concurrency {concurrency}: only {row['speedup']:.1f}x"
+            )

@@ -21,6 +21,8 @@ Top-level layout:
   recommendation, and online fine-tuning.
 - :mod:`repro.baselines` — the Section II comparators (BO, ACO,
   matrix factorization, RL, random search).
+- :mod:`repro.serving` — the production path: batched beam decoding,
+  micro-batching scheduler, result cache, model registry with hot-swap.
 
 Quickstart::
 
@@ -46,6 +48,9 @@ _EXPORTS = {
     "FlowExecutor": ("repro.runtime.executor", "FlowExecutor"),
     "RetryPolicy": ("repro.runtime.executor", "RetryPolicy"),
     "FaultInjector": ("repro.runtime.faults", "FaultInjector"),
+    "RecommendationService": ("repro.serving.service", "RecommendationService"),
+    "ServingConfig": ("repro.serving.scheduler", "ServingConfig"),
+    "ModelRegistry": ("repro.serving.registry", "ModelRegistry"),
 }
 
 
@@ -73,5 +78,8 @@ __all__ = [
     "FlowExecutor",
     "RetryPolicy",
     "FaultInjector",
+    "RecommendationService",
+    "ServingConfig",
+    "ModelRegistry",
     "__version__",
 ]

@@ -10,6 +10,9 @@ Subcommands:
 - ``align``      — offline-align a model on an archive and save it.
 - ``recommend``  — zero-shot top-K recipe sets for a design from a saved
   model, optionally evaluating each with real flow runs.
+- ``serve``      — load a saved model into the batched
+  :class:`~repro.serving.service.RecommendationService` and drive it with
+  synthetic traffic, printing throughput / latency / cache statistics.
 
 Examples::
 
@@ -18,6 +21,8 @@ Examples::
     python -m repro.cli align --dataset archive.pkl --out model.npz --holdout D4
     python -m repro.cli recommend --model model.npz --dataset archive.pkl \
         --design D4 --k 5 --evaluate
+    python -m repro.cli serve --model model.npz --dataset archive.pkl \
+        --requests 128 --max-batch-size 16
 """
 
 from __future__ import annotations
@@ -88,6 +93,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_align.add_argument("--resume", default="",
                          help="resume training from a checkpoint file; "
                               "continues bit-identically with the same seed")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="drive the batched recommendation service under synthetic load",
+    )
+    p_serve.add_argument("--model", required=True, help="saved model .npz")
+    p_serve.add_argument("--dataset", required=True,
+                         help="archive .pkl providing insight vectors")
+    p_serve.add_argument("--designs", default="",
+                         help="comma-separated designs to query (default: all)")
+    p_serve.add_argument("--requests", type=int, default=64,
+                         help="total requests to submit")
+    p_serve.add_argument("--k", type=int, default=5)
+    p_serve.add_argument("--max-batch-size", type=int, default=8)
+    p_serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                         help="micro-batching latency bound")
+    p_serve.add_argument("--queue-depth", type=int, default=64,
+                         help="admission-control queue limit")
+    p_serve.add_argument("--deadline-ms", type=float, default=0.0,
+                         help="per-request deadline (0 = none)")
+    p_serve.add_argument("--jitter", type=float, default=0.02,
+                         help="gaussian noise added to insights so the load "
+                              "is not one cacheable vector per design")
+    p_serve.add_argument("--seed", type=int, default=0)
 
     p_rec = sub.add_parser("recommend", help="zero-shot recommendation")
     p_rec.add_argument("--model", required=True, help="saved model .npz")
@@ -223,6 +252,63 @@ def cmd_align(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Load a model into the serving stack and push synthetic traffic."""
+    import time
+
+    import numpy as np
+
+    from repro.errors import QueueFullError
+    from repro.serving import RecommendationService, ServingConfig
+
+    ia = InsightAlign.load(args.model)
+    dataset = OfflineDataset.load(args.dataset)
+    designs = _split(args.designs) or dataset.designs()
+    insights = {d: dataset.insight_for(d) for d in designs}
+
+    config = ServingConfig(
+        max_batch_size=args.max_batch_size,
+        max_wait_s=args.max_wait_ms / 1e3,
+        max_queue_depth=args.queue_depth,
+        default_deadline_s=(args.deadline_ms / 1e3) or None,
+    )
+    service = RecommendationService(ia, config)
+    rng = np.random.default_rng(args.seed)
+
+    tickets = []
+    started = time.monotonic()
+    for index in range(args.requests):
+        design = designs[index % len(designs)]
+        insight = insights[design] + args.jitter * rng.normal(
+            size=insights[design].shape
+        )
+        while True:
+            try:
+                tickets.append(service.submit(insight, k=args.k))
+                break
+            except QueueFullError:
+                # Backpressure: drain a batch, then resubmit.
+                service.poll(force=True)
+    service.run_until_idle()
+    elapsed = time.monotonic() - started
+
+    stats = service.stats()
+    requests = stats["requests"]
+    served = requests["completed"]
+    print(f"served {served}/{args.requests} requests in {elapsed:.3f}s "
+          f"({served / elapsed:.1f} req/s) | expired {requests['expired']} "
+          f"| batches {stats['batches']}")
+    latency = stats["latency_s"]
+    occupancy = stats["batch_occupancy"]
+    print(f"latency  p50 {latency['p50'] * 1e3:7.2f} ms   "
+          f"p99 {latency['p99'] * 1e3:7.2f} ms   "
+          f"max {latency['max'] * 1e3:7.2f} ms")
+    print(f"batching mean occupancy {occupancy['mean']:.2f}  "
+          f"cache hit rate {stats['cache']['hit_rate']:.2f}  "
+          f"model {stats['model_version']}")
+    return 0
+
+
 def cmd_recommend(args) -> int:
     ia = InsightAlign.load(args.model)
     dataset = OfflineDataset.load(args.dataset)
@@ -254,6 +340,7 @@ _COMMANDS = {
     "build-dataset": cmd_build_dataset,
     "align": cmd_align,
     "recommend": cmd_recommend,
+    "serve": cmd_serve,
 }
 
 

@@ -4,6 +4,18 @@ Starting from the SOS-only prefix, each step extends every beam with both
 decisions (select / skip), scores extensions by cumulative log probability
 under the aligned policy, and keeps the top-K sequences.  After n steps the
 K complete recipe sets best aligned with the QoR-optimized policy remain.
+
+Ordering is canonical: extensions (and final candidates) sort by log-prob
+descending with ties broken by the recipe-set bit vector descending, so the
+top-K output is deterministic even under exactly equal scores.
+
+Two implementations exist.  :func:`beam_search_reference` is the paper-
+literal per-beam loop — one full-sequence ``model.logits`` forward per beam
+per step — kept as the executable specification.  The public entry points
+(:func:`beam_search`, :func:`greedy_decode`, :func:`sample_decode`) route
+through :mod:`repro.serving.batch_decode`, which advances the whole frontier
+in one ``batched_logits`` call per step; equivalence (same recipe sets, same
+log-probs within 1e-9) is enforced by ``tests/test_serving_batch_decode.py``.
 """
 
 from __future__ import annotations
@@ -32,6 +44,25 @@ def beam_search(
     """Top-``beam_width`` recipe sets for ``insight``, best first."""
     if beam_width < 1:
         raise ValueError(f"beam_width must be >= 1, got {beam_width}")
+    # Imported lazily: repro.serving.batch_decode imports this module for
+    # BeamCandidate, so a top-level import would be circular.
+    from repro.serving.batch_decode import batched_beam_search
+
+    [candidates] = batched_beam_search(model, insight, beam_widths=beam_width)
+    return [
+        BeamCandidate(recipe_set=bits, log_prob=log_prob)
+        for bits, log_prob in candidates
+    ]
+
+
+def beam_search_reference(
+    model: InsightAlignModel,
+    insight: np.ndarray,
+    beam_width: int = 5,
+) -> List[BeamCandidate]:
+    """The per-beam reference loop — the batched decoder's specification."""
+    if beam_width < 1:
+        raise ValueError(f"beam_width must be >= 1, got {beam_width}")
     n = model.n_recipes
     # Beams: (decisions-so-far, cumulative log prob).
     beams: List[Tuple[List[int], float]] = [([], 0.0)]
@@ -46,7 +77,9 @@ def beam_search(
             log_p0 = -np.log1p(np.exp(z))
             extensions.append((prefix + [1], score + log_p1))
             extensions.append((prefix + [0], score + log_p0))
-        extensions.sort(key=lambda item: item[1], reverse=True)
+        # Score descending; equal scores break by decision bits descending
+        # (select-before-skip), making top-K deterministic under ties.
+        extensions.sort(key=lambda item: (item[1], item[0]), reverse=True)
         beams = extensions[:beam_width]
     return [
         BeamCandidate(recipe_set=tuple(prefix), log_prob=score)
@@ -66,18 +99,10 @@ def sample_decode(
     temperature: float = 1.0,
 ) -> BeamCandidate:
     """Ancestral sampling from the policy — the stochastic ablation."""
-    if temperature <= 0:
-        raise ValueError(f"temperature must be positive, got {temperature}")
-    n = model.n_recipes
-    decisions: List[int] = []
-    total = 0.0
-    for t in range(n):
-        padded = np.zeros(n, dtype=np.int64)
-        padded[: len(decisions)] = decisions
-        logits = model.logits(insight, padded).numpy()
-        z = float(np.clip(logits[t] / temperature, -60.0, 60.0))
-        p_one = 1.0 / (1.0 + np.exp(-z))
-        choice = 1 if rng.random() < p_one else 0
-        decisions.append(choice)
-        total += np.log(p_one if choice == 1 else 1.0 - p_one)
-    return BeamCandidate(recipe_set=tuple(decisions), log_prob=float(total))
+    from repro.serving.batch_decode import batched_sample_decode
+
+    insight = np.asarray(insight, dtype=np.float64)
+    [(bits, log_prob)] = batched_sample_decode(
+        model, insight.reshape(1, -1), [rng], temperature=temperature
+    )
+    return BeamCandidate(recipe_set=bits, log_prob=log_prob)

@@ -144,6 +144,23 @@ class InsightAlignModel(Module):
         hidden = self.decoder(x, memory)
         return self.head(hidden).reshape(batch, self.n_recipes)
 
+    def memory_tokens(self, insights: np.ndarray) -> np.ndarray:
+        """Cross-attention memory, ``(B, M, dim)`` — one token block per row.
+
+        The base model conditions on a single insight-embedding token
+        (``M = 1``); subclasses with richer conditioning (e.g. the
+        intention-conditioned model) override this to emit more tokens.
+        Grad-free consumers (the serving inference engine) call this once
+        per request instead of re-deriving the embedding wiring.
+        """
+        insights = np.asarray(insights, dtype=np.float64)
+        if insights.ndim != 2 or insights.shape[1] != self.insight_dims:
+            raise ModelError(f"insights shape {insights.shape} invalid")
+        batch = insights.shape[0]
+        return self.insight_embed(
+            Tensor(insights.reshape(batch, 1, self.insight_dims))
+        ).numpy()
+
     def probabilities(
         self,
         insight: np.ndarray,

@@ -100,6 +100,12 @@ class IntentionConditionedModel(InsightAlignModel):
         intent_token = self.intent_embed(code)
         return Tensor.stack([insight_token, intent_token], axis=-2)
 
+    def memory_tokens(self, packed: np.ndarray) -> np.ndarray:
+        packed = np.asarray(packed, dtype=np.float64)
+        if packed.ndim != 2 or packed.shape[1] != self.insight_dims:
+            raise TrainingError(f"packed insights shape {packed.shape} invalid")
+        return self._memory(packed).numpy()
+
     def logits(self, insight, decisions=None, prefix_length=None) -> Tensor:
         packed = np.asarray(insight, dtype=np.float64)
         if packed.shape != (self.insight_dims,):

@@ -116,7 +116,15 @@ class InsightAlign:
 
     # ------------------------------------------------------------------
     def save(self, path) -> None:
-        """Atomically persist weights + intention to an .npz archive."""
+        """Atomically persist the full recommender state to an .npz archive.
+
+        The archive carries the model weights and architecture, the QoR
+        intention, the *catalog name ordering* (recipe ``i`` is the token
+        decided at step ``i`` — a model is only meaningful against the
+        catalog it was trained with), and the alignment history curves when
+        present.  :meth:`load` restores all of it; see its docstring for
+        the catalog-compatibility contract.
+        """
         import numpy as np
 
         from repro.nn.serialization import atomic_savez
@@ -129,16 +137,42 @@ class InsightAlign:
             "__meta_metrics": np.array(
                 [(n, str(w), str(int(g))) for n, w, g in self.intention.metrics]
             ),
+            "__meta_catalog_names": np.array(self.catalog.names()),
         }
+        if self.history is not None:
+            meta["__meta_history_epoch_loss"] = np.asarray(
+                self.history.epoch_loss, dtype=np.float64
+            )
+            meta["__meta_history_pair_accuracy"] = np.asarray(
+                self.history.epoch_pair_accuracy, dtype=np.float64
+            )
+            meta["__meta_history_probe_loss"] = np.asarray(
+                self.history.probe_loss, dtype=np.float64
+            )
         atomic_savez(path, **state, **meta)
 
     @classmethod
-    def load(cls, path) -> "InsightAlign":
-        """Restore a recommender saved by :meth:`save`."""
+    def load(cls, path, catalog: Optional[RecipeCatalog] = None) -> "InsightAlign":
+        """Restore a recommender saved by :meth:`save`.
+
+        Contract: the returned facade recommends identically to the one
+        that was saved — weights, intention, catalog ordering and training
+        history all round-trip (``tests/test_recommender_io.py``).
+
+        Recipes are code, not data, so the archive stores the catalog's
+        *name ordering* rather than pickled recipe objects.  ``catalog``
+        (default :func:`~repro.recipes.catalog.default_catalog`) supplies
+        the recipe definitions; if its names disagree with the archived
+        ordering the token positions the model learned no longer line up
+        and loading fails with :class:`~repro.errors.ModelError` instead of
+        silently mis-labelling recommendations.  Archives written before
+        catalog metadata existed load against the provided catalog as-is.
+        """
         import numpy as np
 
         from repro.core.model import InsightAlignModel
         from repro.core.qor import QoRIntention
+        from repro.errors import ModelError
 
         with np.load(path) as archive:
             entries = {name: archive[name] for name in archive.files}
@@ -151,5 +185,31 @@ class InsightAlign:
             (str(name), float(weight), bool(int(maximize)))
             for name, weight, maximize in entries.pop("__meta_metrics")
         )
+        catalog = catalog if catalog is not None else default_catalog()
+        saved_names = entries.pop("__meta_catalog_names", None)
+        if saved_names is not None:
+            saved = [str(name) for name in saved_names]
+            if saved != catalog.names():
+                raise ModelError(
+                    "catalog mismatch: archive was trained against "
+                    f"{len(saved)} recipes starting {saved[:3]}, but the "
+                    f"provided catalog orders {catalog.names()[:3]}; "
+                    "recommendations would be mislabelled"
+                )
+        history = None
+        epoch_loss = entries.pop("__meta_history_epoch_loss", None)
+        pair_acc = entries.pop("__meta_history_pair_accuracy", None)
+        probe = entries.pop("__meta_history_probe_loss", None)
+        if epoch_loss is not None:
+            history = AlignmentHistory(
+                epoch_loss=[float(x) for x in epoch_loss],
+                epoch_pair_accuracy=[float(x) for x in pair_acc],
+                probe_loss=[float(x) for x in probe],
+            )
         model.load_state_dict(entries)
-        return cls(model=model, intention=QoRIntention(metrics=metrics))
+        return cls(
+            model=model,
+            intention=QoRIntention(metrics=metrics),
+            catalog=catalog,
+            history=history,
+        )

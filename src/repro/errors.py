@@ -48,3 +48,22 @@ class TrainingError(ReproError):
 
 class CheckpointError(ReproError):
     """Raised for unreadable, incompatible or mismatched checkpoints."""
+
+
+class ServingError(ReproError):
+    """Base class for recommendation-service failures."""
+
+
+class QueueFullError(ServingError):
+    """Raised by admission control when the request queue is at capacity.
+
+    Callers should back off and resubmit; the service sheds load instead of
+    growing an unbounded backlog."""
+
+
+class DeadlineExceededError(ServingError):
+    """Raised when a request's deadline passed before it could be served."""
+
+
+class RegistryError(ServingError):
+    """Raised for unknown model versions or activation without a model."""

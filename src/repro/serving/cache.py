@@ -1,0 +1,90 @@
+"""LRU result cache for recommendation requests.
+
+Keys quantize the insight vector (round to a fixed number of decimals, then
+take the raw bytes) so that re-extracted insights that differ only by
+floating-point noise hit the same entry, and include the model version so a
+hot-swap can never serve stale recommendations — the service additionally
+clears the cache on swap (see :class:`~repro.serving.registry.ModelRegistry`
+subscriptions), making version mismatches structurally impossible.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, List, Optional, Tuple
+
+import numpy as np
+
+
+def quantize_insight(insight: np.ndarray, decimals: int = 6) -> bytes:
+    """Stable byte key for an insight vector, tolerant to float noise."""
+    quantized = np.round(np.asarray(insight, dtype=np.float64), decimals)
+    # -0.0 and 0.0 compare equal but have different bytes; normalize.
+    quantized = quantized + 0.0
+    return quantized.tobytes()
+
+
+class ResultCache:
+    """A bounded LRU cache of recommendation results."""
+
+    def __init__(self, capacity: int = 256, insight_decimals: int = 6) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.insight_decimals = insight_decimals
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def key(
+        self, model_version: str, insight: np.ndarray, k: int
+    ) -> Tuple[str, int, bytes]:
+        return (
+            model_version,
+            int(k),
+            quantize_insight(insight, self.insight_decimals),
+        )
+
+    def get(self, key: Hashable) -> Optional[object]:
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: object) -> None:
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self) -> int:
+        """Drop every entry (model hot-swap); returns entries dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.invalidations += 1
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }

@@ -1,0 +1,126 @@
+"""Counters and histograms for the serving layer.
+
+Deliberately dependency-free and allocation-light: a :class:`Counter` is an
+integer, a :class:`Histogram` keeps running aggregates (count / sum / min /
+max) exactly and a bounded reservoir of recent samples for percentiles.
+Snapshots are plain dicts so ``RecommendationService.stats()`` can be
+serialized or printed without dragging service internals along.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Histogram:
+    """Latency/occupancy distribution with exact aggregates.
+
+    Count, sum, min and max are exact over the histogram's lifetime;
+    percentiles are computed over the ``max_samples`` most recent
+    observations (a sliding window, which is what a serving dashboard
+    wants anyway).
+    """
+
+    def __init__(self, name: str, max_samples: int = 8192) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.name = name
+        self._samples: deque = deque(maxlen=max_samples)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self._samples.append(value)
+        self._count += 1
+        self._sum += value
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0..100) over the recent-sample window."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.fromiter(self._samples, dtype=float), q))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self._count,
+            "mean": self.mean,
+            "min": self._min if self._min is not None else 0.0,
+            "max": self._max if self._max is not None else 0.0,
+            "p50": self.percentile(50.0),
+            "p99": self.percentile(99.0),
+        }
+
+
+class ServingMetrics:
+    """The fixed metric set a :class:`RecommendationService` maintains."""
+
+    def __init__(self) -> None:
+        self.submitted = Counter("requests_submitted")
+        self.completed = Counter("requests_completed")
+        self.expired = Counter("requests_expired")
+        self.rejected = Counter("requests_rejected")
+        self.cache_hits = Counter("cache_hits")
+        self.cache_misses = Counter("cache_misses")
+        self.batches = Counter("batches_dispatched")
+        self.hot_swaps = Counter("model_hot_swaps")
+        self.queue_wait_s = Histogram("queue_wait_seconds")
+        self.latency_s = Histogram("request_latency_seconds")
+        self.batch_occupancy = Histogram("batch_occupancy")
+        self.queue_depth = Histogram("queue_depth_at_dispatch")
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain-dict view; safe to mutate, print, or serialize."""
+        hit = self.cache_hits.value
+        miss = self.cache_misses.value
+        return {
+            "requests": {
+                "submitted": self.submitted.value,
+                "completed": self.completed.value,
+                "expired": self.expired.value,
+                "rejected": self.rejected.value,
+            },
+            "batches": self.batches.value,
+            "hot_swaps": self.hot_swaps.value,
+            "cache": {
+                "hits": hit,
+                "misses": miss,
+                "hit_rate": hit / (hit + miss) if hit + miss else 0.0,
+            },
+            "queue_wait_s": self.queue_wait_s.summary(),
+            "latency_s": self.latency_s.summary(),
+            "batch_occupancy": self.batch_occupancy.summary(),
+            "queue_depth": self.queue_depth.summary(),
+        }

@@ -1,0 +1,97 @@
+"""Versioned model registry with atomic zero-downtime hot-swap.
+
+A :class:`ModelRegistry` maps version strings to model *sources* — either an
+in-memory :class:`~repro.core.recommender.InsightAlign` or a path to an
+``.npz`` archive written by :meth:`InsightAlign.save`.  ``activate`` resolves
+the source completely (loading and validating archives *before* touching the
+active slot), then swaps a single reference — in-flight readers either see
+the old model or the new one, never a half-loaded state — and finally
+notifies subscribers (the serving layer uses this to invalidate its result
+cache).  A failed load therefore leaves the previously active model serving.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.core.recommender import InsightAlign
+from repro.errors import RegistryError
+
+ModelSource = Union[str, os.PathLike, InsightAlign]
+
+
+class ModelRegistry:
+    """Named, versioned recommenders with one active serving slot."""
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, ModelSource] = {}
+        self._active: Optional[Tuple[str, InsightAlign]] = None
+        self._subscribers: List[Callable[[str], None]] = []
+
+    # ------------------------------------------------------------------
+    def register(self, version: str, source: ModelSource) -> None:
+        """Make ``version`` available for activation.
+
+        ``source`` is an :class:`InsightAlign` instance or a path to a saved
+        archive; paths are loaded lazily at activation so registering many
+        versions stays cheap.
+        """
+        if not version:
+            raise RegistryError("model version must be a non-empty string")
+        if version in self._sources:
+            raise RegistryError(f"model version {version!r} already registered")
+        self._sources[version] = source
+
+    def versions(self) -> List[str]:
+        return sorted(self._sources)
+
+    def subscribe(self, callback: Callable[[str], None]) -> None:
+        """``callback(version)`` fires after every successful activation."""
+        self._subscribers.append(callback)
+
+    # ------------------------------------------------------------------
+    def activate(self, version: str) -> InsightAlign:
+        """Atomically make ``version`` the serving model.
+
+        The archive (if any) is fully loaded and validated first; only then
+        is the active reference replaced, so activation either completes or
+        leaves the previous model serving.
+        """
+        try:
+            source = self._sources[version]
+        except KeyError:
+            raise RegistryError(
+                f"unknown model version {version!r}; "
+                f"registered: {self.versions()}"
+            ) from None
+        if isinstance(source, InsightAlign):
+            recommender = source
+        else:
+            recommender = InsightAlign.load(source)
+        # The swap is a single reference assignment: atomic under the GIL,
+        # and readers grab (version, model) as one tuple.
+        self._active = (version, recommender)
+        for callback in self._subscribers:
+            callback(version)
+        return recommender
+
+    # ------------------------------------------------------------------
+    @property
+    def active_version(self) -> str:
+        return self._require_active()[0]
+
+    @property
+    def recommender(self) -> InsightAlign:
+        return self._require_active()[1]
+
+    def active(self) -> Tuple[str, InsightAlign]:
+        """The (version, recommender) pair as one consistent read."""
+        return self._require_active()
+
+    def _require_active(self) -> Tuple[str, InsightAlign]:
+        if self._active is None:
+            raise RegistryError(
+                "no active model: call activate() on a registered version"
+            )
+        return self._active

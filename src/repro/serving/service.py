@@ -1,0 +1,228 @@
+"""The batched, hot-swappable recommendation service.
+
+:class:`RecommendationService` composes the serving layer:
+
+- a :class:`~repro.serving.scheduler.MicroBatcher` queueing requests with
+  max-batch-size / max-wait knobs, deadlines and admission control;
+- the vectorized :func:`~repro.serving.batch_decode.batched_beam_search`
+  decoding every beam of every dispatched request in one
+  ``batched_logits`` call per step;
+- a :class:`~repro.serving.cache.ResultCache` (LRU, keyed on quantized
+  insight + k + model version);
+- a :class:`~repro.serving.registry.ModelRegistry` whose atomic hot-swap
+  invalidates the cache;
+- a :class:`~repro.serving.metrics.ServingMetrics` set surfaced through
+  :meth:`RecommendationService.stats`.
+
+The service is synchronous and clock-driven: ``submit`` enqueues and
+returns a :class:`~repro.serving.scheduler.Ticket`; ``poll`` dispatches at
+most one due batch; ``run_until_idle`` drives the queue dry, sleeping (via
+the injectable ``sleep``) until the next batch is due.  With the default
+``time.monotonic``/``time.sleep`` pair this serves real traffic from a
+driver loop; with :class:`~repro.runtime.clock.VirtualClock` every policy
+decision is deterministic and instant in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Union
+
+import numpy as np
+
+from repro.core.recommender import InsightAlign, Recommendation
+from repro.serving.batch_decode import batched_beam_search
+from repro.serving.cache import ResultCache
+from repro.serving.metrics import ServingMetrics
+from repro.serving.registry import ModelRegistry, ModelSource
+from repro.serving.scheduler import (
+    MicroBatcher,
+    RequestStatus,
+    ServingConfig,
+    Ticket,
+)
+
+INITIAL_VERSION = "v1"
+
+
+class RecommendationService:
+    """Serve top-K recipe-set recommendations under heavy concurrency."""
+
+    def __init__(
+        self,
+        model: Union[InsightAlign, ModelRegistry],
+        config: ServingConfig = ServingConfig(),
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.config = config
+        self.clock = clock
+        self.sleep = sleep
+        if isinstance(model, ModelRegistry):
+            self.registry = model
+        else:
+            self.registry = ModelRegistry()
+            self.registry.register(INITIAL_VERSION, model)
+            self.registry.activate(INITIAL_VERSION)
+        self.metrics = ServingMetrics()
+        self.cache = ResultCache(
+            capacity=config.cache_capacity,
+            insight_decimals=config.insight_decimals,
+        )
+        self.registry.subscribe(self._on_swap)
+        self._batcher = MicroBatcher(config)
+        self._next_id = 0
+
+    # -- model lifecycle ------------------------------------------------
+    def register_model(self, version: str, source: ModelSource) -> None:
+        """Make a new model version available for hot-swap."""
+        self.registry.register(version, source)
+
+    def hot_swap(self, version: str) -> str:
+        """Atomically activate ``version``; the result cache is dropped."""
+        self.registry.activate(version)
+        return version
+
+    def _on_swap(self, version: str) -> None:
+        self.cache.invalidate()
+        self.metrics.hot_swaps.inc()
+
+    # -- request path ---------------------------------------------------
+    def submit(
+        self,
+        insight: np.ndarray,
+        k: int = 5,
+        deadline_s: Optional[float] = None,
+    ) -> Ticket:
+        """Enqueue a request; raises ``QueueFullError`` under overload.
+
+        Args:
+            insight: The design-insight vector.
+            k: Beam width / number of recipe sets wanted.
+            deadline_s: Seconds from now after which the request must not
+                be served (falls back to ``config.default_deadline_s``).
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        now = self.clock()
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        ticket = Ticket(
+            request_id=self._next_id,
+            insight=np.asarray(insight, dtype=np.float64).copy(),
+            k=int(k),
+            submitted_at=now,
+            deadline_at=None if deadline_s is None else now + deadline_s,
+        )
+        try:
+            self._batcher.submit(ticket)
+        except Exception:
+            self.metrics.rejected.inc()
+            raise
+        self._next_id += 1
+        self.metrics.submitted.inc()
+        return ticket
+
+    @property
+    def queue_depth(self) -> int:
+        return self._batcher.depth
+
+    # -- dispatch -------------------------------------------------------
+    def poll(self, force: bool = False) -> int:
+        """Dispatch at most one due batch; returns requests settled.
+
+        Settled = completed or expired.  With ``force`` a partial batch
+        dispatches immediately regardless of ``max_wait_s``.
+        """
+        now = self.clock()
+        depth_before = self._batcher.depth
+        batch = self._batcher.take_batch(now, force=force)
+        expired = depth_before - self._batcher.depth - len(batch)
+        if expired:
+            self.metrics.expired.inc(expired)
+        if not batch:
+            return expired
+
+        self.metrics.batches.inc()
+        self.metrics.queue_depth.observe(depth_before)
+        self.metrics.batch_occupancy.observe(
+            len(batch) / self.config.max_batch_size
+        )
+        for ticket in batch:
+            self.metrics.queue_wait_s.observe(now - ticket.submitted_at)
+
+        version, recommender = self.registry.active()
+        misses: List[Ticket] = []
+        for ticket in batch:
+            key = self.cache.key(version, ticket.insight, ticket.k)
+            cached = self.cache.get(key)
+            if cached is not None:
+                ticket._result = cached
+                ticket.cache_hit = True
+                self.metrics.cache_hits.inc()
+            else:
+                misses.append(ticket)
+                self.metrics.cache_misses.inc()
+
+        if misses:
+            insights = np.stack([t.insight for t in misses])
+            widths = [t.k for t in misses]
+            decoded = batched_beam_search(recommender.model, insights, widths)
+            names = recommender.catalog.names()
+            for ticket, candidates in zip(misses, decoded):
+                result = [
+                    Recommendation(
+                        recipe_set=bits,
+                        log_prob=log_prob,
+                        recipe_names=[
+                            names[i] for i, bit in enumerate(bits) if bit
+                        ],
+                    )
+                    for bits, log_prob in candidates
+                ]
+                ticket._result = result
+                self.cache.put(
+                    self.cache.key(version, ticket.insight, ticket.k), result
+                )
+
+        done_at = self.clock()
+        for ticket in batch:
+            ticket.status = RequestStatus.COMPLETED
+            ticket.completed_at = done_at
+            self.metrics.completed.inc()
+            self.metrics.latency_s.observe(done_at - ticket.submitted_at)
+        return expired + len(batch)
+
+    def run_until_idle(self, max_batches: int = 10_000) -> int:
+        """Drive the queue dry; returns requests settled.
+
+        Sleeps (through the injectable ``sleep``) whenever no batch is due
+        yet, so a partial batch still dispatches after ``max_wait_s``.
+        """
+        settled = 0
+        for _ in range(max_batches):
+            if self._batcher.depth == 0:
+                return settled
+            processed = self.poll()
+            settled += processed
+            if processed == 0:
+                wait = self._batcher.next_due_in(self.clock())
+                if wait:
+                    self.sleep(wait)
+        raise RuntimeError(f"queue not drained after {max_batches} batches")
+
+    def flush(self) -> int:
+        """Force-dispatch everything queued (ignores ``max_wait_s``)."""
+        settled = 0
+        while self._batcher.depth:
+            settled += self.poll(force=True)
+        return settled
+
+    # -- observability --------------------------------------------------
+    def stats(self) -> dict:
+        """A point-in-time snapshot of every serving metric."""
+        snapshot = self.metrics.snapshot()
+        snapshot["model_version"] = self.registry.active_version
+        snapshot["queue_depth_now"] = self._batcher.depth
+        snapshot["cache"].update(self.cache.stats())
+        return snapshot

@@ -46,6 +46,75 @@ class TestFacadePersistence:
         loaded = [r.recipe_set for r in restored.recommend(insight, k=3)]
         assert original == loaded
 
+    def test_catalog_and_history_roundtrip(self, tmp_path):
+        """The full facade state survives save/load: weights, intention,
+        catalog ordering, alignment history — and recommendations (with
+        resolved recipe names) match the pre-save output exactly."""
+        from repro.core.alignment import AlignmentHistory
+
+        history = AlignmentHistory(
+            epoch_loss=[0.9, 0.5, 0.3],
+            epoch_pair_accuracy=[0.55, 0.7, 0.8],
+            probe_loss=[0.85, 0.6, 0.4],
+        )
+        ia = InsightAlign(InsightAlignModel(seed=6), history=history)
+        path = tmp_path / "model.npz"
+        ia.save(path)
+        restored = InsightAlign.load(path)
+
+        assert restored.catalog.names() == ia.catalog.names()
+        assert restored.history is not None
+        assert restored.history.epoch_loss == pytest.approx(history.epoch_loss)
+        assert restored.history.epoch_pair_accuracy == pytest.approx(
+            history.epoch_pair_accuracy
+        )
+        assert restored.history.probe_loss == pytest.approx(history.probe_loss)
+        assert restored.history.converged_epoch == history.converged_epoch
+
+        insight = np.random.default_rng(2).normal(size=(INSIGHT_DIMS,))
+        original = ia.recommend(insight, k=4)
+        loaded = restored.recommend(insight, k=4)
+        assert [r.recipe_set for r in original] == [
+            r.recipe_set for r in loaded
+        ]
+        assert [r.recipe_names for r in original] == [
+            r.recipe_names for r in loaded
+        ]
+        for a, b in zip(original, loaded):
+            assert b.log_prob == pytest.approx(a.log_prob, abs=1e-12)
+
+    def test_no_history_loads_as_none(self, tmp_path):
+        ia = InsightAlign(InsightAlignModel(seed=7))
+        path = tmp_path / "model.npz"
+        ia.save(path)
+        assert InsightAlign.load(path).history is None
+
+    def test_catalog_mismatch_raises(self, tmp_path):
+        from repro.recipes.catalog import RecipeCatalog, default_catalog
+
+        ia = InsightAlign(InsightAlignModel(seed=8))
+        path = tmp_path / "model.npz"
+        ia.save(path)
+        recipes = list(default_catalog())
+        reordered = RecipeCatalog(recipes[1:] + recipes[:1])
+        with pytest.raises(ModelError, match="catalog mismatch"):
+            InsightAlign.load(path, catalog=reordered)
+
+    def test_legacy_archive_without_catalog_meta_loads(self, tmp_path):
+        """Archives written before catalog/history metadata existed must
+        keep loading (against the default catalog, with no history)."""
+        ia = InsightAlign(InsightAlignModel(seed=9))
+        path = tmp_path / "model.npz"
+        ia.save(path)
+        with np.load(path) as archive:
+            entries = {name: archive[name] for name in archive.files}
+        entries.pop("__meta_catalog_names")
+        legacy_path = tmp_path / "legacy.npz"
+        np.savez(legacy_path, **entries)
+        restored = InsightAlign.load(legacy_path)
+        assert restored.history is None
+        assert restored.catalog.names() == ia.catalog.names()
+
 
 class TestErrorsHierarchy:
     @pytest.mark.parametrize("exc", [
