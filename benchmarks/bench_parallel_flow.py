@@ -1,0 +1,123 @@
+"""Parallel flow evaluation: process-pool batches vs. the sequential loop.
+
+The production bottleneck InsightAlign faces is the P&R tool itself: one
+flow evaluation is an external, wall-clock-bound invocation (hours on real
+designs), so a batch of K proposals evaluated back-to-back costs K tool
+latencies even though the evaluations are independent.  The contender is
+:class:`~repro.runtime.parallel.ParallelFlowExecutor`, which overlaps those
+latencies across a process pool while guaranteeing bit-identical results.
+
+The gated section therefore models the tool with a fixed wall-clock latency
+per invocation (``TOOL_LATENCY_S``) around a deterministic QoR synthesis —
+exactly the regime the executor exists for.  An informational section also
+reports real simulated-flow numbers and the persistent QoR cache's
+warm-rerun speedup.
+
+Acceptance gate (ISSUE 3): >= 3x speedup at 8 workers on a 16-job batch.
+Set ``REPRO_PARALLEL_BENCH_TINY=1`` for the CI smoke configuration
+(2 workers, 4 jobs, >= 1.2x) — same assertions, smaller scale.
+"""
+
+import os
+import time
+
+from repro.flow.parameters import FlowParameters, OptParams
+from repro.flow.result import FlowResult
+from repro.flow.runner import REQUIRED_QOR_KEYS
+from repro.runtime import FlowExecutor, FlowJob, ParallelFlowExecutor
+
+from common import run_once
+
+TINY = os.environ.get("REPRO_PARALLEL_BENCH_TINY", "") not in ("", "0")
+WORKERS = 2 if TINY else 8
+JOBS = 4 if TINY else 16
+TOOL_LATENCY_S = 0.2 if TINY else 0.25
+GATE = 1.2 if TINY else 3.0
+
+
+def slow_flow(design, params, seed=0):
+    """Stand-in for the external P&R tool: fixed wall-clock latency, then a
+    deterministic QoR synthesized from the parameters (module-level so the
+    pool can pickle it)."""
+    time.sleep(TOOL_LATENCY_S)
+    base = 1.0 + round(params.opt.vt_swap_bias, 6) + 0.01 * seed
+    return FlowResult(
+        design=str(design),
+        qor={key: base * (index + 1) * 0.125
+             for index, key in enumerate(REQUIRED_QOR_KEYS)},
+        snapshots=[],
+    )
+
+
+def _batch():
+    return [
+        FlowJob("D1", FlowParameters(opt=OptParams(
+            vt_swap_bias=1.0 + 0.02 * index)), seed=7)
+        for index in range(JOBS)
+    ]
+
+
+def test_parallel_flow_speedup(benchmark, tmp_path):
+    jobs = _batch()
+
+    def run_all():
+        table = {}
+
+        # -- Gated section: latency-dominated tool, sequential vs. pool.
+        sequential = FlowExecutor(flow_fn=slow_flow)
+        started = time.perf_counter()
+        seq_results = [
+            sequential.execute(job.design, job.params, seed=job.seed)
+            for job in jobs
+        ]
+        seq_s = time.perf_counter() - started
+
+        with ParallelFlowExecutor(workers=WORKERS, flow_fn=slow_flow) as pool:
+            started = time.perf_counter()
+            par_results = pool.execute_batch(jobs)
+            par_s = time.perf_counter() - started
+
+        # The speedup only counts if the answers are the same answers.
+        assert [r.qor for r in par_results] == [r.qor for r in seq_results]
+        table["tool"] = {"seq_s": seq_s, "par_s": par_s,
+                         "speedup": seq_s / par_s}
+
+        # -- Informational: real simulated flow + persistent QoR cache.
+        real_jobs = [
+            FlowJob("D1", FlowParameters(opt=OptParams(
+                vt_swap_bias=1.0 + 0.05 * index)), seed=3)
+            for index in range(3)
+        ]
+        cache_dir = tmp_path / "qor-cache"
+        with ParallelFlowExecutor(workers=1, cache=cache_dir) as cold:
+            started = time.perf_counter()
+            cold.execute_batch(real_jobs)
+            cold_s = time.perf_counter() - started
+        with ParallelFlowExecutor(workers=1, cache=cache_dir) as warm:
+            started = time.perf_counter()
+            warm_reports = warm.run_batch(real_jobs)
+            warm_s = time.perf_counter() - started
+        assert all(report.cached for report in warm_reports)
+        table["cache"] = {"cold_s": cold_s, "warm_s": warm_s,
+                          "speedup": cold_s / max(warm_s, 1e-9)}
+        return table
+
+    table = run_once(benchmark, run_all)
+
+    print(f"\n=== Parallel flow evaluation ({WORKERS} workers, "
+          f"{JOBS}-job batch, {TOOL_LATENCY_S:.2f}s tool latency) ===")
+    tool = table["tool"]
+    print(f"sequential {tool['seq_s']:>7.2f}s   "
+          f"parallel {tool['par_s']:>7.2f}s   "
+          f"speedup {tool['speedup']:>5.1f}x   (gate >= {GATE:.1f}x)")
+    cache = table["cache"]
+    print(f"QoR cache: cold {cache['cold_s']*1e3:>7.1f}ms   "
+          f"warm {cache['warm_s']*1e3:>7.1f}ms   "
+          f"speedup {cache['speedup']:>5.0f}x")
+
+    assert tool["speedup"] >= GATE, (
+        f"parallel executor only {tool['speedup']:.2f}x at {WORKERS} "
+        f"workers on {JOBS} jobs (gate {GATE:.1f}x)"
+    )
+    # Warm cache reruns must be far cheaper than re-simulating.
+    assert cache["speedup"] >= 5.0

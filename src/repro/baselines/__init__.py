@@ -15,7 +15,13 @@ InsightAlign and each baseline under identical budgets.
   (PPATuner-style transfer learning).
 """
 
-from repro.baselines.common import EvalRecord, TuningBudget
+from repro.baselines.common import (
+    CachingObjective,
+    EvalRecord,
+    ParallelFlowObjective,
+    TuningBudget,
+    batch_evaluate,
+)
 from repro.baselines.random_search import RandomSearchTuner
 from repro.baselines.bayesopt import BayesOptTuner
 from repro.baselines.aco import AntColonyTuner
@@ -25,8 +31,11 @@ from repro.baselines.fist import FistTuner, recipe_importance
 from repro.baselines.transfer_bo import TransferBoTuner, fit_prior_mean
 
 __all__ = [
+    "CachingObjective",
     "EvalRecord",
+    "ParallelFlowObjective",
     "TuningBudget",
+    "batch_evaluate",
     "RandomSearchTuner",
     "BayesOptTuner",
     "AntColonyTuner",

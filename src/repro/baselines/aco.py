@@ -11,7 +11,12 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.baselines.common import EvalRecord, Objective, TuningBudget
+from repro.baselines.common import (
+    EvalRecord,
+    Objective,
+    TuningBudget,
+    batch_evaluate,
+)
 from repro.utils.rng import derive_rng
 
 
@@ -44,15 +49,21 @@ class AntColonyTuner:
         record = EvalRecord()
         seen = set()
         while len(record) < budget.evaluations:
-            generation: List[Tuple[Tuple[int, ...], float]] = []
+            # Walks depend on pheromone + the seen-set, never on this
+            # generation's scores — so the whole generation can be sampled
+            # first and evaluated as one (possibly parallel) flow batch
+            # without changing any trajectory.
+            walks: List[Tuple[int, ...]] = []
             for _ in range(min(self.ants, budget.evaluations - len(record))):
                 bits = self._walk(pheromone, rng, seen)
                 seen.add(bits)
-                score = objective(bits)
+                walks.append(bits)
+            if not walks:
+                break
+            generation: List[Tuple[Tuple[int, ...], float]] = []
+            for bits, score in zip(walks, batch_evaluate(objective, walks)):
                 record.add(bits, score)
                 generation.append((bits, score))
-            if not generation:
-                break
             pheromone *= 1.0 - self.evaporation
             generation.sort(key=lambda item: item[1], reverse=True)
             scores = np.array([s for _, s in generation])

@@ -1,13 +1,37 @@
-"""Shared baseline infrastructure: budgets, histories, objectives."""
+"""Shared baseline infrastructure: budgets, histories, objectives.
+
+An objective is a plain callable ``bits -> score``.  Objectives may
+additionally expose ``evaluate_batch(recipe_sets) -> scores``; tuners that
+generate whole populations (random search draws, ACO generations) probe for
+it with :func:`batch_evaluate` and fan a population out in one call —
+which a :class:`ParallelFlowObjective` turns into one concurrent
+:class:`~repro.runtime.parallel.ParallelFlowExecutor` batch.  Scores are
+identical either way; only wall-clock changes.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 Objective = Callable[[Tuple[int, ...]], float]
+
+
+def batch_evaluate(
+    objective: Objective, recipe_sets: Sequence[Tuple[int, ...]]
+) -> List[float]:
+    """Score ``recipe_sets`` through ``objective``, batched when it can.
+
+    Uses the objective's ``evaluate_batch`` method when present (one
+    concurrent flow batch), else falls back to one call per set — the two
+    paths return identical scores for a deterministic objective.
+    """
+    batch = getattr(objective, "evaluate_batch", None)
+    if batch is not None:
+        return [float(score) for score in batch(list(recipe_sets))]
+    return [float(objective(bits)) for bits in recipe_sets]
 
 
 @dataclass(frozen=True)
@@ -64,3 +88,78 @@ class CachingObjective:
             self.calls += 1
             self._cache[key] = float(self._objective(key))
         return self._cache[key]
+
+    def evaluate_batch(
+        self, recipe_sets: Sequence[Tuple[int, ...]]
+    ) -> List[float]:
+        """Batch lookup: only cache misses reach the wrapped objective."""
+        keys = [tuple(bits) for bits in recipe_sets]
+        missing: List[Tuple[int, ...]] = []
+        for key in keys:
+            if key not in self._cache and key not in missing:
+                missing.append(key)
+        if missing:
+            self.calls += len(missing)
+            for key, score in zip(missing, batch_evaluate(
+                    self._objective, missing)):
+                self._cache[key] = float(score)
+        return [self._cache[key] for key in keys]
+
+
+class ParallelFlowObjective:
+    """``bits -> score`` through concurrent, cacheable flow batches.
+
+    Maps each recipe set onto :class:`~repro.flow.parameters.FlowParameters`
+    via the catalog, evaluates a population as one
+    :class:`~repro.runtime.parallel.ParallelFlowExecutor` batch, and scores
+    the resulting QoR dicts with ``score_fn`` (typically a fitted
+    :meth:`~repro.core.qor.DesignNormalizer.score`).  Single calls go
+    through the same executor, so the persistent QoR cache (when attached)
+    serves repeats across tuners and sessions.
+    """
+
+    def __init__(
+        self,
+        design: str,
+        score_fn: Callable[[dict], float],
+        executor: Optional["ParallelFlowExecutor"] = None,
+        workers: int = 1,
+        qor_cache_path: Optional[str] = None,
+        seed: int = 0,
+    ) -> None:
+        from repro.runtime.parallel import ParallelFlowExecutor
+
+        from repro.recipes.catalog import default_catalog
+
+        self.design = design
+        self.score_fn = score_fn
+        self.seed = seed
+        self._catalog = default_catalog()
+        self._executor = executor if executor is not None else (
+            ParallelFlowExecutor(
+                workers=workers, cache=qor_cache_path, seed=seed
+            )
+        )
+
+    def __call__(self, recipe_set: Tuple[int, ...]) -> float:
+        return self.evaluate_batch([recipe_set])[0]
+
+    def evaluate_batch(
+        self, recipe_sets: Sequence[Tuple[int, ...]]
+    ) -> List[float]:
+        from repro.recipes.apply import apply_recipe_set
+        from repro.runtime.parallel import FlowJob
+
+        jobs = [
+            FlowJob(
+                self.design,
+                apply_recipe_set(list(bits), self._catalog),
+                self.seed,
+            )
+            for bits in recipe_sets
+        ]
+        results = self._executor.execute_batch(jobs)
+        return [float(self.score_fn(result.qor)) for result in results]
+
+    def close(self) -> None:
+        self._executor.close()

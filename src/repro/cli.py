@@ -75,6 +75,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="comma-separated subset (default: all 17)")
     p_ds.add_argument("--sets-per-design", type=int, default=176)
     p_ds.add_argument("--seed", type=int, default=0)
+    p_ds.add_argument("--flow-workers", type=int, default=1,
+                      help="process-pool workers for flow evaluation "
+                           "(1 = sequential, the default)")
+    p_ds.add_argument("--qor-cache", default="",
+                      help="persistent QoR result cache directory; repeated "
+                           "(design, recipe set, seed) evaluations are free")
 
     p_align = sub.add_parser("align", help="offline alignment (Algorithm 1)")
     p_align.add_argument("--dataset", required=True)
@@ -226,8 +232,9 @@ def cmd_build_dataset(args) -> int:
         designs=designs,
         sets_per_design=args.sets_per_design,
         seed=args.seed,
-        processes=1,
+        processes=args.flow_workers,
         cache_path=args.out,
+        qor_cache_path=args.qor_cache or None,
         verbose=True,
     )
     print(f"wrote {len(dataset)} datapoints over "

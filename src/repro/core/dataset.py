@@ -15,7 +15,6 @@ recipe effects, combinations expose interactions.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import pickle
 from dataclasses import dataclass, field
@@ -25,7 +24,6 @@ import numpy as np
 
 from repro.core.qor import DesignNormalizer, QoRIntention
 from repro.errors import TrainingError
-from repro.flow.runner import run_flow
 from repro.insights.extractor import InsightExtractor, InsightVector
 from repro.netlist.profiles import design_profiles, get_profile
 from repro.recipes.apply import apply_recipe_set
@@ -158,24 +156,22 @@ def sample_recipe_sets(
     return sets[:count]
 
 
-def _evaluate_task(task: Tuple[str, Tuple[int, ...], int]) -> DataPoint:
-    """Pool worker: run the flow for one (design, recipe set) pair."""
-    design, bits, seed = task
-    catalog = default_catalog()
-    params = apply_recipe_set(list(bits), catalog)
-    result = run_flow(design, params, seed=seed)
-    return DataPoint(design=design, recipe_set=bits, qor=dict(result.qor))
-
-
 def build_offline_dataset(
     designs: Optional[Sequence[str]] = None,
     sets_per_design: int = 176,
     seed: int = 0,
     processes: Optional[int] = None,
     cache_path: Optional[os.PathLike] = None,
+    qor_cache_path: Optional[os.PathLike] = None,
     verbose: bool = False,
 ) -> OfflineDataset:
     """Build (or load from cache) the offline archive.
+
+    Every flow run — the recipe-set grid *and* the per-design insight
+    probes — fans out through one
+    :class:`~repro.runtime.parallel.ParallelFlowExecutor` batch, so the
+    archive is identical at any worker count and individual results can be
+    served from (and saved to) a persistent QoR cache.
 
     Args:
         designs: Design names; defaults to all 17 profiles.
@@ -185,8 +181,12 @@ def build_offline_dataset(
         processes: Worker processes (``None`` = cpu count, 1 = serial).
         cache_path: If given and the file exists, load it instead of
             rebuilding; otherwise build and save there.
+        qor_cache_path: Optional on-disk QoR result cache directory —
+            reruns and overlapping recipe sets across studies become free.
         verbose: Print per-design progress.
     """
+    from repro.runtime.parallel import FlowJob, ParallelFlowExecutor
+
     if cache_path is not None and os.path.exists(cache_path):
         return OfflineDataset.load(cache_path)
 
@@ -194,25 +194,35 @@ def build_offline_dataset(
         p.name for p in design_profiles()
     ]
     catalog = default_catalog()
-    tasks: List[Tuple[str, Tuple[int, ...], int]] = []
+    workers = processes if processes is not None else (os.cpu_count() or 1)
+    plans: List[Tuple[str, Tuple[int, ...]]] = []
+    jobs: List[FlowJob] = []
     for name in names:
         for bits in sample_recipe_sets(len(catalog), sets_per_design, seed, name):
-            tasks.append((name, bits, seed))
+            plans.append((name, bits))
+            jobs.append(
+                FlowJob(name, apply_recipe_set(list(bits), catalog), seed)
+            )
+    # Probe runs (default parameters = the empty recipe set) ride in the
+    # same batch; their snapshots feed the insight extractor below.
+    probe_params = apply_recipe_set([0] * len(catalog), catalog)
+    for name in names:
+        jobs.append(FlowJob(name, probe_params, seed))
 
-    if processes == 1:
-        evaluated = [_evaluate_task(task) for task in tasks]
-    else:
-        with multiprocessing.Pool(processes=processes) as pool:
-            evaluated = pool.map(_evaluate_task, tasks, chunksize=8)
+    with ParallelFlowExecutor(
+        workers=max(1, workers), cache=qor_cache_path, seed=seed
+    ) as executor:
+        results = executor.execute_batch(jobs)
 
-    # Probe runs (default parameters = the empty recipe set) -> insights.
+    evaluated = [
+        DataPoint(design=name, recipe_set=bits, qor=dict(result.qor))
+        for (name, bits), result in zip(plans, results)
+    ]
     extractor = InsightExtractor()
     insights: Dict[str, InsightVector] = {}
-    for name in names:
+    for name, result in zip(names, results[len(plans):]):
         if verbose:
             print(f"probing {name} for insights")
-        result = run_flow(name, apply_recipe_set([0] * len(catalog), catalog),
-                          seed=seed)
         insights[name] = extractor.extract(result, get_profile(name))
 
     dataset = OfflineDataset(points=evaluated, insights=insights, seed=seed)

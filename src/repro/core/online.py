@@ -43,6 +43,7 @@ from repro.nn.tensor import Tensor
 from repro.recipes.apply import apply_recipe_set
 from repro.recipes.catalog import default_catalog
 from repro.runtime.executor import FlowExecutor
+from repro.runtime.parallel import FlowJob, ParallelFlowExecutor
 from repro.utils.rng import derive_rng
 
 logger = logging.getLogger(__name__)
@@ -72,6 +73,14 @@ class OnlineConfig:
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 1
     resume_from: Optional[str] = None
+    # Parallel evaluation: the K proposals of an iteration go through a
+    # ParallelFlowExecutor batch when flow_workers > 1 (results are
+    # bit-identical to the sequential path for the same seeds), and
+    # successful runs are persisted in an on-disk QoR cache when
+    # qor_cache_path is set.  The defaults keep single-core CI and existing
+    # callers on the exact sequential code path.
+    flow_workers: int = 1
+    qor_cache_path: Optional[str] = None
 
 
 @dataclass
@@ -141,6 +150,13 @@ class OnlineFineTuner:
     :func:`repro.flow.runner.run_flow` with the standard retry policy.
     Pass a custom one to add deadlines, change the backoff schedule, or
     (in tests) inject faults and virtual time.
+
+    With ``config.flow_workers > 1`` (and no explicit ``executor``, whose
+    closures could not cross a process boundary) each iteration's K
+    proposals are evaluated as one :class:`ParallelFlowExecutor` batch —
+    bit-identical results, K-way concurrent wall-clock.  A
+    ``config.qor_cache_path`` additionally persists successful runs on
+    disk, so re-proposed recipe sets and repeated studies are free.
     """
 
     def __init__(
@@ -148,8 +164,26 @@ class OnlineFineTuner:
         config: OnlineConfig = OnlineConfig(),
         executor: Optional[FlowExecutor] = None,
     ) -> None:
+        if config.flow_workers < 1:
+            raise TrainingError(
+                f"flow_workers must be >= 1, got {config.flow_workers}"
+            )
         self.config = config
+        self._batch_executor: Optional[ParallelFlowExecutor] = None
+        if executor is None and (
+            config.flow_workers > 1 or config.qor_cache_path
+        ):
+            self._batch_executor = ParallelFlowExecutor(
+                workers=config.flow_workers,
+                cache=config.qor_cache_path,
+                seed=config.seed,
+            )
         self.executor = executor if executor is not None else FlowExecutor()
+
+    def close(self) -> None:
+        """Release the worker pool, if one was started."""
+        if self._batch_executor is not None:
+            self._batch_executor.close()
 
     def run(
         self,
@@ -194,11 +228,11 @@ class OnlineFineTuner:
             failures: List[FlowFailure] = []
             best_run = None
             best_run_score = -np.inf
-            for bits in proposals:
-                params = apply_recipe_set(list(bits), catalog)
-                report = self.executor.try_execute(
-                    design, params, seed=dataset.seed
-                )
+            params_list = [
+                apply_recipe_set(list(bits), catalog) for bits in proposals
+            ]
+            reports = self._evaluate(design, params_list, dataset.seed)
+            for bits, report in zip(proposals, reports):
                 seen.add(bits)
                 if not report.ok:
                     error = report.error
@@ -270,6 +304,22 @@ class OnlineFineTuner:
                 )
         result.model = model
         return result
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, design, params_list, seed):
+        """Evaluate one iteration's proposals, in order.
+
+        One parallel batch when a batch executor is configured, otherwise
+        the sequential supervised loop — same reports either way.
+        """
+        if self._batch_executor is not None:
+            return self._batch_executor.run_batch(
+                [FlowJob(design, params, seed) for params in params_list]
+            )
+        return [
+            self.executor.try_execute(design, params, seed=seed)
+            for params in params_list
+        ]
 
     # ------------------------------------------------------------------
     def _checkpoint(self, model, optimizer, rng, design, iteration,

@@ -81,16 +81,38 @@ def sweep(
     axes: Dict[str, Sequence[float]],
     base: FlowParameters = FlowParameters(),
     seed: int = 0,
+    workers: int = 1,
+    qor_cache_path: Optional[str] = None,
 ) -> SweepResult:
-    """Full-factorial sweep of ``axes`` (knob -> values) on one design."""
+    """Full-factorial sweep of ``axes`` (knob -> values) on one design.
+
+    ``workers > 1`` fans the grid out over a
+    :class:`~repro.runtime.parallel.ParallelFlowExecutor` process pool;
+    ``qor_cache_path`` serves repeated grid points (across sweeps and
+    other studies) from the persistent QoR cache.  Either way the result
+    is identical to the serial loop.
+    """
     if not axes:
         raise FlowError("sweep needs at least one axis")
     knobs = list(axes)
     grid = list(itertools.product(*(axes[k] for k in knobs)))
-    qors: List[Dict[str, float]] = []
+    points: List[FlowParameters] = []
     for point in grid:
         params = base
         for knob, value in zip(knobs, point):
             params = set_knob(params, knob, value)
-        qors.append(dict(run_flow(design, params, seed=seed).qor))
-    return SweepResult(knobs=knobs, grid=grid, qors=qors)
+        points.append(params)
+    if workers == 1 and qor_cache_path is None:
+        qors = [dict(run_flow(design, p, seed=seed).qor) for p in points]
+        return SweepResult(knobs=knobs, grid=grid, qors=qors)
+    from repro.runtime.parallel import FlowJob, ParallelFlowExecutor
+
+    with ParallelFlowExecutor(
+        workers=workers, cache=qor_cache_path, seed=seed
+    ) as executor:
+        results = executor.execute_batch(
+            [FlowJob(design, p, seed) for p in points]
+        )
+    return SweepResult(
+        knobs=knobs, grid=grid, qors=[dict(r.qor) for r in results]
+    )

@@ -15,6 +15,10 @@ flaky and hours-long) P&R tool invocation:
   alignment and the online loop.
 - :mod:`repro.runtime.clock` — injectable virtual time so none of the above
   ever blocks a test on real wall-clock.
+- :mod:`repro.runtime.parallel` — :class:`ParallelFlowExecutor` fans flow
+  batches out over a process pool (deterministic at any worker count) and
+  :class:`QoRCache` persists successful results on disk so repeated
+  evaluations are free.
 
 See ``docs/robustness.md`` for the end-to-end story.
 """
@@ -34,14 +38,25 @@ from repro.runtime.executor import (
     RetryPolicy,
 )
 from repro.runtime.faults import FaultInjector, FaultKind, SimulatedToolCrash
+from repro.runtime.parallel import (
+    FaultPlan,
+    FlowJob,
+    ParallelFlowExecutor,
+    QoRCache,
+    qor_cache_key,
+)
 
 __all__ = [
     "CHECKPOINT_VERSION",
     "FaultInjector",
     "FaultKind",
+    "FaultPlan",
     "FlowAttempt",
     "FlowExecutor",
+    "FlowJob",
     "FlowRunReport",
+    "ParallelFlowExecutor",
+    "QoRCache",
     "RecordingSleep",
     "RetryPolicy",
     "SimulatedToolCrash",
@@ -49,5 +64,6 @@ __all__ = [
     "VirtualClock",
     "atomic_pickle",
     "load_checkpoint",
+    "qor_cache_key",
     "save_checkpoint",
 ]

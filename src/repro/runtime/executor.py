@@ -87,11 +87,17 @@ class FlowAttempt:
 
 @dataclass
 class FlowRunReport:
-    """Everything the executor observed while running one recipe set."""
+    """Everything the executor observed while running one recipe set.
+
+    ``cached`` marks results served from a persistent
+    :class:`~repro.runtime.parallel.QoRCache` instead of a live run; such
+    reports carry no attempts and zero elapsed time.
+    """
 
     design: str
     result: Optional[FlowResult] = None
     attempts: List[FlowAttempt] = field(default_factory=list)
+    cached: bool = False
 
     @property
     def ok(self) -> bool:

@@ -1,0 +1,480 @@
+"""Parallel flow evaluation: process-pool batches + persistent QoR cache.
+
+The expensive outer loop of the whole reproduction is the P&R tool: offline
+archive construction runs ~176 recipe sets on each of 17 designs, and every
+online fine-tuning iteration evaluates K fresh recipe sets.  This module
+makes those batches concurrent without giving up any of the guarantees the
+sequential path has:
+
+- :class:`ParallelFlowExecutor` fans a batch of :class:`FlowJob`\\ s out over
+  a process pool with warm worker reuse (one pool per executor, netlist
+  cache pre-seeded per worker) while composing the existing
+  :class:`~repro.runtime.executor.FlowExecutor` semantics per job —
+  deadlines, bounded retries, and the typed
+  :class:`~repro.errors.FlowTimeout` / :class:`~repro.errors.FlowCrash` /
+  :class:`~repro.errors.CorruptQoR` taxonomy, all of which survive pickling
+  across the pool boundary.
+- **Determinism regardless of worker count or completion order.**  Every
+  per-job randomness source (retry jitter, injected faults) is derived from
+  the job's *batch index*, never from global call order, so a batch returns
+  bit-identical :class:`~repro.flow.result.FlowResult`\\ s whether it runs
+  on 1, 2 or 8 workers — including under a seeded
+  :class:`~repro.runtime.parallel.FaultPlan`.
+- :class:`QoRCache` persists successful results on disk keyed by
+  ``(profile name, seed, canonical params hash)``, so repeated evaluations
+  — online-loop dedup, benchmark reruns, cross-validation folds — are free.
+  Writes are atomic (temp file + ``os.replace``); corrupt entries degrade
+  to cache misses.
+
+``workers=1`` (the default everywhere) runs the same per-job machinery
+in-process: no pool, no pickling constraints, byte-for-byte the results the
+pool produces.  See ``docs/performance.md`` for the end-to-end story.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import FlowError, ReproError
+from repro.flow.parameters import FlowParameters
+from repro.flow.result import FlowResult
+from repro.runtime.clock import VirtualClock
+from repro.runtime.executor import FlowExecutor, FlowRunReport, RetryPolicy
+from repro.runtime.faults import FaultInjector, FaultKind
+
+# Version stamp baked into every cache key: bump when FlowResult layout or
+# flow semantics change so stale entries can never masquerade as fresh runs.
+QOR_CACHE_VERSION = 1
+
+
+def _job_stream_seed(base: int, index: int) -> int:
+    """Deterministic per-job seed: a pure function of (base seed, job index).
+
+    Job-index keying — not call-order keying — is what makes a parallel
+    batch reproducible at any worker count: job ``i`` draws the same jitter
+    and fault schedule no matter which worker runs it or when.
+    """
+    acc = 1469598103934665603
+    for part in (int(base) & 0xFFFFFFFFFFFFFFFF, int(index)):
+        for _ in range(8):
+            acc = ((acc ^ (part & 0xFF)) * 1099511628211) % (1 << 64)
+            part >>= 8
+    return acc
+
+
+@dataclass(frozen=True)
+class FlowJob:
+    """One unit of flow work: a (design, parameters, seed) triple."""
+
+    design: str
+    params: FlowParameters = field(default_factory=FlowParameters)
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Picklable recipe for per-job fault injection inside pool workers.
+
+    A live :class:`~repro.runtime.faults.FaultInjector` wraps a closure and
+    cannot cross the pool boundary; a plan can.  Each worker builds one
+    injector *per job*, seeded from ``(seed, job index)``, paired with a
+    private :class:`~repro.runtime.clock.VirtualClock` shared with that
+    job's executor — so hangs overrun deadlines without real waiting and
+    the fault schedule is identical at any worker count.
+    """
+
+    rate: float
+    kinds: Optional[Tuple[FaultKind, ...]] = None
+    seed: int = 0
+    hang_s: float = 3600.0
+
+
+@dataclass(frozen=True)
+class _RunnerSettings:
+    """Everything a worker needs to supervise one job (all picklable)."""
+
+    flow_fn: Optional[Callable] = None  # None -> repro.flow.runner.run_flow
+    policy: RetryPolicy = RetryPolicy()
+    deadline_s: Optional[float] = None
+    min_snapshots: Optional[int] = None
+    seed: int = 0
+    fault_plan: Optional[FaultPlan] = None
+
+
+def _execute_job(settings: _RunnerSettings, index: int,
+                 job: FlowJob) -> FlowRunReport:
+    """Run one supervised job, identically in-process or in a worker."""
+    if settings.flow_fn is None:
+        from repro.flow.runner import run_flow
+
+        flow_fn = run_flow
+    else:
+        flow_fn = settings.flow_fn
+    clock: Callable[[], float] = time.monotonic
+    sleep: Callable[[float], None] = time.sleep
+    if settings.fault_plan is not None:
+        plan = settings.fault_plan
+        virtual = VirtualClock()
+        injector = FaultInjector(
+            rate=plan.rate,
+            kinds=plan.kinds,
+            seed=_job_stream_seed(plan.seed, index),
+            hang_s=plan.hang_s,
+            clock=virtual,
+        )
+        flow_fn = injector.wrap(flow_fn)
+        clock = virtual
+        sleep = virtual.sleep
+    executor = FlowExecutor(
+        flow_fn,
+        policy=settings.policy,
+        deadline_s=settings.deadline_s,
+        min_snapshots=settings.min_snapshots,
+        clock=clock,
+        sleep=sleep,
+        seed=_job_stream_seed(settings.seed, index),
+    )
+    return executor.try_execute(job.design, job.params, seed=job.seed)
+
+
+# ----------------------------------------------------------------------
+# Pool worker plumbing (module-level so it pickles under any start method).
+# ----------------------------------------------------------------------
+_WORKER_SETTINGS: Optional[_RunnerSettings] = None
+
+
+def _worker_init(settings: _RunnerSettings,
+                 warm: Sequence[Tuple[str, int]]) -> None:
+    """Pool initializer: stash settings, pre-seed the netlist cache."""
+    global _WORKER_SETTINGS
+    _WORKER_SETTINGS = settings
+    if warm:
+        from repro.flow.runner import _fresh_netlist
+        from repro.netlist.profiles import get_profile
+
+        for design, seed in warm:
+            try:
+                _fresh_netlist(get_profile(design), seed)
+            except ReproError:
+                # Warming is an optimization, never a failure mode; an
+                # unknown design will surface properly when its job runs.
+                pass
+
+
+def _worker_run(task: Tuple[int, FlowJob]) -> Tuple[int, FlowRunReport]:
+    index, job = task
+    return index, _execute_job(_WORKER_SETTINGS, index, job)
+
+
+# ----------------------------------------------------------------------
+# Persistent QoR result cache
+# ----------------------------------------------------------------------
+def qor_cache_key(design: Union[str, object], params: FlowParameters,
+                  seed: int) -> str:
+    """Canonical cache key: sha256 over (profile name, seed, flat params).
+
+    ``FlowParameters.flat`` enumerates every knob as ``section.field ->
+    float``; JSON with sorted keys and ``repr``-exact floats makes the
+    digest independent of dict ordering and stable across processes.
+    """
+    from repro.netlist.profiles import get_profile
+
+    profile = get_profile(design) if isinstance(design, str) else design
+    payload = {
+        "v": QOR_CACHE_VERSION,
+        "design": profile.name,
+        "seed": int(seed),
+        "params": params.flat(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class QoRCache:
+    """On-disk cache of successful :class:`FlowResult`\\ s.
+
+    Layout: ``<path>/<key[:2]>/<key>.pkl`` (sharded so no directory grows
+    unbounded).  Entries are written atomically via the checkpoint layer's
+    ``atomic_pickle``; a concurrent reader sees either the full entry or a
+    miss, never a torn file.  Unreadable entries are deleted and reported
+    as misses — the cache can only ever cost a re-run, not correctness.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = os.fspath(path)
+        os.makedirs(self.path, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: str) -> str:
+        return os.path.join(self.path, key[:2], key + ".pkl")
+
+    def get(self, design, params: FlowParameters, seed: int
+            ) -> Optional[FlowResult]:
+        """The cached result, or ``None`` (miss / corrupt entry)."""
+        entry = self._entry_path(qor_cache_key(design, params, seed))
+        try:
+            with open(entry, "rb") as handle:
+                result = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError,
+                AttributeError, ImportError):
+            self._evict(entry)
+            self.misses += 1
+            return None
+        if not isinstance(result, FlowResult):
+            self._evict(entry)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, design, params: FlowParameters, seed: int,
+            result: FlowResult) -> None:
+        """Atomically persist one successful result."""
+        from repro.runtime.checkpoint import atomic_pickle
+
+        entry = self._entry_path(qor_cache_key(design, params, seed))
+        os.makedirs(os.path.dirname(entry), exist_ok=True)
+        atomic_pickle(result, entry)
+
+    @staticmethod
+    def _evict(entry: str) -> None:
+        try:
+            os.remove(entry)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def _entries(self) -> List[str]:
+        found = []
+        for shard in sorted(os.listdir(self.path)):
+            shard_dir = os.path.join(self.path, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".pkl"):
+                    found.append(os.path.join(shard_dir, name))
+        return found
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in self._entries():
+            self._evict(entry)
+            removed += 1
+        return removed
+
+    def info(self) -> Dict[str, object]:
+        """Occupancy summary (mirrors ``netlist_cache_info``)."""
+        entries = self._entries()
+        total = 0
+        for entry in entries:
+            try:
+                total += os.path.getsize(entry)
+            except OSError:
+                pass
+        return {
+            "path": self.path,
+            "entries": len(entries),
+            "bytes": total,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+# ----------------------------------------------------------------------
+# The parallel executor
+# ----------------------------------------------------------------------
+class ParallelFlowExecutor:
+    """Evaluates batches of flow jobs concurrently, deterministically.
+
+    Args:
+        workers: Process count.  ``1`` (default) runs in-process — same
+            per-job supervision, no pool, no pickling constraints.
+        flow_fn: Tool invocation ``(design, params, seed=...) ->
+            FlowResult``; must be picklable (module-level) when
+            ``workers > 1``.  Defaults to :func:`repro.flow.runner.run_flow`.
+        policy / deadline_s / min_snapshots: Per-job
+            :class:`~repro.runtime.executor.FlowExecutor` supervision knobs.
+        seed: Base seed for per-job retry-jitter streams.
+        cache: A :class:`QoRCache`, a directory path to open one at, or
+            ``None``.  Only successful, fault-free results are cached.
+        fault_plan: Optional :class:`FaultPlan` rehearsing failures with a
+            job-index-keyed schedule (disables the cache for the batch —
+            injected outcomes must never be persisted as truth).
+        start_method: Multiprocessing start method; default prefers
+            ``fork`` (workers inherit the parent's warm netlist cache for
+            free) and falls back to the platform default.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        flow_fn: Optional[Callable] = None,
+        policy: RetryPolicy = RetryPolicy(),
+        deadline_s: Optional[float] = None,
+        min_snapshots: Optional[int] = None,
+        seed: int = 0,
+        cache: Union[QoRCache, os.PathLike, str, None] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        if cache is None or isinstance(cache, QoRCache):
+            self.cache = cache
+        else:
+            self.cache = QoRCache(cache)
+        self._settings = _RunnerSettings(
+            flow_fn=flow_fn,
+            policy=policy,
+            deadline_s=deadline_s,
+            min_snapshots=min_snapshots,
+            seed=seed,
+            fault_plan=fault_plan,
+        )
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._start_method = start_method
+        self._pool = None
+        self.jobs_run = 0
+        self.batches_run = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def _cache_enabled(self) -> bool:
+        # A fault plan makes outcomes depend on the injector, not just the
+        # (design, params, seed) key — never persist those as real QoR.
+        return self.cache is not None and self._settings.fault_plan is None
+
+    def run_batch(self, jobs: Sequence[FlowJob]) -> List[FlowRunReport]:
+        """Evaluate ``jobs``; reports come back in submission order.
+
+        Tool failures are captured per job inside each
+        :class:`FlowRunReport` (never raised); non-flow
+        :class:`~repro.errors.ReproError`\\ s — configuration bugs — still
+        propagate, exactly as :meth:`FlowExecutor.try_execute` does.
+        """
+        jobs = [self._coerce(job) for job in jobs]
+        reports: List[Optional[FlowRunReport]] = [None] * len(jobs)
+        pending: List[Tuple[int, FlowJob]] = []
+        for index, job in enumerate(jobs):
+            cached = (
+                self.cache.get(job.design, job.params, job.seed)
+                if self._cache_enabled else None
+            )
+            if cached is not None:
+                reports[index] = FlowRunReport(
+                    design=str(job.design), result=cached, cached=True
+                )
+            else:
+                pending.append((index, job))
+
+        if pending:
+            if self.workers == 1:
+                for index, job in pending:
+                    reports[index] = _execute_job(self._settings, index, job)
+            else:
+                pool = self._ensure_pool(jobs)
+                # Unordered completion + index reassembly: stragglers never
+                # stall finished results, and submission order is restored
+                # from the index, so completion order is unobservable.
+                for index, report in pool.imap_unordered(
+                    _worker_run, pending, chunksize=1
+                ):
+                    reports[index] = report
+            if self._cache_enabled:
+                for index, job in pending:
+                    report = reports[index]
+                    if report is not None and report.ok:
+                        self.cache.put(
+                            job.design, job.params, job.seed, report.result
+                        )
+        self.jobs_run += len(jobs)
+        self.batches_run += 1
+        return reports  # type: ignore[return-value]
+
+    def execute_batch(self, jobs: Sequence[FlowJob]) -> List[FlowResult]:
+        """All-or-nothing batch: results in order, or the first job's
+        terminal typed :class:`~repro.errors.FlowError` (by submission
+        order, not completion order)."""
+        reports = self.run_batch(jobs)
+        for report in reports:
+            if not report.ok:
+                raise report.error
+        return [report.result for report in reports]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(job) -> FlowJob:
+        if isinstance(job, FlowJob):
+            return job
+        if isinstance(job, tuple):
+            return FlowJob(*job)
+        raise TypeError(f"expected FlowJob or tuple, got {type(job).__name__}")
+
+    def _ensure_pool(self, jobs: Sequence[FlowJob]):
+        if self._pool is None:
+            context = multiprocessing.get_context(self._start_method)
+            warm = []
+            seen = set()
+            for job in jobs:
+                key = (str(job.design), job.seed)
+                if key not in seen:
+                    seen.add(key)
+                    warm.append(key)
+            if self._start_method == "fork":
+                # Generate each pristine netlist once in the parent; every
+                # forked worker inherits the warm cache copy-on-write.
+                _worker_init(self._settings, warm)
+                warm = []
+            self._pool = context.Pool(
+                processes=self.workers,
+                initializer=_worker_init,
+                initargs=(self._settings, warm),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelFlowExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def stats(self) -> Dict[str, object]:
+        """Executor counters plus cache occupancy (when one is attached)."""
+        out: Dict[str, object] = {
+            "workers": self.workers,
+            "jobs_run": self.jobs_run,
+            "batches_run": self.batches_run,
+            "pool_live": self._pool is not None,
+        }
+        if self.cache is not None:
+            out["cache"] = self.cache.info()
+        return out
