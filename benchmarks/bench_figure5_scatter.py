@@ -15,7 +15,7 @@ import csv
 
 import numpy as np
 
-from common import CACHE_DIR, get_crossval, get_dataset, run_once
+from common import CACHE_DIR, ensure_cache_dir, get_crossval, get_dataset, run_once
 
 FIG5_DESIGNS = ("D4", "D6", "D11", "D14")
 
@@ -37,6 +37,7 @@ def test_figure5_recommendation_scatter(benchmark):
         known_power = [p.qor["power_mw"] for p in known]
         known_tns = [p.qor["tns_ns"] for p in known]
 
+        ensure_cache_dir()
         csv_path = CACHE_DIR / f"figure5_{design}.csv"
         with open(csv_path, "w", newline="") as handle:
             writer = csv.writer(handle)

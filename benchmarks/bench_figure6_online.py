@@ -16,7 +16,14 @@ import numpy as np
 
 from repro.core.online import OnlineConfig, OnlineFineTuner
 
-from common import CACHE_DIR, fold_model_for, get_crossval, get_dataset, run_once
+from common import (
+    CACHE_DIR,
+    ensure_cache_dir,
+    fold_model_for,
+    get_crossval,
+    get_dataset,
+    run_once,
+)
 
 ITERATIONS = 8
 
@@ -44,6 +51,7 @@ def test_figure6_online_trajectories(benchmark):
         print(f"-- {result.design}")
         print(f"{'iter':>4} {'avg top-5 QoR':>14} {'best QoR':>9} "
               f"{'best power (mW)':>16} {'best TNS (ns)':>14}")
+        ensure_cache_dir()
         csv_path = CACHE_DIR / f"figure6_{result.design}.csv"
         with open(csv_path, "w", newline="") as handle:
             writer = csv.writer(handle)

@@ -17,7 +17,14 @@ import numpy as np
 
 from repro.core.online import OnlineConfig, OnlineFineTuner
 
-from common import CACHE_DIR, fold_model_for, get_crossval, get_dataset, run_once
+from common import (
+    CACHE_DIR,
+    ensure_cache_dir,
+    fold_model_for,
+    get_crossval,
+    get_dataset,
+    run_once,
+)
 
 DESIGN = "D10"
 ITERATIONS = 10
@@ -32,6 +39,7 @@ def test_figure7_online_scatter(benchmark):
     result = run_once(benchmark, lambda: tuner.run(model, dataset, DESIGN))
     points = result.all_points
 
+    ensure_cache_dir()
     csv_path = CACHE_DIR / f"figure7_{DESIGN}.csv"
     with open(csv_path, "w", newline="") as handle:
         writer = csv.writer(handle)

@@ -32,7 +32,14 @@ from repro.flow.runner import run_flow
 from repro.recipes.apply import apply_recipe_set
 from repro.recipes.catalog import default_catalog
 
-from common import CACHE_DIR, fold_model_for, get_crossval, get_dataset, run_once
+from common import (
+    CACHE_DIR,
+    ensure_cache_dir,
+    fold_model_for,
+    get_crossval,
+    get_dataset,
+    run_once,
+)
 
 DESIGN = "D13"
 BUDGET = 20
@@ -85,6 +92,7 @@ def test_runtime_convergence(benchmark):
     aligned = align_curves(curves, length=BUDGET)
     rows = summarize_convergence(curves, target=best_known)
 
+    ensure_cache_dir()
     csv_path = CACHE_DIR / f"convergence_{DESIGN}.csv"
     with open(csv_path, "w", newline="") as handle:
         writer = csv.writer(handle)

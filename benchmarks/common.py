@@ -29,9 +29,15 @@ CV_CONFIG = AlignmentConfig(
 )
 
 
+def ensure_cache_dir() -> Path:
+    """Create ``benchmarks/_cache/`` (untracked) on demand and return it."""
+    CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    return CACHE_DIR
+
+
 def get_dataset() -> OfflineDataset:
     """The full offline archive (cached)."""
-    CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    ensure_cache_dir()
     return build_offline_dataset(
         sets_per_design=SETS_PER_DESIGN,
         seed=SEED,
@@ -53,7 +59,7 @@ def get_crossval(intention: QoRIntention = QoRIntention()) -> CrossValResult:
         beam_width=5,
         seed=SEED,
     )
-    CACHE_DIR.mkdir(parents=True, exist_ok=True)
+    ensure_cache_dir()
     with open(CROSSVAL_PATH, "wb") as handle:
         pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
     return result

@@ -13,6 +13,13 @@ Subcommands:
 - ``serve``      — load a saved model into the batched
   :class:`~repro.serving.service.RecommendationService` and drive it with
   synthetic traffic, printing throughput / latency / cache statistics.
+- ``sweep``      — full-factorial flow-parameter sweep on one design.
+- ``obs``        — observability: render a recorded ``--trace`` JSONL file
+  as a span table, trees, and the metrics snapshot.
+
+``build-dataset``, ``align``, ``serve`` and ``sweep`` accept ``--trace
+PATH``: the run then records nested spans and a final metrics snapshot to
+``PATH`` as JSON lines, which ``repro obs report PATH`` renders.
 
 Examples::
 
@@ -22,14 +29,16 @@ Examples::
     python -m repro.cli recommend --model model.npz --dataset archive.pkl \
         --design D4 --k 5 --evaluate
     python -m repro.cli serve --model model.npz --dataset archive.pkl \
-        --requests 128 --max-batch-size 16
+        --requests 128 --max-batch-size 16 --trace serve.jsonl
+    python -m repro.cli sweep D4 --axis placer.density_target=0.6,0.7,0.8
+    python -m repro.cli obs report serve.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.alignment import AlignmentConfig
 from repro.core.dataset import OfflineDataset, build_offline_dataset
@@ -40,6 +49,7 @@ from repro.flow.runner import run_flow, _fresh_netlist
 from repro.insights.extractor import InsightExtractor
 from repro.insights.schema import insight_schema
 from repro.netlist.profiles import design_profiles, get_profile
+from repro.observability import tracing
 from repro.recipes.apply import apply_recipe_set
 from repro.recipes.catalog import default_catalog
 
@@ -81,6 +91,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_ds.add_argument("--qor-cache", default="",
                       help="persistent QoR result cache directory; repeated "
                            "(design, recipe set, seed) evaluations are free")
+    p_ds.add_argument("--trace", default="",
+                      help="record spans + metrics to this JSONL file")
 
     p_align = sub.add_parser("align", help="offline alignment (Algorithm 1)")
     p_align.add_argument("--dataset", required=True)
@@ -99,6 +111,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_align.add_argument("--resume", default="",
                          help="resume training from a checkpoint file; "
                               "continues bit-identically with the same seed")
+    p_align.add_argument("--trace", default="",
+                         help="record spans + metrics to this JSONL file")
 
     p_serve = sub.add_parser(
         "serve",
@@ -123,6 +137,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="gaussian noise added to insights so the load "
                               "is not one cacheable vector per design")
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--trace", default="",
+                         help="record spans + metrics to this JSONL file")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="full-factorial flow-parameter sweep on one design"
+    )
+    p_sweep.add_argument("design", help="design name (D1..D17)")
+    p_sweep.add_argument("--axis", action="append", default=[],
+                         metavar="KNOB=V1,V2,...", type=_parse_axis,
+                         help="one sweep axis, e.g. "
+                              "placer.density_target=0.6,0.7,0.8 "
+                              "(repeatable; the grid is the cross product)")
+    p_sweep.add_argument("--seed", type=int, default=0)
+    p_sweep.add_argument("--workers", type=int, default=1,
+                         help="process-pool workers (1 = serial)")
+    p_sweep.add_argument("--qor-cache", default="",
+                         help="persistent QoR result cache directory")
+    p_sweep.add_argument("--metrics", default="tns_ns,power_mw",
+                         help="comma-separated QoR columns to print")
+    p_sweep.add_argument("--trace", default="",
+                         help="record spans + metrics to this JSONL file")
+
+    p_obs = sub.add_parser(
+        "obs", help="observability: inspect recorded traces"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_report = obs_sub.add_parser(
+        "report", help="render a --trace JSONL file"
+    )
+    p_report.add_argument("trace_file", help="JSONL file written by --trace")
+    p_report.add_argument("--top", type=int, default=12,
+                          help="span-aggregate rows to show")
+    p_report.add_argument("--trees", type=int, default=3,
+                          help="root span trees to show")
 
     p_rec = sub.add_parser("recommend", help="zero-shot recommendation")
     p_rec.add_argument("--model", required=True, help="saved model .npz")
@@ -138,6 +186,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _split(csv: str) -> List[str]:
     return [item.strip() for item in csv.split(",") if item.strip()]
+
+
+def _parse_axis(spec: str) -> Tuple[str, List[float]]:
+    """Parse one ``--axis KNOB=V1,V2,...`` occurrence."""
+    knob, sep, raw = spec.partition("=")
+    values: List[float] = []
+    for item in raw.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        try:
+            values.append(float(item))
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"axis value {item!r} in {spec!r} is not a number"
+            ) from None
+    if not sep or not knob.strip() or not values:
+        raise argparse.ArgumentTypeError(
+            f"expected KNOB=V1,V2,... (e.g. placer.density_target=0.6,0.7), "
+            f"got {spec!r}"
+        )
+    return knob.strip(), values
 
 
 def cmd_run_flow(args) -> int:
@@ -316,6 +386,41 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    """Full-factorial knob sweep; prints the QoR grid and the best point."""
+    from repro.flow.sweep import sweep
+
+    if not args.axis:
+        print("sweep needs at least one --axis KNOB=V1,V2,...",
+              file=sys.stderr)
+        return 2
+    axes = {knob: values for knob, values in args.axis}
+    result = sweep(
+        args.design,
+        axes,
+        seed=args.seed,
+        workers=args.workers,
+        qor_cache_path=args.qor_cache or None,
+    )
+    metrics = _split(args.metrics)
+    print(result.render(metrics=metrics))
+    best_point, best_qor = result.best(metrics[0])
+    settings = ", ".join(
+        f"{knob}={value:g}" for knob, value in zip(result.knobs, best_point)
+    )
+    print(f"best {metrics[0]}: {best_qor[metrics[0]]:.4f} at {settings}")
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """Render a recorded trace file (spans, trees, metrics snapshot)."""
+    from repro.observability import load_trace, render_trace_report
+
+    trace = load_trace(args.trace_file)
+    print(render_trace_report(trace, top=args.top, trees=args.trees))
+    return 0
+
+
 def cmd_recommend(args) -> int:
     ia = InsightAlign.load(args.model)
     dataset = OfflineDataset.load(args.dataset)
@@ -348,12 +453,17 @@ _COMMANDS = {
     "align": cmd_align,
     "recommend": cmd_recommend,
     "serve": cmd_serve,
+    "sweep": cmd_sweep,
+    "obs": cmd_obs,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    # ``--trace PATH`` (where the subcommand has one) turns on JSONL span
+    # recording for the whole command; ``tracing(None)`` is a no-op.
+    with tracing(getattr(args, "trace", "") or None):
+        return _COMMANDS[args.command](args)
 
 
 if __name__ == "__main__":

@@ -12,6 +12,7 @@ objective — and batches pairs through the model for speed.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -23,6 +24,7 @@ from repro.core.qor import QoRIntention
 from repro.errors import TrainingError
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import Tensor
+from repro.observability import get_registry, get_tracer
 from repro.utils.rng import derive_rng
 
 
@@ -114,45 +116,92 @@ class AlignmentTrainer:
             previous_probe = (
                 history.probe_loss[-1] if history.probe_loss else None
             )
-        for epoch in range(start_epoch, cfg.epochs):
-            batches = self._epoch_batches(per_design, rng)
-            losses: List[float] = []
-            correct = 0
-            total = 0
-            for insights, winners, losers, margins in batches:
-                loss, batch_correct = self._step(
-                    model, optimizer, insights, winners, losers, margins
+        tracer = get_tracer()
+        registry = get_registry()
+        with tracer.span(
+            "align.train",
+            seed=cfg.seed,
+            epochs=cfg.epochs,
+            designs=len(per_design),
+            start_epoch=start_epoch,
+        ) as train_span:
+            for epoch in range(start_epoch, cfg.epochs):
+                epoch_started = time.perf_counter()
+                with tracer.span("align.epoch", epoch=epoch) as epoch_span:
+                    batches = self._epoch_batches(per_design, rng)
+                    losses: List[float] = []
+                    correct = 0
+                    total = 0
+                    for insights, winners, losers, margins in batches:
+                        loss, batch_correct = self._step(
+                            model, optimizer, insights, winners, losers, margins
+                        )
+                        losses.append(loss)
+                        correct += batch_correct
+                        total += len(margins)
+                    epoch_loss = float(np.mean(losses)) if losses else 0.0
+                    probe_loss = self._eval_loss(model, *probe)
+                    history.epoch_loss.append(epoch_loss)
+                    history.epoch_pair_accuracy.append(correct / max(1, total))
+                    history.probe_loss.append(probe_loss)
+                    epoch_span.set_attributes(
+                        pairs=total,
+                        epoch_loss=epoch_loss,
+                        probe_loss=probe_loss,
+                    )
+                self._observe_epoch(
+                    registry, history, total,
+                    time.perf_counter() - epoch_started,
                 )
-                losses.append(loss)
-                correct += batch_correct
-                total += len(margins)
-            epoch_loss = float(np.mean(losses)) if losses else 0.0
-            probe_loss = self._eval_loss(model, *probe)
-            history.epoch_loss.append(epoch_loss)
-            history.epoch_pair_accuracy.append(correct / max(1, total))
-            history.probe_loss.append(probe_loss)
-            if verbose:
-                print(
-                    f"epoch {epoch}: loss {epoch_loss:.4f} "
-                    f"probe {probe_loss:.4f} "
-                    f"pair-acc {history.epoch_pair_accuracy[-1]:.3f}"
+                if verbose:
+                    print(
+                        f"epoch {epoch}: loss {epoch_loss:.4f} "
+                        f"probe {probe_loss:.4f} "
+                        f"pair-acc {history.epoch_pair_accuracy[-1]:.3f}"
+                    )
+                converged = (
+                    previous_probe is not None
+                    and abs(previous_probe - probe_loss)
+                    < cfg.convergence_tolerance
                 )
-            converged = (
-                previous_probe is not None
-                and abs(previous_probe - probe_loss) < cfg.convergence_tolerance
+                previous_probe = probe_loss
+                if cfg.checkpoint_path and (
+                    converged
+                    or (epoch + 1) % cfg.checkpoint_every == 0
+                    or epoch + 1 == cfg.epochs
+                ):
+                    self._checkpoint(
+                        model, optimizer, rng, history, epoch, converged
+                    )
+                if converged:
+                    break
+            train_span.set_attributes(
+                epochs_run=history.converged_epoch,
+                final_probe_loss=(
+                    history.probe_loss[-1] if history.probe_loss else None
+                ),
             )
-            previous_probe = probe_loss
-            if cfg.checkpoint_path and (
-                converged
-                or (epoch + 1) % cfg.checkpoint_every == 0
-                or epoch + 1 == cfg.epochs
-            ):
-                self._checkpoint(
-                    model, optimizer, rng, history, epoch, converged
-                )
-            if converged:
-                break
         return model, history
+
+    @staticmethod
+    def _observe_epoch(registry, history, pairs, elapsed_s) -> None:
+        """Publish one epoch's diagnostics to the metrics registry."""
+        registry.counter(
+            "alignment_epochs_total", "alignment epochs completed"
+        ).inc()
+        registry.gauge(
+            "alignment_epoch_loss", "mean minibatch loss of the last epoch"
+        ).set(history.epoch_loss[-1])
+        registry.gauge(
+            "alignment_probe_loss", "fixed-probe loss (convergence signal)"
+        ).set(history.probe_loss[-1])
+        registry.gauge(
+            "alignment_pair_accuracy", "preference-pair accuracy"
+        ).set(history.epoch_pair_accuracy[-1])
+        if elapsed_s > 0:
+            registry.histogram(
+                "alignment_pairs_per_second", "training throughput"
+            ).observe(pairs / elapsed_s)
 
     # ------------------------------------------------------------------
     def _checkpoint(self, model, optimizer, rng, history, epoch, converged):

@@ -185,6 +185,7 @@ def build_offline_dataset(
             reruns and overlapping recipe sets across studies become free.
         verbose: Print per-design progress.
     """
+    from repro.observability import get_tracer
     from repro.runtime.parallel import FlowJob, ParallelFlowExecutor
 
     if cache_path is not None and os.path.exists(cache_path):
@@ -209,21 +210,28 @@ def build_offline_dataset(
     for name in names:
         jobs.append(FlowJob(name, probe_params, seed))
 
-    with ParallelFlowExecutor(
-        workers=max(1, workers), cache=qor_cache_path, seed=seed
-    ) as executor:
-        results = executor.execute_batch(jobs)
+    with get_tracer().span(
+        "dataset.build",
+        designs=len(names),
+        sets_per_design=sets_per_design,
+        jobs=len(jobs),
+        seed=seed,
+    ):
+        with ParallelFlowExecutor(
+            workers=max(1, workers), cache=qor_cache_path, seed=seed
+        ) as executor:
+            results = executor.execute_batch(jobs)
 
-    evaluated = [
-        DataPoint(design=name, recipe_set=bits, qor=dict(result.qor))
-        for (name, bits), result in zip(plans, results)
-    ]
-    extractor = InsightExtractor()
-    insights: Dict[str, InsightVector] = {}
-    for name, result in zip(names, results[len(plans):]):
-        if verbose:
-            print(f"probing {name} for insights")
-        insights[name] = extractor.extract(result, get_profile(name))
+        evaluated = [
+            DataPoint(design=name, recipe_set=bits, qor=dict(result.qor))
+            for (name, bits), result in zip(plans, results)
+        ]
+        extractor = InsightExtractor()
+        insights: Dict[str, InsightVector] = {}
+        for name, result in zip(names, results[len(plans):]):
+            if verbose:
+                print(f"probing {name} for insights")
+            insights[name] = extractor.extract(result, get_profile(name))
 
     dataset = OfflineDataset(points=evaluated, insights=insights, seed=seed)
     if cache_path is not None:

@@ -40,6 +40,7 @@ from repro.insights.extractor import InsightExtractor
 from repro.netlist.profiles import get_profile
 from repro.nn.optim import Adam, clip_grad_norm
 from repro.nn.tensor import Tensor
+from repro.observability import get_registry, get_tracer
 from repro.recipes.apply import apply_recipe_set
 from repro.recipes.catalog import default_catalog
 from repro.runtime.executor import FlowExecutor
@@ -220,88 +221,134 @@ class OnlineFineTuner:
                 model, optimizer, rng, design, observed, seen, result
             )
 
-        for iteration in range(start_iteration, cfg.iterations):
-            proposals = self._propose(model, insight, seen, rng)
-            survivors: List[Tuple[int, ...]] = []
-            qors: List[Dict[str, float]] = []
-            scores: List[float] = []
-            failures: List[FlowFailure] = []
-            best_run = None
-            best_run_score = -np.inf
-            params_list = [
-                apply_recipe_set(list(bits), catalog) for bits in proposals
-            ]
-            reports = self._evaluate(design, params_list, dataset.seed)
-            for bits, report in zip(proposals, reports):
-                seen.add(bits)
-                if not report.ok:
-                    error = report.error
-                    failures.append(FlowFailure(
-                        iteration=iteration,
-                        recipe_set=bits,
-                        error_type=type(error).__name__,
-                        message=str(error),
-                        attempts=len(report.attempts),
-                    ))
-                    logger.warning(
-                        "%s iter %d: recipe set evaluation failed after "
-                        "%d attempt(s) with %s: %s",
-                        design, iteration, len(report.attempts),
-                        type(error).__name__, error,
-                    )
-                    continue
-                flow = report.result
-                score = normalizer.score(flow.qor, intention)
-                survivors.append(bits)
-                qors.append(dict(flow.qor))
-                scores.append(score)
-                observed.append((bits, score))
-                if score > best_run_score:
-                    best_run_score = score
-                    best_run = flow
-                if score > best_overall[0]:
-                    best_overall = (score, dict(flow.qor))
+        tracer = get_tracer()
+        registry = get_registry()
+        with tracer.span(
+            "online.run",
+            design=design,
+            iterations=cfg.iterations,
+            k=cfg.k,
+            seed=cfg.seed,
+        ):
+            for iteration in range(start_iteration, cfg.iterations):
+                with tracer.span(
+                    "online.iteration", iteration=iteration
+                ) as iter_span:
+                    proposals = self._propose(model, insight, seen, rng)
+                    survivors: List[Tuple[int, ...]] = []
+                    qors: List[Dict[str, float]] = []
+                    scores: List[float] = []
+                    failures: List[FlowFailure] = []
+                    best_run = None
+                    best_run_score = -np.inf
+                    params_list = [
+                        apply_recipe_set(list(bits), catalog)
+                        for bits in proposals
+                    ]
+                    with tracer.span(
+                        "online.evaluate", proposals=len(proposals)
+                    ):
+                        reports = self._evaluate(
+                            design, params_list, dataset.seed
+                        )
+                    for bits, report in zip(proposals, reports):
+                        seen.add(bits)
+                        if not report.ok:
+                            error = report.error
+                            failures.append(FlowFailure(
+                                iteration=iteration,
+                                recipe_set=bits,
+                                error_type=type(error).__name__,
+                                message=str(error),
+                                attempts=len(report.attempts),
+                            ))
+                            registry.counter(
+                                "online_flow_failures_total",
+                                "failed evaluations in the online loop",
+                            ).inc(type=type(error).__name__)
+                            logger.warning(
+                                "%s iter %d: recipe set evaluation failed "
+                                "after %d attempt(s) with %s: %s",
+                                design, iteration, len(report.attempts),
+                                type(error).__name__, error,
+                            )
+                            continue
+                        flow = report.result
+                        score = normalizer.score(flow.qor, intention)
+                        survivors.append(bits)
+                        qors.append(dict(flow.qor))
+                        scores.append(score)
+                        observed.append((bits, score))
+                        if score > best_run_score:
+                            best_run_score = score
+                            best_run = flow
+                        if score > best_overall[0]:
+                            best_overall = (score, dict(flow.qor))
 
-            updated = len(survivors) >= max(1, cfg.min_successes)
-            if updated:
-                self._update(
-                    model, optimizer, insight, survivors, scores, observed, rng
-                )
-                if cfg.insight_refresh > 0 and best_run is not None:
-                    fresh = extractor.extract(best_run, profile).values
-                    insight = (
-                        (1.0 - cfg.insight_refresh) * insight
-                        + cfg.insight_refresh * fresh
-                    )
-            else:
-                logger.warning(
-                    "%s iter %d: only %d/%d evaluations survived "
-                    "(min_successes=%d), skipping the model update",
-                    design, iteration, len(survivors), len(proposals),
-                    cfg.min_successes,
-                )
+                    updated = len(survivors) >= max(1, cfg.min_successes)
+                    if updated:
+                        with tracer.span(
+                            "online.update", survivors=len(survivors)
+                        ):
+                            self._update(
+                                model, optimizer, insight, survivors,
+                                scores, observed, rng,
+                            )
+                        if cfg.insight_refresh > 0 and best_run is not None:
+                            fresh = extractor.extract(best_run, profile).values
+                            insight = (
+                                (1.0 - cfg.insight_refresh) * insight
+                                + cfg.insight_refresh * fresh
+                            )
+                    else:
+                        logger.warning(
+                            "%s iter %d: only %d/%d evaluations survived "
+                            "(min_successes=%d), skipping the model update",
+                            design, iteration, len(survivors), len(proposals),
+                            cfg.min_successes,
+                        )
 
-            record = self._record(
-                iteration, survivors, qors, scores, observed, best_overall[1]
-            )
-            record.failures = failures
-            record.updated = updated
-            result.records.append(record)
-            if cfg.checkpoint_path and (
-                (iteration + 1) % cfg.checkpoint_every == 0
-                or iteration + 1 == cfg.iterations
-            ):
-                self._checkpoint(
-                    model, optimizer, rng, design, iteration,
-                    observed, seen, insight, best_overall, result,
-                )
-            if verbose:
-                print(
-                    f"{design} iter {iteration}: best so far "
-                    f"{record.best_score_so_far:.3f} "
-                    f"avg-top5 {record.avg_top5_so_far:.3f} "
-                    f"({len(survivors)}/{len(proposals)} runs ok)"
-                )
+                    record = self._record(
+                        iteration, survivors, qors, scores, observed,
+                        best_overall[1],
+                    )
+                    record.failures = failures
+                    record.updated = updated
+                    result.records.append(record)
+                    iter_span.set_attributes(
+                        survivors=len(survivors),
+                        failures=len(failures),
+                        updated=updated,
+                        best_score=record.best_score_so_far,
+                    )
+                    registry.counter(
+                        "online_iterations_total", "online iterations run"
+                    ).inc()
+                    if np.isfinite(record.best_score_so_far):
+                        registry.gauge(
+                            "online_best_score",
+                            "best QoR score observed so far",
+                        ).set(record.best_score_so_far)
+                    if np.isfinite(record.avg_top5_so_far):
+                        registry.gauge(
+                            "online_avg_top5",
+                            "mean of the top-5 QoR scores so far",
+                        ).set(record.avg_top5_so_far)
+                    if cfg.checkpoint_path and (
+                        (iteration + 1) % cfg.checkpoint_every == 0
+                        or iteration + 1 == cfg.iterations
+                    ):
+                        self._checkpoint(
+                            model, optimizer, rng, design, iteration,
+                            observed, seen, insight, best_overall, result,
+                        )
+                    if verbose:
+                        print(
+                            f"{design} iter {iteration}: best so far "
+                            f"{record.best_score_so_far:.3f} "
+                            f"avg-top5 {record.avg_top5_so_far:.3f} "
+                            f"({len(survivors)}/{len(proposals)} runs ok)"
+                        )
         result.model = model
         return result
 

@@ -92,6 +92,8 @@ def sweep(
     other studies) from the persistent QoR cache.  Either way the result
     is identical to the serial loop.
     """
+    from repro.observability import get_tracer
+
     if not axes:
         raise FlowError("sweep needs at least one axis")
     knobs = list(axes)
@@ -102,17 +104,32 @@ def sweep(
         for knob, value in zip(knobs, point):
             params = set_knob(params, knob, value)
         points.append(params)
-    if workers == 1 and qor_cache_path is None:
-        qors = [dict(run_flow(design, p, seed=seed).qor) for p in points]
-        return SweepResult(knobs=knobs, grid=grid, qors=qors)
-    from repro.runtime.parallel import FlowJob, ParallelFlowExecutor
+    tracer = get_tracer()
+    design_name = getattr(design, "name", design)
+    with tracer.span(
+        "sweep.run",
+        design=design_name,
+        knobs=",".join(knobs),
+        points=len(points),
+        workers=workers,
+    ):
+        if workers == 1 and qor_cache_path is None:
+            qors = []
+            for values, params in zip(grid, points):
+                with tracer.span(
+                    "sweep.point",
+                    point=",".join(f"{v:g}" for v in values),
+                ):
+                    qors.append(dict(run_flow(design, params, seed=seed).qor))
+            return SweepResult(knobs=knobs, grid=grid, qors=qors)
+        from repro.runtime.parallel import FlowJob, ParallelFlowExecutor
 
-    with ParallelFlowExecutor(
-        workers=workers, cache=qor_cache_path, seed=seed
-    ) as executor:
-        results = executor.execute_batch(
-            [FlowJob(design, p, seed) for p in points]
+        with ParallelFlowExecutor(
+            workers=workers, cache=qor_cache_path, seed=seed
+        ) as executor:
+            results = executor.execute_batch(
+                [FlowJob(design, p, seed) for p in points]
+            )
+        return SweepResult(
+            knobs=knobs, grid=grid, qors=[dict(r.qor) for r in results]
         )
-    return SweepResult(
-        knobs=knobs, grid=grid, qors=[dict(r.qor) for r in results]
-    )

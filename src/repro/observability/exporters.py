@@ -1,0 +1,158 @@
+"""Span exporters: where finished spans go.
+
+Exporters receive :class:`~repro.observability.trace.SpanRecord`\\ s from a
+:class:`~repro.observability.trace.Tracer` as spans finish.  All three are
+dependency-free and thread-safe:
+
+- :class:`NoopExporter` — drops everything (the explicit "measured but not
+  recorded" choice).
+- :class:`InMemoryExporter` — a bounded ring buffer of recent spans, for
+  tests and in-process inspection.
+- :class:`JsonlExporter` — one JSON object per line.  Each line is
+  serialized fully, then written with a single lock-guarded ``write()``
+  call and flushed, so concurrent writers interleave only at line
+  granularity and a reader (or a crash) sees whole lines, never torn ones.
+
+The JSONL stream carries two record kinds, discriminated by ``"kind"``:
+``"span"`` (one per finished span) and ``"metrics"`` (a registry snapshot,
+typically appended once at shutdown by
+:func:`repro.observability.tracing`).  ``repro obs report`` consumes both.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.observability.trace import SpanRecord
+
+
+class NoopExporter:
+    """Swallows every record."""
+
+    def export(self, record: SpanRecord) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class InMemoryExporter:
+    """Keeps the ``capacity`` most recent spans in a ring buffer."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._records: deque = deque(maxlen=capacity)
+        self.exported = 0
+
+    def export(self, record: SpanRecord) -> None:
+        with self._lock:
+            self._records.append(record)
+            self.exported += 1
+
+    def records(self) -> List[SpanRecord]:
+        """A snapshot copy of the buffered spans, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._records.clear()
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlExporter:
+    """Appends one JSON line per record to ``path`` (atomic line appends)."""
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self.exported = 0
+
+    def _write_line(self, payload: Dict[str, object]) -> None:
+        # Serialize outside any partial-write hazard: the full line —
+        # including the trailing newline — goes down in one write() call.
+        line = json.dumps(payload, sort_keys=True, default=str) + "\n"
+        with self._lock:
+            if self._handle.closed:
+                raise ValueError(f"JsonlExporter({self.path!r}) is closed")
+            self._handle.write(line)
+            self._handle.flush()
+            self.exported += 1
+
+    def export(self, record: SpanRecord) -> None:
+        self._write_line(record.to_dict())
+
+    def export_metrics(self, snapshot: Dict[str, object]) -> None:
+        """Append a registry snapshot as a ``kind="metrics"`` line."""
+        self._write_line({"kind": "metrics", "metrics": snapshot})
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "JsonlExporter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_trace(path) -> "TraceFile":
+    """Parse a JSONL trace file into spans + the last metrics snapshot.
+
+    Raises ``ValueError`` (with the offending line number) on lines that
+    are not valid JSON objects — a truncated final line written by a
+    killed process is the one tolerated corruption.
+    """
+    spans: List[SpanRecord] = []
+    metrics: Optional[Dict[str, object]] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as err:
+            if number == len(lines):
+                break  # torn final line from a crash mid-append
+            raise ValueError(
+                f"{path}:{number}: invalid trace line: {err}"
+            ) from err
+        kind = payload.get("kind")
+        if kind == "span":
+            spans.append(SpanRecord.from_dict(payload))
+        elif kind == "metrics":
+            metrics = payload.get("metrics") or {}
+        else:
+            raise ValueError(
+                f"{path}:{number}: unknown trace record kind {kind!r}"
+            )
+    return TraceFile(spans=spans, metrics=metrics)
+
+
+class TraceFile:
+    """The parsed contents of one JSONL trace."""
+
+    def __init__(self, spans: List[SpanRecord],
+                 metrics: Optional[Dict[str, object]]) -> None:
+        self.spans = spans
+        self.metrics = metrics
+
+    def roots(self) -> List[SpanRecord]:
+        ids = {span.span_id for span in self.spans}
+        return [s for s in self.spans
+                if s.parent_id is None or s.parent_id not in ids]
+
+    def children_of(self, span: SpanRecord) -> List[SpanRecord]:
+        return [s for s in self.spans if s.parent_id == span.span_id]

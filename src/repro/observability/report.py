@@ -1,0 +1,108 @@
+"""Offline trace analysis: turn a JSONL trace into a readable report.
+
+Backs the ``repro obs report`` CLI subcommand: aggregate spans by name
+(count, total/mean/max wall time), render the slowest span trees, and dump
+the metrics snapshot the trace carries.  Everything operates on the parsed
+:class:`~repro.observability.exporters.TraceFile`, so it also serves as a
+programmatic API for tests and notebooks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.observability.exporters import TraceFile
+from repro.observability.trace import SpanRecord
+
+
+def aggregate_spans(spans: List[SpanRecord]) -> List[Dict[str, object]]:
+    """Per-name rollup, sorted by total duration descending."""
+    rollup: Dict[str, Dict[str, object]] = {}
+    for span in spans:
+        row = rollup.setdefault(span.name, {
+            "name": span.name, "count": 0, "errors": 0,
+            "total_s": 0.0, "max_s": 0.0,
+        })
+        row["count"] += 1
+        row["errors"] += 1 if span.status == "error" else 0
+        row["total_s"] += span.duration_s
+        row["max_s"] = max(row["max_s"], span.duration_s)
+    rows = sorted(rollup.values(), key=lambda r: -r["total_s"])
+    for row in rows:
+        row["mean_s"] = row["total_s"] / row["count"]
+    return rows
+
+
+def render_span_table(spans: List[SpanRecord], top: int = 12) -> str:
+    rows = aggregate_spans(spans)[:top]
+    lines = [
+        f"{'span':<28} {'count':>7} {'errors':>7} "
+        f"{'total ms':>10} {'mean ms':>10} {'max ms':>10}"
+    ]
+    lines.append("-" * len(lines[0]))
+    for row in rows:
+        lines.append(
+            f"{row['name']:<28} {row['count']:>7} {row['errors']:>7} "
+            f"{row['total_s'] * 1e3:>10.2f} {row['mean_s'] * 1e3:>10.2f} "
+            f"{row['max_s'] * 1e3:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def render_span_tree(trace: TraceFile, root: SpanRecord,
+                     max_depth: int = 6) -> str:
+    """One root span and its descendants, indented, durations in ms."""
+    lines: List[str] = []
+
+    def visit(span: SpanRecord, depth: int) -> None:
+        marker = "!" if span.status == "error" else " "
+        lines.append(
+            f"{'  ' * depth}{marker}{span.name} "
+            f"[{span.duration_s * 1e3:.2f} ms]"
+            + (f"  ({span.error})" if span.error else "")
+        )
+        if depth < max_depth:
+            for child in sorted(trace.children_of(span),
+                                key=lambda s: s.start_s):
+                visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)
+
+
+def render_metrics(metrics: Dict[str, object]) -> str:
+    """The metrics snapshot of a trace, one line per labelled value."""
+    lines: List[str] = []
+    for name in sorted(metrics):
+        family = metrics[name]
+        kind = family.get("kind", "?")
+        for labels, value in sorted(family.get("values", {}).items()):
+            shown = labels if labels != "{}" else ""
+            if isinstance(value, dict):  # histogram summary
+                lines.append(
+                    f"{name}{shown} count={value['count']} "
+                    f"mean={value['mean']:.6g} p50={value['p50']:.6g} "
+                    f"p95={value['p95']:.6g} max={value['max']:.6g}"
+                )
+            else:
+                lines.append(f"{name}{shown} = {value}  ({kind})")
+    return "\n".join(lines)
+
+
+def render_trace_report(trace: TraceFile, top: int = 12,
+                        trees: int = 3) -> str:
+    """The full ``repro obs report`` payload for one parsed trace."""
+    sections = [
+        f"=== spans: {len(trace.spans)} total, "
+        f"{len(trace.roots())} roots ===",
+        render_span_table(trace.spans, top=top),
+    ]
+    slowest = sorted(trace.roots(), key=lambda s: -s.duration_s)[:trees]
+    if slowest:
+        sections.append("\n=== slowest span trees ===")
+        for root in slowest:
+            sections.append(render_span_tree(trace, root))
+    if trace.metrics:
+        sections.append("\n=== metrics snapshot ===")
+        sections.append(render_metrics(trace.metrics))
+    return "\n".join(sections)

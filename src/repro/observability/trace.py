@@ -1,0 +1,308 @@
+"""The tracing core: nested spans, thread-local context, pluggable export.
+
+A :class:`Tracer` produces :class:`Span`\\ s — named, timed regions with
+``span_id`` / ``parent_id`` links, free-form attributes and an ok/error
+status.  Context propagation is thread-local: a ``with tracer.span(...)``
+block becomes the parent of any span opened inside it on the same thread,
+so one instrumented call stack yields one connected tree without any
+plumbing through function signatures.
+
+Three properties are load-bearing for the rest of the reproduction:
+
+- **Zero overhead when disabled.**  The process-wide default tracer is
+  disabled; ``span()`` then returns a shared no-op singleton without
+  allocating a span, touching the clock, or pushing context.  Tier-1 tests
+  run with tracing off and must not be able to tell the difference.
+- **No RNG, ever.**  Span ids come from a lock-guarded counter and times
+  from the injectable ``clock``; enabling tracing cannot perturb any seeded
+  stream, so results are bit-identical with tracing on or off.
+- **Injectable clock.**  Pass ``clock=VirtualClock()`` (or any ``() ->
+  float``) for deterministic timing in tests; the default is
+  ``time.perf_counter``.
+
+Finished spans are handed to a pluggable exporter (see
+:mod:`repro.observability.exporters`): an in-memory ring buffer for tests
+and dashboards, a JSONL file for offline analysis via ``repro obs report``,
+or nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+
+@dataclass
+class SpanRecord:
+    """An immutable, export-ready snapshot of one finished span."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start_s: float
+    end_s: float
+    attributes: Dict[str, object] = field(default_factory=dict)
+    status: str = "ok"
+    error: Optional[str] = None
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """A plain dict (JSONL line payload)."""
+        return {
+            "kind": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "status": self.status,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "SpanRecord":
+        return cls(
+            name=str(payload["name"]),
+            span_id=int(payload["span_id"]),
+            parent_id=(
+                None if payload.get("parent_id") is None
+                else int(payload["parent_id"])
+            ),
+            start_s=float(payload["start_s"]),
+            end_s=float(payload["end_s"]),
+            attributes=dict(payload.get("attributes") or {}),
+            status=str(payload.get("status", "ok")),
+            error=payload.get("error"),
+        )
+
+
+class Span:
+    """A live span.  Use as a context manager, or end it explicitly.
+
+    ``with tracer.span(...)`` handles context push/pop and exception
+    capture; detached spans from :meth:`Tracer.start_span` (request
+    lifecycles crossing call boundaries) are finished with :meth:`end`.
+    """
+
+    __slots__ = (
+        "name", "span_id", "parent_id", "start_s", "attributes",
+        "status", "error", "_tracer", "_ended", "_attached",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int], start_s: float,
+                 attributes: Dict[str, object], attached: bool) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_s = start_s
+        self.attributes = attributes
+        self.status = "ok"
+        self.error: Optional[str] = None
+        self._tracer = tracer
+        self._ended = False
+        self._attached = attached
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def set_attributes(self, **attributes: object) -> None:
+        self.attributes.update(attributes)
+
+    def record_exception(self, exc: BaseException) -> None:
+        """Mark the span failed; keeps the exception's type and message."""
+        self.status = "error"
+        self.error = f"{type(exc).__name__}: {exc}"
+
+    def end(self) -> SpanRecord:
+        """Finish the span (idempotent) and hand it to the exporter."""
+        return self._tracer._finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self.record_exception(exc)
+        self.end()
+        return False
+
+
+class _NoopSpan:
+    """The shared do-nothing span a disabled tracer hands out."""
+
+    __slots__ = ()
+    name = ""
+    span_id = -1
+    parent_id = None
+    status = "ok"
+    error = None
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    @property
+    def attributes(self) -> Dict[str, object]:
+        return {}
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def set_attributes(self, **attributes: object) -> None:
+        pass
+
+    def record_exception(self, exc: BaseException) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: Module-level singleton: every disabled-tracer call returns this object,
+#: so the disabled path allocates nothing.
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Produces spans; owns id allocation, context and the exporter.
+
+    Args:
+        exporter: Receives every finished :class:`SpanRecord`; ``None``
+            drops them (spans still nest and time correctly, useful when
+            only the context propagation matters).
+        clock: Monotonic ``() -> float``; inject a
+            :class:`~repro.runtime.clock.VirtualClock` for deterministic
+            tests.  Never consulted while disabled.
+        enabled: A disabled tracer returns :data:`NOOP_SPAN` from every
+            ``span()`` / ``start_span()`` call.
+    """
+
+    def __init__(
+        self,
+        exporter=None,
+        clock: Callable[[], float] = time.perf_counter,
+        enabled: bool = True,
+    ) -> None:
+        self.exporter = exporter
+        self.clock = clock
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._next_id = 1
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        return span_id
+
+    def current_span(self):
+        """The innermost open context span on this thread (or NOOP_SPAN)."""
+        stack = self._stack()
+        return stack[-1] if stack else NOOP_SPAN
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: object):
+        """Open a context-managed child of the current span.
+
+        The span is pushed onto this thread's context stack immediately
+        and popped (and exported) when the ``with`` block exits; an
+        exception escaping the block marks it ``status="error"``.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(self, name, self._allocate_id(), parent_id,
+                    self.clock(), dict(attributes), attached=True)
+        stack.append(span)
+        return span
+
+    def start_span(self, name: str, **attributes: object):
+        """Open a *detached* span: parented on the current context but not
+        pushed onto it, so it can outlive the enclosing call (e.g. one
+        serving request from admission to response).  Finish it with
+        :meth:`Span.end`."""
+        if not self.enabled:
+            return NOOP_SPAN
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        return Span(self, name, self._allocate_id(), parent_id,
+                    self.clock(), dict(attributes), attached=False)
+
+    # ------------------------------------------------------------------
+    def _finish(self, span: Span) -> Optional[SpanRecord]:
+        if span._ended:
+            return None
+        span._ended = True
+        if span._attached:
+            stack = self._stack()
+            # Pop through any abandoned inner spans (a caller that forgot
+            # to exit them) so the context can never wedge permanently.
+            while stack:
+                popped = stack.pop()
+                if popped is span:
+                    break
+        record = SpanRecord(
+            name=span.name,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            start_s=span.start_s,
+            end_s=self.clock(),
+            attributes=span.attributes,
+            status=span.status,
+            error=span.error,
+        )
+        if self.exporter is not None:
+            self.exporter.export(record)
+        return record
+
+
+# ----------------------------------------------------------------------
+# The process-wide tracer: disabled by default (zero overhead), swapped in
+# by `repro.observability.tracing(...)` / explicit `set_tracer` calls.
+# ----------------------------------------------------------------------
+_DEFAULT_TRACER = Tracer(exporter=None, enabled=False)
+_GLOBAL_LOCK = threading.Lock()
+_global_tracer = _DEFAULT_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (disabled unless someone enabled one)."""
+    return _global_tracer
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Tracer:
+    """Install ``tracer`` globally (``None`` restores the disabled default);
+    returns the previous tracer so callers can restore it."""
+    global _global_tracer
+    with _GLOBAL_LOCK:
+        previous = _global_tracer
+        _global_tracer = tracer if tracer is not None else _DEFAULT_TRACER
+    return previous

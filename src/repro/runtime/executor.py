@@ -34,6 +34,7 @@ from typing import Callable, List, Optional
 from repro.errors import FlowCrash, FlowError, FlowTimeout, ReproError
 from repro.flow.parameters import FlowParameters
 from repro.flow.result import FlowResult
+from repro.observability import get_registry, get_tracer
 from repro.utils.rng import derive_rng
 
 
@@ -168,35 +169,67 @@ class FlowExecutor:
 
     def try_execute(self, design, params: FlowParameters = FlowParameters(),
                     seed: int = 0) -> FlowRunReport:
-        """Run with retries; never raises for tool failures."""
+        """Run with retries; never raises for tool failures.
+
+        Every run is a ``flow.run`` span with one ``flow.attempt`` child
+        per try, and feeds the ``flow_runs_total`` / ``flow_attempts_total``
+        / ``flow_retries_total`` / ``flow_failures_total`` counters.
+        Instrumentation never consumes RNG or the executor's injected
+        clock, so retry schedules are identical with tracing on or off.
+        """
         report = FlowRunReport(design=str(design))
-        for index in range(self.policy.max_attempts):
-            start = self.clock()
-            try:
-                result = self._attempt(design, params, seed)
-            except FlowError as err:
-                failure = err
-            except ReproError:
-                # Not tool flakiness — a mis-built netlist / recipe / config.
-                # Retrying a deterministic bug wastes the whole backoff
-                # budget, so let it propagate to the caller untyped.
-                raise
-            except Exception as err:  # noqa: BLE001 - tool death is opaque
-                failure = FlowCrash(f"flow tool crashed: {err!r}")
-                failure.__cause__ = err
-            else:
-                report.attempts.append(
-                    FlowAttempt(index, None, self.clock() - start)
+        registry = get_registry()
+        with get_tracer().span(
+            "flow.run", design=report.design, seed=int(seed)
+        ) as run_span:
+            for index in range(self.policy.max_attempts):
+                start = self.clock()
+                attempt_span = get_tracer().span("flow.attempt", index=index)
+                registry.counter("flow_attempts_total").inc()
+                try:
+                    with attempt_span:
+                        try:
+                            result = self._attempt(design, params, seed)
+                        except FlowError as err:
+                            failure = err
+                            attempt_span.record_exception(err)
+                        else:
+                            failure = None
+                except ReproError:
+                    # Not tool flakiness — a mis-built netlist / recipe /
+                    # config.  Retrying a deterministic bug wastes the whole
+                    # backoff budget, so let it propagate untyped (the span
+                    # context managers mark flow.run/flow.attempt failed).
+                    raise
+                except Exception as err:  # noqa: BLE001 - tool death is opaque
+                    failure = FlowCrash(f"flow tool crashed: {err!r}")
+                    failure.__cause__ = err
+                if failure is None:
+                    report.attempts.append(
+                        FlowAttempt(index, None, self.clock() - start)
+                    )
+                    report.result = result
+                    registry.counter("flow_runs_total").inc(status="ok")
+                    run_span.set_attribute("attempts", index + 1)
+                    return report
+                registry.counter("flow_failures_total").inc(
+                    type=type(failure).__name__
                 )
-                report.result = result
-                return report
-            elapsed = self.clock() - start
-            backoff = None
-            if index + 1 < self.policy.max_attempts:
-                backoff = self.policy.delay_for(index, self._rng)
-            report.attempts.append(FlowAttempt(index, failure, elapsed, backoff))
-            if backoff is not None:
-                self.sleep(backoff)
+                elapsed = self.clock() - start
+                backoff = None
+                if index + 1 < self.policy.max_attempts:
+                    backoff = self.policy.delay_for(index, self._rng)
+                report.attempts.append(
+                    FlowAttempt(index, failure, elapsed, backoff)
+                )
+                if backoff is not None:
+                    registry.counter("flow_retries_total").inc()
+                    self.sleep(backoff)
+            registry.counter("flow_runs_total").inc(status="failed")
+            run_span.set_attributes(
+                attempts=len(report.attempts), status="failed",
+            )
+            run_span.record_exception(report.error)
         return report
 
     # ------------------------------------------------------------------

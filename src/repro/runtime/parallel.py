@@ -45,6 +45,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.errors import FlowError, ReproError
 from repro.flow.parameters import FlowParameters
 from repro.flow.result import FlowResult
+from repro.observability import get_registry, get_tracer, new_lock
 from repro.runtime.clock import VirtualClock
 from repro.runtime.executor import FlowExecutor, FlowRunReport, RetryPolicy
 from repro.runtime.faults import FaultInjector, FaultKind
@@ -205,17 +206,33 @@ class QoRCache:
     ``atomic_pickle``; a concurrent reader sees either the full entry or a
     miss, never a torn file.  Unreadable entries are deleted and reported
     as misses — the cache can only ever cost a re-run, not correctness.
+
+    Hit/miss/eviction counters are guarded by the observability registry's
+    lock primitive (several threads may share one cache) and mirrored into
+    the process-wide ``qor_cache_*_total`` counter families.
     """
 
     def __init__(self, path: os.PathLike) -> None:
         self.path = os.fspath(path)
         os.makedirs(self.path, exist_ok=True)
+        self._lock = new_lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     def _entry_path(self, key: str) -> str:
         return os.path.join(self.path, key[:2], key + ".pkl")
+
+    def _count(self, outcome: str) -> None:
+        with self._lock:
+            if outcome == "hit":
+                self.hits += 1
+            elif outcome == "miss":
+                self.misses += 1
+            else:
+                self.evictions += 1
+        get_registry().counter(f"qor_cache_{outcome}s_total").inc()
 
     def get(self, design, params: FlowParameters, seed: int
             ) -> Optional[FlowResult]:
@@ -225,18 +242,20 @@ class QoRCache:
             with open(entry, "rb") as handle:
                 result = pickle.load(handle)
         except FileNotFoundError:
-            self.misses += 1
+            self._count("miss")
             return None
         except (OSError, pickle.UnpicklingError, EOFError,
                 AttributeError, ImportError):
             self._evict(entry)
-            self.misses += 1
+            self._count("eviction")
+            self._count("miss")
             return None
         if not isinstance(result, FlowResult):
             self._evict(entry)
-            self.misses += 1
+            self._count("eviction")
+            self._count("miss")
             return None
-        self.hits += 1
+        self._count("hit")
         return result
 
     def put(self, design, params: FlowParameters, seed: int,
@@ -276,7 +295,11 @@ class QoRCache:
         return removed
 
     def info(self) -> Dict[str, object]:
-        """Occupancy summary (mirrors ``netlist_cache_info``)."""
+        """Occupancy summary (mirrors ``netlist_cache_info``).
+
+        Counter reads happen under the cache lock, so a snapshot taken
+        while other threads serve hits/misses is internally consistent.
+        """
         entries = self._entries()
         total = 0
         for entry in entries:
@@ -284,12 +307,15 @@ class QoRCache:
                 total += os.path.getsize(entry)
             except OSError:
                 pass
+        with self._lock:
+            hits, misses, evictions = self.hits, self.misses, self.evictions
         return {
             "path": self.path,
             "entries": len(entries),
             "bytes": total,
-            "hits": self.hits,
-            "misses": self.misses,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
         }
 
 
@@ -350,6 +376,7 @@ class ParallelFlowExecutor:
             start_method = "fork" if "fork" in methods else methods[0]
         self._start_method = start_method
         self._pool = None
+        self._counter_lock = new_lock()
         self.jobs_run = 0
         self.batches_run = 0
 
@@ -369,42 +396,60 @@ class ParallelFlowExecutor:
         propagate, exactly as :meth:`FlowExecutor.try_execute` does.
         """
         jobs = [self._coerce(job) for job in jobs]
-        reports: List[Optional[FlowRunReport]] = [None] * len(jobs)
-        pending: List[Tuple[int, FlowJob]] = []
-        for index, job in enumerate(jobs):
-            cached = (
-                self.cache.get(job.design, job.params, job.seed)
-                if self._cache_enabled else None
-            )
-            if cached is not None:
-                reports[index] = FlowRunReport(
-                    design=str(job.design), result=cached, cached=True
+        registry = get_registry()
+        with get_tracer().span(
+            "flow.batch", jobs=len(jobs), workers=self.workers
+        ) as batch_span:
+            reports: List[Optional[FlowRunReport]] = [None] * len(jobs)
+            pending: List[Tuple[int, FlowJob]] = []
+            for index, job in enumerate(jobs):
+                cached = (
+                    self.cache.get(job.design, job.params, job.seed)
+                    if self._cache_enabled else None
                 )
-            else:
-                pending.append((index, job))
+                if cached is not None:
+                    reports[index] = FlowRunReport(
+                        design=str(job.design), result=cached, cached=True
+                    )
+                else:
+                    pending.append((index, job))
 
-        if pending:
-            if self.workers == 1:
-                for index, job in pending:
-                    reports[index] = _execute_job(self._settings, index, job)
-            else:
-                pool = self._ensure_pool(jobs)
-                # Unordered completion + index reassembly: stragglers never
-                # stall finished results, and submission order is restored
-                # from the index, so completion order is unobservable.
-                for index, report in pool.imap_unordered(
-                    _worker_run, pending, chunksize=1
-                ):
-                    reports[index] = report
-            if self._cache_enabled:
-                for index, job in pending:
-                    report = reports[index]
-                    if report is not None and report.ok:
-                        self.cache.put(
-                            job.design, job.params, job.seed, report.result
+            batch_span.set_attribute("cached", len(jobs) - len(pending))
+            queue_depth = registry.gauge("flow_pool_queue_depth")
+            if pending:
+                queue_depth.set(len(pending))
+                if self.workers == 1:
+                    for index, job in pending:
+                        reports[index] = _execute_job(
+                            self._settings, index, job
                         )
-        self.jobs_run += len(jobs)
-        self.batches_run += 1
+                        queue_depth.dec()
+                else:
+                    pool = self._ensure_pool(jobs)
+                    # Unordered completion + index reassembly: stragglers
+                    # never stall finished results, and submission order is
+                    # restored from the index, so completion order is
+                    # unobservable.
+                    for index, report in pool.imap_unordered(
+                        _worker_run, pending, chunksize=1
+                    ):
+                        reports[index] = report
+                        queue_depth.dec()
+                if self._cache_enabled:
+                    for index, job in pending:
+                        report = reports[index]
+                        if report is not None and report.ok:
+                            self.cache.put(
+                                job.design, job.params, job.seed,
+                                report.result,
+                            )
+            failed = sum(1 for r in reports if r is not None and not r.ok)
+            batch_span.set_attribute("failed", failed)
+            registry.counter("flow_jobs_total").inc(len(jobs))
+            registry.counter("flow_batches_total").inc()
+            with self._counter_lock:
+                self.jobs_run += len(jobs)
+                self.batches_run += 1
         return reports  # type: ignore[return-value]
 
     def execute_batch(self, jobs: Sequence[FlowJob]) -> List[FlowResult]:
@@ -469,10 +514,12 @@ class ParallelFlowExecutor:
 
     def stats(self) -> Dict[str, object]:
         """Executor counters plus cache occupancy (when one is attached)."""
+        with self._counter_lock:
+            jobs_run, batches_run = self.jobs_run, self.batches_run
         out: Dict[str, object] = {
             "workers": self.workers,
-            "jobs_run": self.jobs_run,
-            "batches_run": self.batches_run,
+            "jobs_run": jobs_run,
+            "batches_run": batches_run,
             "pool_live": self._pool is not None,
         }
         if self.cache is not None:

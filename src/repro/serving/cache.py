@@ -15,6 +15,8 @@ from typing import Hashable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.observability.metrics import new_lock
+
 
 def quantize_insight(insight: np.ndarray, decimals: int = 6) -> bytes:
     """Stable byte key for an insight vector, tolerant to float noise."""
@@ -25,13 +27,19 @@ def quantize_insight(insight: np.ndarray, decimals: int = 6) -> bytes:
 
 
 class ResultCache:
-    """A bounded LRU cache of recommendation results."""
+    """A bounded LRU cache of recommendation results.
+
+    Entry mutations and the hit/miss/eviction counters are guarded by the
+    observability registry's lock primitive, so a service polled from one
+    thread while another reads ``stats()`` always sees coherent numbers.
+    """
 
     def __init__(self, capacity: int = 256, insight_decimals: int = 6) -> None:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self.insight_decimals = insight_decimals
+        self._lock = new_lock()
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -48,43 +56,48 @@ class ResultCache:
         )
 
     def get(self, key: Hashable) -> Optional[object]:
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: object) -> None:
         if self.capacity == 0:
             return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def invalidate(self) -> int:
         """Drop every entry (model hot-swap); returns entries dropped."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.invalidations += 1
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += 1
+            return dropped
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def stats(self) -> dict:
-        total = self.hits + self.misses
-        return {
-            "size": len(self._entries),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hits / total if total else 0.0,
-            "evictions": self.evictions,
-            "invalidations": self.invalidations,
-        }
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

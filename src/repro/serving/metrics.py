@@ -1,105 +1,92 @@
-"""Counters and histograms for the serving layer.
+"""Serving metrics, backed by the unified observability registry.
 
-Deliberately dependency-free and allocation-light: a :class:`Counter` is an
-integer, a :class:`Histogram` keeps running aggregates (count / sum / min /
-max) exactly and a bounded reservoir of recent samples for percentiles.
-Snapshots are plain dicts so ``RecommendationService.stats()`` can be
-serialized or printed without dragging service internals along.
+Historically this module carried its own ad-hoc ``Counter`` / ``Histogram``
+implementations; those now live in :mod:`repro.observability.metrics` (the
+classes are re-exported here unchanged in behaviour for the unlabelled
+case) and :class:`ServingMetrics` is a thin facade: every counter and
+histogram is a label-bound child of a process-wide ``serving_*`` family,
+labelled ``service=<id>`` so several co-resident services stay separable
+in one Prometheus scrape while :meth:`ServingMetrics.snapshot` — and
+therefore ``RecommendationService.stats()`` — keeps its original
+plain-dict shape exactly.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import itertools
 from typing import Dict, Optional
 
-import numpy as np
+# Back-compat re-exports: the serving layer's original metric primitives
+# are now the registry's (identical unlabelled behaviour).
+from repro.observability.metrics import (  # noqa: F401
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
 
-
-class Counter:
-    """A monotonically increasing event counter."""
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._value = 0
-
-    def inc(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
-        self._value += amount
-
-    @property
-    def value(self) -> int:
-        return self._value
-
-
-class Histogram:
-    """Latency/occupancy distribution with exact aggregates.
-
-    Count, sum, min and max are exact over the histogram's lifetime;
-    percentiles are computed over the ``max_samples`` most recent
-    observations (a sliding window, which is what a serving dashboard
-    wants anyway).
-    """
-
-    def __init__(self, name: str, max_samples: int = 8192) -> None:
-        if max_samples < 1:
-            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
-        self.name = name
-        self._samples: deque = deque(maxlen=max_samples)
-        self._count = 0
-        self._sum = 0.0
-        self._min: Optional[float] = None
-        self._max: Optional[float] = None
-
-    def observe(self, value: float) -> None:
-        value = float(value)
-        self._samples.append(value)
-        self._count += 1
-        self._sum += value
-        self._min = value if self._min is None else min(self._min, value)
-        self._max = value if self._max is None else max(self._max, value)
-
-    @property
-    def count(self) -> int:
-        return self._count
-
-    @property
-    def mean(self) -> float:
-        return self._sum / self._count if self._count else 0.0
-
-    def percentile(self, q: float) -> float:
-        """q-th percentile (0..100) over the recent-sample window."""
-        if not self._samples:
-            return 0.0
-        return float(np.percentile(np.fromiter(self._samples, dtype=float), q))
-
-    def summary(self) -> Dict[str, float]:
-        return {
-            "count": self._count,
-            "mean": self.mean,
-            "min": self._min if self._min is not None else 0.0,
-            "max": self._max if self._max is not None else 0.0,
-            "p50": self.percentile(50.0),
-            "p99": self.percentile(99.0),
-        }
+_SERVICE_IDS = itertools.count()
 
 
 class ServingMetrics:
-    """The fixed metric set a :class:`RecommendationService` maintains."""
+    """The fixed metric set a :class:`RecommendationService` maintains.
 
-    def __init__(self) -> None:
-        self.submitted = Counter("requests_submitted")
-        self.completed = Counter("requests_completed")
-        self.expired = Counter("requests_expired")
-        self.rejected = Counter("requests_rejected")
-        self.cache_hits = Counter("cache_hits")
-        self.cache_misses = Counter("cache_misses")
-        self.batches = Counter("batches_dispatched")
-        self.hot_swaps = Counter("model_hot_swaps")
-        self.queue_wait_s = Histogram("queue_wait_seconds")
-        self.latency_s = Histogram("request_latency_seconds")
-        self.batch_occupancy = Histogram("batch_occupancy")
-        self.queue_depth = Histogram("queue_depth_at_dispatch")
+    Args:
+        registry: Target :class:`MetricsRegistry`; defaults to the
+            process-wide one, so ``repro obs report`` and the Prometheus
+            renderer see every service automatically.
+        service_id: Label value separating this service's children from
+            other services in the same process (auto-assigned ``svcN``).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        service_id: Optional[str] = None,
+    ) -> None:
+        reg = registry if registry is not None else get_registry()
+        self.registry = reg
+        self.service_id = (
+            service_id if service_id is not None
+            else f"svc{next(_SERVICE_IDS)}"
+        )
+        bind = {"service": self.service_id}
+        self.submitted = reg.counter(
+            "serving_requests_submitted_total", "requests admitted"
+        ).bind(**bind)
+        self.completed = reg.counter(
+            "serving_requests_completed_total", "requests served"
+        ).bind(**bind)
+        self.expired = reg.counter(
+            "serving_requests_expired_total", "requests past deadline"
+        ).bind(**bind)
+        self.rejected = reg.counter(
+            "serving_requests_rejected_total", "requests shed at admission"
+        ).bind(**bind)
+        self.cache_hits = reg.counter(
+            "serving_cache_hits_total", "result-cache hits"
+        ).bind(**bind)
+        self.cache_misses = reg.counter(
+            "serving_cache_misses_total", "result-cache misses"
+        ).bind(**bind)
+        self.batches = reg.counter(
+            "serving_batches_total", "micro-batches dispatched"
+        ).bind(**bind)
+        self.hot_swaps = reg.counter(
+            "serving_hot_swaps_total", "model hot-swaps"
+        ).bind(**bind)
+        self.queue_wait_s = reg.histogram(
+            "serving_queue_wait_seconds", "admission-to-dispatch wait"
+        ).bind(**bind)
+        self.latency_s = reg.histogram(
+            "serving_request_latency_seconds", "admission-to-response"
+        ).bind(**bind)
+        self.batch_occupancy = reg.histogram(
+            "serving_batch_occupancy", "batch fill fraction at dispatch"
+        ).bind(**bind)
+        self.queue_depth = reg.histogram(
+            "serving_queue_depth_at_dispatch", "queue depth at dispatch"
+        ).bind(**bind)
 
     def snapshot(self) -> Dict[str, object]:
         """A plain-dict view; safe to mutate, print, or serialize."""

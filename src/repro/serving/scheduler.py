@@ -85,6 +85,9 @@ class Ticket:
     completed_at: Optional[float] = None
     cache_hit: bool = False
     _result: Optional[List] = field(default=None, repr=False)
+    # The request's live ``serve.request`` span (admission -> response),
+    # attached by the service when tracing is enabled.
+    _span: Optional[object] = field(default=None, repr=False)
 
     @property
     def done(self) -> bool:

@@ -31,6 +31,7 @@ from typing import Callable, List, Optional, Union
 import numpy as np
 
 from repro.core.recommender import InsightAlign, Recommendation
+from repro.observability import get_tracer
 from repro.serving.batch_decode import batched_beam_search
 from repro.serving.cache import ResultCache
 from repro.serving.metrics import ServingMetrics
@@ -121,6 +122,13 @@ class RecommendationService:
             raise
         self._next_id += 1
         self.metrics.submitted.inc()
+        tracer = get_tracer()
+        if tracer.enabled:
+            # A detached span covering the request's whole lifecycle:
+            # admission here, batch decode and response in poll().
+            ticket._span = tracer.start_span(
+                "serve.request", request_id=ticket.request_id, k=ticket.k
+            )
         return ticket
 
     @property
@@ -136,8 +144,11 @@ class RecommendationService:
         """
         now = self.clock()
         depth_before = self._batcher.depth
+        expired_tickets = self._batcher.expire_due(now)
+        for ticket in expired_tickets:
+            self._end_request_span(ticket, "expired")
         batch = self._batcher.take_batch(now, force=force)
-        expired = depth_before - self._batcher.depth - len(batch)
+        expired = len(expired_tickets)
         if expired:
             self.metrics.expired.inc(expired)
         if not batch:
@@ -151,39 +162,48 @@ class RecommendationService:
         for ticket in batch:
             self.metrics.queue_wait_s.observe(now - ticket.submitted_at)
 
-        version, recommender = self.registry.active()
-        misses: List[Ticket] = []
-        for ticket in batch:
-            key = self.cache.key(version, ticket.insight, ticket.k)
-            cached = self.cache.get(key)
-            if cached is not None:
-                ticket._result = cached
-                ticket.cache_hit = True
-                self.metrics.cache_hits.inc()
-            else:
-                misses.append(ticket)
-                self.metrics.cache_misses.inc()
+        tracer = get_tracer()
+        with tracer.span(
+            "serve.batch", size=len(batch), queue_depth=depth_before
+        ) as batch_span:
+            version, recommender = self.registry.active()
+            misses: List[Ticket] = []
+            for ticket in batch:
+                key = self.cache.key(version, ticket.insight, ticket.k)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    ticket._result = cached
+                    ticket.cache_hit = True
+                    self.metrics.cache_hits.inc()
+                else:
+                    misses.append(ticket)
+                    self.metrics.cache_misses.inc()
+            batch_span.set_attribute("cache_hits", len(batch) - len(misses))
 
-        if misses:
-            insights = np.stack([t.insight for t in misses])
-            widths = [t.k for t in misses]
-            decoded = batched_beam_search(recommender.model, insights, widths)
-            names = recommender.catalog.names()
-            for ticket, candidates in zip(misses, decoded):
-                result = [
-                    Recommendation(
-                        recipe_set=bits,
-                        log_prob=log_prob,
-                        recipe_names=[
-                            names[i] for i, bit in enumerate(bits) if bit
-                        ],
+            if misses:
+                with tracer.span("serve.decode", rows=len(misses)):
+                    insights = np.stack([t.insight for t in misses])
+                    widths = [t.k for t in misses]
+                    decoded = batched_beam_search(
+                        recommender.model, insights, widths
                     )
-                    for bits, log_prob in candidates
-                ]
-                ticket._result = result
-                self.cache.put(
-                    self.cache.key(version, ticket.insight, ticket.k), result
-                )
+                names = recommender.catalog.names()
+                for ticket, candidates in zip(misses, decoded):
+                    result = [
+                        Recommendation(
+                            recipe_set=bits,
+                            log_prob=log_prob,
+                            recipe_names=[
+                                names[i] for i, bit in enumerate(bits) if bit
+                            ],
+                        )
+                        for bits, log_prob in candidates
+                    ]
+                    ticket._result = result
+                    self.cache.put(
+                        self.cache.key(version, ticket.insight, ticket.k),
+                        result,
+                    )
 
         done_at = self.clock()
         for ticket in batch:
@@ -191,7 +211,20 @@ class RecommendationService:
             ticket.completed_at = done_at
             self.metrics.completed.inc()
             self.metrics.latency_s.observe(done_at - ticket.submitted_at)
+            self._end_request_span(ticket, "completed")
         return expired + len(batch)
+
+    @staticmethod
+    def _end_request_span(ticket: Ticket, outcome: str) -> None:
+        span = ticket._span
+        if span is not None:
+            span.set_attribute("outcome", outcome)
+            span.set_attribute("cache_hit", ticket.cache_hit)
+            if outcome == "expired":
+                span.status = "error"
+                span.error = "DeadlineExceededError: expired before dispatch"
+            span.end()
+            ticket._span = None
 
     def run_until_idle(self, max_batches: int = 10_000) -> int:
         """Drive the queue dry; returns requests settled.

@@ -1,0 +1,130 @@
+"""CLI tests for the ``serve``, ``sweep`` and ``obs report`` entrypoints."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.observability import load_trace
+
+
+class TestServeArgumentParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args([
+            "serve", "--model", "m.npz", "--dataset", "a.pkl",
+        ])
+        assert args.command == "serve"
+        assert args.requests == 64
+        assert args.k == 5
+        assert args.max_batch_size == 8
+        assert args.max_wait_ms == 2.0
+        assert args.queue_depth == 64
+        assert args.deadline_ms == 0.0
+        assert args.trace == ""
+
+    def test_all_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "--model", "m.npz", "--dataset", "a.pkl",
+            "--designs", "D4,D6", "--requests", "32", "--k", "3",
+            "--max-batch-size", "16", "--max-wait-ms", "1.5",
+            "--queue-depth", "128", "--deadline-ms", "50",
+            "--jitter", "0.1", "--seed", "9", "--trace", "out.jsonl",
+        ])
+        assert args.designs == "D4,D6"
+        assert args.requests == 32
+        assert args.max_batch_size == 16
+        assert args.trace == "out.jsonl"
+
+    def test_model_and_dataset_required(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["serve", "--model", "m.npz"])
+        assert excinfo.value.code == 2
+        assert "--dataset" in capsys.readouterr().err
+
+    def test_sweep_axis_validation(self, capsys):
+        parser = build_parser()
+        args = parser.parse_args([
+            "sweep", "D4", "--axis", "placer.density_target=0.6,0.7",
+        ])
+        assert args.axis == [("placer.density_target", [0.6, 0.7])]
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "D4", "--axis", "no-equals-sign"])
+        assert "KNOB=V1,V2" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            parser.parse_args(["sweep", "D4", "--axis", "knob=1,abc"])
+
+    def test_obs_report_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
+
+class TestServeEndToEnd:
+    @pytest.fixture(scope="class")
+    def artifacts(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli_serve")
+        archive = root / "archive.pkl"
+        model = root / "model.npz"
+        assert main([
+            "build-dataset", "--out", str(archive),
+            "--designs", "D11,D16", "--sets-per-design", "10",
+        ]) == 0
+        assert main([
+            "align", "--dataset", str(archive), "--out", str(model),
+            "--epochs", "2", "--pairs-per-design", "16",
+        ]) == 0
+        return root, archive, model
+
+    def test_serve_starts_serves_and_shuts_down(self, artifacts, capsys):
+        _, archive, model = artifacts
+        assert main([
+            "serve", "--model", str(model), "--dataset", str(archive),
+            "--requests", "12", "--k", "2", "--max-batch-size", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "served 12/12 requests" in out
+        assert "latency" in out and "p99" in out
+        assert "model v1" in out
+
+    def test_serve_with_backpressure_still_serves_all(self, artifacts, capsys):
+        _, archive, model = artifacts
+        # Queue depth below the request count forces QueueFullError
+        # handling (submit -> poll -> resubmit) inside cmd_serve.
+        assert main([
+            "serve", "--model", str(model), "--dataset", str(archive),
+            "--requests", "10", "--k", "2",
+            "--max-batch-size", "2", "--queue-depth", "4",
+        ]) == 0
+        assert "served 10/10 requests" in capsys.readouterr().out
+
+    def test_serve_trace_is_parseable_jsonl(self, artifacts, capsys):
+        root, archive, model = artifacts
+        trace_path = root / "serve_trace.jsonl"
+        assert main([
+            "serve", "--model", str(model), "--dataset", str(archive),
+            "--requests", "8", "--k", "2", "--trace", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        # Every line is standalone JSON...
+        for line in trace_path.read_text().splitlines():
+            json.loads(line)
+        # ...and the parsed trace carries the serving span tree + metrics.
+        trace = load_trace(trace_path)
+        names = {span.name for span in trace.spans}
+        assert {"serve.request", "serve.batch", "serve.decode"} <= names
+        completed = [
+            s for s in trace.spans
+            if s.name == "serve.request"
+            and s.attributes.get("outcome") == "completed"
+        ]
+        assert len(completed) == 8
+        assert "serving_requests_completed_total" in trace.metrics
+
+    def test_obs_report_renders_the_trace(self, artifacts, capsys):
+        root, archive, model = artifacts
+        trace_path = root / "serve_trace.jsonl"
+        assert trace_path.exists()  # written by the previous test
+        assert main(["obs", "report", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.request" in out
+        assert "metrics snapshot" in out
+        assert "serving_requests_completed_total" in out

@@ -1,0 +1,223 @@
+"""Unit tests for the tracing core: spans, context, exporters, reports."""
+
+import json
+import threading
+
+import pytest
+
+from repro.observability import (
+    InMemoryExporter,
+    JsonlExporter,
+    NOOP_SPAN,
+    NoopExporter,
+    Tracer,
+    get_tracer,
+    load_trace,
+    render_trace_report,
+    set_tracer,
+    tracing,
+)
+from repro.runtime.clock import VirtualClock
+
+
+class TestSpanLifecycle:
+    def test_nested_spans_link_parent_ids(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter=exporter, clock=VirtualClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            assert tracer.current_span() is outer
+        records = {r.name: r for r in exporter.records()}
+        assert records["inner"].parent_id == records["outer"].span_id
+        assert records["outer"].parent_id is None
+
+    def test_timing_uses_injected_clock(self):
+        clock = VirtualClock()
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter=exporter, clock=clock)
+        with tracer.span("timed"):
+            clock.advance(2.5)
+        (record,) = exporter.records()
+        assert record.duration_s == pytest.approx(2.5)
+
+    def test_attributes_and_status(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter=exporter, clock=VirtualClock())
+        with tracer.span("attrs", design="D4") as span:
+            span.set_attribute("seed", 7)
+            span.set_attributes(k=5, phase="decode")
+        (record,) = exporter.records()
+        assert record.attributes == {
+            "design": "D4", "seed": 7, "k": 5, "phase": "decode",
+        }
+        assert record.status == "ok" and record.error is None
+
+    def test_exception_marks_span_error(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter=exporter, clock=VirtualClock())
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("bad input")
+        (record,) = exporter.records()
+        assert record.status == "error"
+        assert record.error == "ValueError: bad input"
+
+    def test_end_is_idempotent(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter=exporter, clock=VirtualClock())
+        span = tracer.span("once")
+        span.end()
+        span.end()
+        assert len(exporter.records()) == 1
+
+    def test_detached_span_parents_on_context_without_pushing(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter=exporter, clock=VirtualClock())
+        with tracer.span("request_loop") as outer:
+            detached = tracer.start_span("request", request_id=3)
+            # Detached spans never become the ambient context.
+            assert tracer.current_span() is outer
+            assert detached.parent_id == outer.span_id
+        detached.end()  # may outlive the block that opened it
+        names = [r.name for r in exporter.records()]
+        assert names == ["request_loop", "request"]
+
+    def test_abandoned_inner_spans_cannot_wedge_the_context(self):
+        tracer = Tracer(exporter=None, clock=VirtualClock())
+        outer = tracer.span("outer")
+        tracer.span("abandoned")  # opened, never ended
+        outer.end()
+        assert tracer.current_span() is NOOP_SPAN
+
+    def test_threads_get_independent_contexts(self):
+        exporter = InMemoryExporter()
+        tracer = Tracer(exporter=exporter, clock=VirtualClock())
+        seen = {}
+
+        def worker():
+            with tracer.span("worker_root") as span:
+                seen["parent_id"] = span.parent_id
+
+        with tracer.span("main_root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The other thread's stack is empty: its span is a root, not a
+        # child of main_root.
+        assert seen["parent_id"] is None
+
+
+class TestDisabledTracer:
+    def test_disabled_tracer_returns_the_shared_noop_span(self):
+        tracer = Tracer(exporter=InMemoryExporter(), enabled=False)
+        assert tracer.span("a") is NOOP_SPAN
+        assert tracer.start_span("b") is NOOP_SPAN
+        assert not NOOP_SPAN.enabled
+
+    def test_noop_span_absorbs_the_full_api(self):
+        with NOOP_SPAN as span:
+            span.set_attribute("k", 1)
+            span.set_attributes(a=2)
+            span.record_exception(ValueError("x"))
+            span.end()
+        assert NOOP_SPAN.status == "ok"
+
+    def test_global_tracer_disabled_by_default(self):
+        assert not get_tracer().enabled
+
+    def test_set_tracer_round_trip(self):
+        replacement = Tracer(exporter=None)
+        previous = set_tracer(replacement)
+        try:
+            assert get_tracer() is replacement
+        finally:
+            set_tracer(previous)
+        assert not get_tracer().enabled
+
+
+class TestExporters:
+    def test_ring_buffer_caps_capacity(self):
+        exporter = InMemoryExporter(capacity=3)
+        tracer = Tracer(exporter=exporter, clock=VirtualClock())
+        for index in range(5):
+            tracer.span(f"s{index}").end()
+        assert [r.name for r in exporter.records()] == ["s2", "s3", "s4"]
+        exporter.clear()
+        assert exporter.records() == []
+
+    def test_noop_exporter_drops_everything(self):
+        tracer = Tracer(exporter=NoopExporter(), clock=VirtualClock())
+        tracer.span("dropped").end()  # nothing to assert beyond "no crash"
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        clock = VirtualClock()
+        with JsonlExporter(path) as exporter:
+            tracer = Tracer(exporter=exporter, clock=clock)
+            with tracer.span("root", design="D4"):
+                clock.advance(1.0)
+                with tracer.span("child"):
+                    clock.advance(0.5)
+            exporter.export_metrics({"m": {"kind": "counter", "values": []}})
+        trace = load_trace(path)
+        assert [s.name for s in trace.spans] == ["child", "root"]
+        (root,) = trace.roots()
+        assert root.name == "root"
+        assert [c.name for c in trace.children_of(root)] == ["child"]
+        assert trace.metrics == {"m": {"kind": "counter", "values": []}}
+
+    def test_jsonl_lines_are_valid_json(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlExporter(path) as exporter:
+            tracer = Tracer(exporter=exporter, clock=VirtualClock())
+            tracer.span("a", note="with\nnewline").end()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        payload = json.loads(lines[0])
+        assert payload["kind"] == "span"
+        assert payload["attributes"]["note"] == "with\nnewline"
+
+    def test_load_trace_tolerates_torn_final_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlExporter(path) as exporter:
+            Tracer(exporter=exporter, clock=VirtualClock()).span("ok").end()
+        with open(path, "a") as handle:
+            handle.write('{"kind": "span", "name": "torn')  # crash mid-write
+        trace = load_trace(path)
+        assert [s.name for s in trace.spans] == ["ok"]
+
+    def test_load_trace_rejects_corrupt_interior_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('not json\n{"kind": "metrics", "metrics": {}}\n')
+        with pytest.raises(ValueError, match="invalid trace line"):
+            load_trace(path)
+
+
+class TestTracingContextManager:
+    def test_tracing_records_and_restores(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with tracing(str(path)):
+            assert get_tracer().enabled
+            with get_tracer().span("unit"):
+                pass
+        assert not get_tracer().enabled
+        trace = load_trace(path)
+        assert [s.name for s in trace.spans] == ["unit"]
+        # A final registry snapshot line is appended on exit.
+        assert trace.metrics is not None
+
+    def test_tracing_none_is_a_noop(self):
+        with tracing(None):
+            assert not get_tracer().enabled
+
+    def test_report_renders(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with tracing(str(path)):
+            with get_tracer().span("phase.outer"):
+                with get_tracer().span("phase.inner"):
+                    pass
+        report = render_trace_report(load_trace(path))
+        assert "phase.outer" in report
+        assert "phase.inner" in report
+        assert "spans" in report
