@@ -18,7 +18,6 @@ from repro.core.crossval import evaluate_design
 from repro.core.model import InsightAlignModel
 from repro.core.policy import sequence_log_prob_value
 from repro.nn.optim import Adam, clip_grad_norm
-from repro.nn.tensor import Tensor
 from repro.utils.rng import derive_rng
 
 from common import get_dataset, run_once

@@ -14,7 +14,6 @@ best-known score in a small fraction of the evaluations the explorers need
 
 import csv
 
-import numpy as np
 
 from repro.baselines import (
     AntColonyTuner,

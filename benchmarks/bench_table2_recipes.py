@@ -6,7 +6,6 @@ prints the taxonomy, and times recipe-set application (bits -> flow
 parameters), which sits on the hot path of every dataset/bench flow run.
 """
 
-import numpy as np
 
 from repro.flow.parameters import FlowParameters
 from repro.recipes.apply import apply_recipe_set

@@ -9,7 +9,6 @@ regenerate from scratch.
 
 from __future__ import annotations
 
-import os
 import pickle
 from pathlib import Path
 
@@ -17,6 +16,7 @@ from repro.core.alignment import AlignmentConfig
 from repro.core.crossval import CrossValResult, cross_validate
 from repro.core.dataset import OfflineDataset, build_offline_dataset
 from repro.core.qor import QoRIntention
+from repro.runtime.session import RuntimeConfig
 
 CACHE_DIR = Path(__file__).resolve().parent / "_cache"
 DATASET_PATH = CACHE_DIR / "offline_dataset.pkl"
@@ -41,8 +41,8 @@ def get_dataset() -> OfflineDataset:
     return build_offline_dataset(
         sets_per_design=SETS_PER_DESIGN,
         seed=SEED,
-        processes=1,
         cache_path=DATASET_PATH,
+        runtime=RuntimeConfig(workers=1),
     )
 
 

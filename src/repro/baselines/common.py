@@ -5,8 +5,8 @@ additionally expose ``evaluate_batch(recipe_sets) -> scores``; tuners that
 generate whole populations (random search draws, ACO generations) probe for
 it with :func:`batch_evaluate` and fan a population out in one call —
 which a :class:`ParallelFlowObjective` turns into one concurrent
-:class:`~repro.runtime.parallel.ParallelFlowExecutor` batch.  Scores are
-identical either way; only wall-clock changes.
+:class:`~repro.runtime.session.FlowSession` batch.  Scores are identical
+either way; only wall-clock changes.
 """
 
 from __future__ import annotations
@@ -111,35 +111,61 @@ class ParallelFlowObjective:
 
     Maps each recipe set onto :class:`~repro.flow.parameters.FlowParameters`
     via the catalog, evaluates a population as one
-    :class:`~repro.runtime.parallel.ParallelFlowExecutor` batch, and scores
-    the resulting QoR dicts with ``score_fn`` (typically a fitted
+    :class:`~repro.runtime.session.FlowSession` batch, and scores the
+    resulting QoR dicts with ``score_fn`` (typically a fitted
     :meth:`~repro.core.qor.DesignNormalizer.score`).  Single calls go
-    through the same executor, so the persistent QoR cache (when attached)
-    serves repeats across tuners and sessions.
+    through the same session, so the persistent QoR cache (when
+    configured) serves repeats across tuners and sessions.
+
+    ``session`` shares an existing :class:`FlowSession` (and its pool and
+    cache) across several objectives; otherwise one is built from
+    ``runtime``.  The config's ``seed`` is overridden by ``seed`` so job
+    identity always follows the objective seed.  ``workers=`` /
+    ``qor_cache_path=`` are deprecated pre-session spellings.
     """
 
     def __init__(
         self,
         design: str,
         score_fn: Callable[[dict], float],
-        executor: Optional["ParallelFlowExecutor"] = None,
-        workers: int = 1,
-        qor_cache_path: Optional[str] = None,
+        session: Optional["FlowSession"] = None,
+        runtime: Optional["RuntimeConfig"] = None,
         seed: int = 0,
+        workers: Optional[int] = None,
+        qor_cache_path: Optional[str] = None,
     ) -> None:
-        from repro.runtime.parallel import ParallelFlowExecutor
-
         from repro.recipes.catalog import default_catalog
+        from repro.runtime.session import (
+            FlowSession,
+            RuntimeConfig,
+            warn_legacy_runtime_kwargs,
+        )
 
+        legacy = {}
+        if workers is not None:
+            legacy["workers"] = workers
+        if qor_cache_path is not None:
+            legacy["qor_cache_path"] = qor_cache_path
+        if legacy:
+            warn_legacy_runtime_kwargs("ParallelFlowObjective", **legacy)
+            if runtime is not None or session is not None:
+                raise ValueError(
+                    "pass session=/runtime= or the deprecated "
+                    "workers/qor_cache_path kwargs, not both"
+                )
         self.design = design
         self.score_fn = score_fn
         self.seed = seed
         self._catalog = default_catalog()
-        self._executor = executor if executor is not None else (
-            ParallelFlowExecutor(
-                workers=workers, cache=qor_cache_path, seed=seed
-            )
-        )
+        self._owns_session = session is None
+        if session is None:
+            if runtime is None:
+                runtime = RuntimeConfig(
+                    workers=workers if workers is not None else 1,
+                    qor_cache_path=qor_cache_path,
+                )
+            session = FlowSession(runtime.replace(seed=seed))
+        self._session = session
 
     def __call__(self, recipe_set: Tuple[int, ...]) -> float:
         return self.evaluate_batch([recipe_set])[0]
@@ -158,8 +184,10 @@ class ParallelFlowObjective:
             )
             for bits in recipe_sets
         ]
-        results = self._executor.execute_batch(jobs)
+        results = self._session.evaluate_strict(jobs)
         return [float(self.score_fn(result.qor)) for result in results]
 
     def close(self) -> None:
-        self._executor.close()
+        """Release the session's pool — only if this objective built it."""
+        if self._owns_session:
+            self._session.close()

@@ -11,7 +11,7 @@ insight-conditioned recommendation under tight budgets.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 from scipy.linalg import cho_factor, cho_solve

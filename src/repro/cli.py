@@ -10,6 +10,9 @@ Subcommands:
 - ``align``      — offline-align a model on an archive and save it.
 - ``recommend``  — zero-shot top-K recipe sets for a design from a saved
   model, optionally evaluating each with real flow runs.
+- ``evaluate``   — the paper's Table IV protocol for a saved model:
+  zero-shot recommendations for each design, evaluated with real flow
+  runs and scored against the design's known archive (Win%).
 - ``serve``      — load a saved model into the batched
   :class:`~repro.serving.service.RecommendationService` and drive it with
   synthetic traffic, printing throughput / latency / cache statistics.
@@ -17,9 +20,13 @@ Subcommands:
 - ``obs``        — observability: render a recorded ``--trace`` JSONL file
   as a span table, trees, and the metrics snapshot.
 
-``build-dataset``, ``align``, ``serve`` and ``sweep`` accept ``--trace
-PATH``: the run then records nested spans and a final metrics snapshot to
-``PATH`` as JSON lines, which ``repro obs report PATH`` renders.
+Every flow-running subcommand (``build-dataset``, ``sweep``,
+``evaluate``, ``recommend --evaluate``) evaluates through one
+:class:`~repro.runtime.session.FlowSession` configured by its
+``--flow-workers``/``--workers`` and ``--qor-cache`` flags; ``align`` and
+``serve`` add ``--trace PATH`` alongside them: the run then records
+nested spans and a final metrics snapshot to ``PATH`` as JSON lines,
+which ``repro obs report PATH`` renders.
 
 Examples::
 
@@ -28,6 +35,8 @@ Examples::
     python -m repro.cli align --dataset archive.pkl --out model.npz --holdout D4
     python -m repro.cli recommend --model model.npz --dataset archive.pkl \
         --design D4 --k 5 --evaluate
+    python -m repro.cli evaluate --model model.npz --dataset archive.pkl \
+        --designs D4,D6 --flow-workers 4 --qor-cache .qor-cache
     python -m repro.cli serve --model model.npz --dataset archive.pkl \
         --requests 128 --max-batch-size 16 --trace serve.jsonl
     python -m repro.cli sweep D4 --axis placer.density_target=0.6,0.7,0.8
@@ -181,6 +190,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_rec.add_argument("--evaluate", action="store_true",
                        help="run the flow on each recommendation")
     p_rec.add_argument("--seed", type=int, default=0)
+    p_rec.add_argument("--flow-workers", type=int, default=1,
+                       help="process-pool workers for --evaluate runs")
+    p_rec.add_argument("--qor-cache", default="",
+                       help="persistent QoR result cache directory")
+    p_rec.add_argument("--trace", default="",
+                       help="record spans + metrics to this JSONL file")
+
+    p_eval = sub.add_parser(
+        "evaluate",
+        help="Table IV: zero-shot evaluate a saved model against archives",
+    )
+    p_eval.add_argument("--model", required=True, help="saved model .npz")
+    p_eval.add_argument("--dataset", required=True,
+                        help="archive .pkl with datapoints + insights")
+    p_eval.add_argument("--designs", default="",
+                        help="comma-separated subset (default: all in the "
+                             "archive)")
+    p_eval.add_argument("--beam-width", type=int, default=5,
+                        help="recommendations evaluated per design (K)")
+    p_eval.add_argument("--seed", type=int, default=0)
+    p_eval.add_argument("--flow-workers", type=int, default=1,
+                        help="process-pool workers for flow evaluation "
+                             "(1 = sequential, the default)")
+    p_eval.add_argument("--qor-cache", default="",
+                        help="persistent QoR result cache directory; "
+                             "repeated evaluations are free")
+    p_eval.add_argument("--trace", default="",
+                        help="record spans + metrics to this JSONL file")
     return parser
 
 
@@ -297,15 +334,19 @@ def cmd_list(args) -> int:
 
 
 def cmd_build_dataset(args) -> int:
+    from repro.runtime.session import RuntimeConfig
+
     designs = _split(args.designs) or None
     dataset = build_offline_dataset(
         designs=designs,
         sets_per_design=args.sets_per_design,
         seed=args.seed,
-        processes=args.flow_workers,
         cache_path=args.out,
-        qor_cache_path=args.qor_cache or None,
         verbose=True,
+        runtime=RuntimeConfig(
+            workers=args.flow_workers,
+            qor_cache_path=args.qor_cache or None,
+        ),
     )
     print(f"wrote {len(dataset)} datapoints over "
           f"{len(dataset.designs())} designs to {args.out}")
@@ -389,6 +430,7 @@ def cmd_serve(args) -> int:
 def cmd_sweep(args) -> int:
     """Full-factorial knob sweep; prints the QoR grid and the best point."""
     from repro.flow.sweep import sweep
+    from repro.runtime.session import RuntimeConfig
 
     if not args.axis:
         print("sweep needs at least one --axis KNOB=V1,V2,...",
@@ -399,8 +441,10 @@ def cmd_sweep(args) -> int:
         args.design,
         axes,
         seed=args.seed,
-        workers=args.workers,
-        qor_cache_path=args.qor_cache or None,
+        runtime=RuntimeConfig(
+            workers=args.workers,
+            qor_cache_path=args.qor_cache or None,
+        ),
     )
     metrics = _split(args.metrics)
     print(result.render(metrics=metrics))
@@ -422,6 +466,9 @@ def cmd_obs(args) -> int:
 
 
 def cmd_recommend(args) -> int:
+    from repro.runtime.parallel import FlowJob
+    from repro.runtime.session import FlowSession, RuntimeConfig
+
     ia = InsightAlign.load(args.model)
     dataset = OfflineDataset.load(args.dataset)
     insight = dataset.insight_for(args.design)
@@ -429,19 +476,65 @@ def cmd_recommend(args) -> int:
     catalog = default_catalog()
     normalizer = dataset.normalizer_for(args.design, ia.intention)
     known_best = dataset.scores_for(args.design, ia.intention).max()
+    results = None
+    if args.evaluate:
+        # All K evaluations as one supervised session batch.
+        runtime = RuntimeConfig(
+            workers=args.flow_workers,
+            qor_cache_path=args.qor_cache or None,
+            seed=args.seed,
+        )
+        with FlowSession(runtime) as session:
+            results = session.evaluate_strict([
+                FlowJob(
+                    args.design,
+                    apply_recipe_set(list(rec.recipe_set), catalog),
+                    args.seed,
+                )
+                for rec in recommendations
+            ])
     print(f"top-{args.k} recipe sets for {args.design} "
           f"(best known score {known_best:+.3f}):")
     for rank, rec in enumerate(recommendations, start=1):
         names = ", ".join(rec.recipe_names) or "(default flow)"
         line = f"#{rank} logP {rec.log_prob:8.2f}  {names}"
-        if args.evaluate:
-            params = apply_recipe_set(list(rec.recipe_set), catalog)
-            result = run_flow(args.design, params, seed=args.seed)
+        if results is not None:
+            result = results[rank - 1]
             score = normalizer.score(result.qor, ia.intention)
             line += (f"\n    -> score {score:+.3f}  "
                      f"power {result.qor['power_mw']:.4f} mW  "
                      f"TNS {result.qor['tns_ns']:.4f} ns")
         print(line)
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    """Table IV for a saved model: zero-shot rows against the archive."""
+    from repro.core.crossval import evaluate_design
+    from repro.runtime.session import FlowSession, RuntimeConfig
+
+    ia = InsightAlign.load(args.model)
+    dataset = OfflineDataset.load(args.dataset)
+    designs = _split(args.designs) or dataset.designs()
+    runtime = RuntimeConfig(
+        workers=args.flow_workers,
+        qor_cache_path=args.qor_cache or None,
+        seed=args.seed,
+    )
+    print(f"{'design':<8} {'known best':>12} {'recommended':>12} "
+          f"{'win%':>7}")
+    win_pcts = []
+    with FlowSession(runtime) as session:
+        for design in designs:
+            row = evaluate_design(
+                ia.model, dataset, design, ia.intention,
+                beam_width=args.beam_width, seed=args.seed, session=session,
+            )
+            win_pcts.append(row.win_pct)
+            print(f"{design:<8} {row.best_known_score:>12.3f} "
+                  f"{row.rec_score:>12.3f} {row.win_pct:>6.1f}%")
+    mean = sum(win_pcts) / len(win_pcts)
+    print(f"mean win% over {len(designs)} design(s): {mean:.1f}%")
     return 0
 
 
@@ -452,6 +545,7 @@ _COMMANDS = {
     "build-dataset": cmd_build_dataset,
     "align": cmd_align,
     "recommend": cmd_recommend,
+    "evaluate": cmd_evaluate,
     "serve": cmd_serve,
     "sweep": cmd_sweep,
     "obs": cmd_obs,

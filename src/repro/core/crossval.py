@@ -13,7 +13,7 @@ outperforms).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,9 +23,10 @@ from repro.core.dataset import OfflineDataset
 from repro.core.model import InsightAlignModel
 from repro.core.qor import QoRIntention
 from repro.errors import TrainingError
-from repro.flow.runner import run_flow
 from repro.recipes.apply import apply_recipe_set
 from repro.recipes.catalog import default_catalog
+from repro.runtime.parallel import FlowJob
+from repro.runtime.session import FlowSession, RuntimeConfig
 from repro.utils.rng import derive_rng
 
 
@@ -94,18 +95,49 @@ def evaluate_design(
     intention: QoRIntention = QoRIntention(),
     beam_width: int = 5,
     seed: int = 0,
+    session: Optional[FlowSession] = None,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> DesignEvaluation:
-    """Zero-shot evaluation of one (held-out) design against its archive."""
+    """Zero-shot evaluation of one (held-out) design against its archive.
+
+    The beam's candidate recipe sets are evaluated as one
+    :class:`~repro.runtime.session.FlowSession` batch — supervised,
+    cacheable, concurrent, and bit-identical to the historical one-by-one
+    ``run_flow`` loop at any worker count.  Pass ``session`` to share a
+    pool/cache across many designs (the caller keeps ownership), or
+    ``runtime`` to configure a private session for this call; the
+    private session's ``seed`` is overridden by ``seed`` so candidate
+    identity always follows the evaluation seed.
+    """
+    if session is not None and runtime is not None:
+        raise TrainingError(
+            "pass session= (shared, caller-owned) or runtime= "
+            "(private), not both"
+        )
     catalog = default_catalog()
     insight = dataset.insight_for(design)
     candidates = beam_search(model, insight, beam_width=beam_width)
 
+    owns_session = session is None
+    if session is None:
+        session = FlowSession((runtime or RuntimeConfig()).replace(seed=seed))
+    try:
+        results = session.evaluate_strict([
+            FlowJob(
+                design,
+                apply_recipe_set(list(candidate.recipe_set), catalog),
+                seed,
+            )
+            for candidate in candidates
+        ])
+    finally:
+        if owns_session:
+            session.close()
+
     normalizer = dataset.normalizer_for(design, intention)
     qors: List[Dict[str, float]] = []
     scores: List[float] = []
-    for candidate in candidates:
-        params = apply_recipe_set(list(candidate.recipe_set), catalog)
-        result = run_flow(design, params, seed=seed)
+    for result in results:
         qors.append(dict(result.qor))
         scores.append(normalizer.score(result.qor, intention))
 
@@ -138,28 +170,36 @@ def cross_validate(
     beam_width: int = 5,
     seed: int = 0,
     verbose: bool = False,
+    runtime: Optional[RuntimeConfig] = None,
 ) -> CrossValResult:
-    """The full Table IV protocol: k folds, zero-shot rows for all designs."""
+    """The full Table IV protocol: k folds, zero-shot rows for all designs.
+
+    One :class:`~repro.runtime.session.FlowSession` built from
+    ``runtime`` is shared across every fold's evaluations, so the worker
+    pool stays warm and the QoR cache (when configured) serves repeats
+    across designs.  The config's ``seed`` is overridden by ``seed``.
+    """
     folds = make_folds(dataset, k=k, seed=seed)
     config = config if config is not None else AlignmentConfig(seed=seed)
     rows: List[DesignEvaluation] = []
     models: List[InsightAlignModel] = []
-    for fold_index, held_out in enumerate(folds):
-        train_designs = [
-            d for d in dataset.designs() if d not in set(held_out)
-        ]
-        train_set = dataset.restricted_to(train_designs)
-        trainer = AlignmentTrainer(config)
-        model, _ = trainer.train(train_set, intention, verbose=verbose)
-        models.append(model)
-        for design in held_out:
-            if verbose:
-                print(f"fold {fold_index}: evaluating {design}")
-            rows.append(
-                evaluate_design(
-                    model, dataset, design, intention,
-                    beam_width=beam_width, seed=seed,
+    with FlowSession((runtime or RuntimeConfig()).replace(seed=seed)) as session:
+        for fold_index, held_out in enumerate(folds):
+            train_designs = [
+                d for d in dataset.designs() if d not in set(held_out)
+            ]
+            train_set = dataset.restricted_to(train_designs)
+            trainer = AlignmentTrainer(config)
+            model, _ = trainer.train(train_set, intention, verbose=verbose)
+            models.append(model)
+            for design in held_out:
+                if verbose:
+                    print(f"fold {fold_index}: evaluating {design}")
+                rows.append(
+                    evaluate_design(
+                        model, dataset, design, intention,
+                        beam_width=beam_width, seed=seed, session=session,
+                    )
                 )
-            )
     rows.sort(key=lambda r: int(r.design[1:]))
     return CrossValResult(rows=rows, folds=folds, models=models)

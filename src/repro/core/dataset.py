@@ -160,33 +160,64 @@ def build_offline_dataset(
     designs: Optional[Sequence[str]] = None,
     sets_per_design: int = 176,
     seed: int = 0,
-    processes: Optional[int] = None,
     cache_path: Optional[os.PathLike] = None,
-    qor_cache_path: Optional[os.PathLike] = None,
     verbose: bool = False,
+    runtime: Optional["RuntimeConfig"] = None,
+    processes: Optional[int] = None,
+    qor_cache_path: Optional[os.PathLike] = None,
 ) -> OfflineDataset:
     """Build (or load from cache) the offline archive.
 
     Every flow run — the recipe-set grid *and* the per-design insight
-    probes — fans out through one
-    :class:`~repro.runtime.parallel.ParallelFlowExecutor` batch, so the
-    archive is identical at any worker count and individual results can be
-    served from (and saved to) a persistent QoR cache.
+    probes — is one :class:`~repro.runtime.session.FlowSession` batch, so
+    the archive is identical at any worker count and individual results
+    can be served from (and saved to) a persistent QoR cache.
 
     Args:
         designs: Design names; defaults to all 17 profiles.
         sets_per_design: Recipe sets per design (17 x 176 = 2,992 — the
             paper's ~3,000 datapoints).
         seed: Master seed for sampling and flow noise.
-        processes: Worker processes (``None`` = cpu count, 1 = serial).
         cache_path: If given and the file exists, load it instead of
             rebuilding; otherwise build and save there.
-        qor_cache_path: Optional on-disk QoR result cache directory —
-            reruns and overlapping recipe sets across studies become free.
         verbose: Print per-design progress.
+        runtime: :class:`~repro.runtime.session.RuntimeConfig` for the
+            build's FlowSession (workers, QoR cache, retry policy, trace
+            toggle).  ``None`` keeps the historical default of one worker
+            per CPU and no QoR cache; the config's ``seed`` is overridden
+            by ``seed`` so job identity always follows the dataset seed.
+        processes: Deprecated — use ``runtime=RuntimeConfig(workers=...)``.
+        qor_cache_path: Deprecated — use
+            ``runtime=RuntimeConfig(qor_cache_path=...)``.
     """
     from repro.observability import get_tracer
-    from repro.runtime.parallel import FlowJob, ParallelFlowExecutor
+    from repro.runtime.parallel import FlowJob
+    from repro.runtime.session import (
+        FlowSession,
+        RuntimeConfig,
+        warn_legacy_runtime_kwargs,
+    )
+
+    legacy = {}
+    if processes is not None:
+        legacy["processes"] = processes
+    if qor_cache_path is not None:
+        legacy["qor_cache_path"] = qor_cache_path
+    if legacy:
+        warn_legacy_runtime_kwargs("build_offline_dataset", **legacy)
+        if runtime is not None:
+            raise TrainingError(
+                "pass runtime=RuntimeConfig(...) or the deprecated "
+                "processes/qor_cache_path kwargs, not both"
+            )
+    if runtime is None:
+        runtime = RuntimeConfig(
+            workers=max(
+                1, processes if processes is not None else (os.cpu_count() or 1)
+            ),
+            qor_cache_path=qor_cache_path,
+        )
+    runtime = runtime.replace(seed=seed)
 
     if cache_path is not None and os.path.exists(cache_path):
         return OfflineDataset.load(cache_path)
@@ -195,7 +226,6 @@ def build_offline_dataset(
         p.name for p in design_profiles()
     ]
     catalog = default_catalog()
-    workers = processes if processes is not None else (os.cpu_count() or 1)
     plans: List[Tuple[str, Tuple[int, ...]]] = []
     jobs: List[FlowJob] = []
     for name in names:
@@ -217,10 +247,8 @@ def build_offline_dataset(
         jobs=len(jobs),
         seed=seed,
     ):
-        with ParallelFlowExecutor(
-            workers=max(1, workers), cache=qor_cache_path, seed=seed
-        ) as executor:
-            results = executor.execute_batch(jobs)
+        with FlowSession(runtime) as session:
+            results = session.evaluate_strict(jobs)
 
         evaluated = [
             DataPoint(design=name, recipe_set=bits, qor=dict(result.qor))

@@ -34,7 +34,7 @@ from repro.core.dataset import OfflineDataset
 from repro.core.model import InsightAlignModel
 from repro.core.policy import sequence_log_prob, sequence_log_prob_value
 from repro.core.ppo import advantages_from_scores, ppo_loss
-from repro.core.qor import DesignNormalizer, QoRIntention
+from repro.core.qor import QoRIntention
 from repro.errors import TrainingError
 from repro.insights.extractor import InsightExtractor
 from repro.netlist.profiles import get_profile
@@ -44,7 +44,12 @@ from repro.observability import get_registry, get_tracer
 from repro.recipes.apply import apply_recipe_set
 from repro.recipes.catalog import default_catalog
 from repro.runtime.executor import FlowExecutor
-from repro.runtime.parallel import FlowJob, ParallelFlowExecutor
+from repro.runtime.parallel import FlowJob
+from repro.runtime.session import (
+    FlowSession,
+    RuntimeConfig,
+    warn_legacy_runtime_kwargs,
+)
 from repro.utils.rng import derive_rng
 
 logger = logging.getLogger(__name__)
@@ -74,14 +79,40 @@ class OnlineConfig:
     checkpoint_path: Optional[str] = None
     checkpoint_every: int = 1
     resume_from: Optional[str] = None
-    # Parallel evaluation: the K proposals of an iteration go through a
-    # ParallelFlowExecutor batch when flow_workers > 1 (results are
-    # bit-identical to the sequential path for the same seeds), and
-    # successful runs are persisted in an on-disk QoR cache when
-    # qor_cache_path is set.  The defaults keep single-core CI and existing
-    # callers on the exact sequential code path.
+    # How the K proposals of each iteration are evaluated: workers, QoR
+    # cache, retry policy, trace toggle — one validated RuntimeConfig for
+    # the loop's FlowSession.  None means the sequential in-process
+    # default (bit-identical to any worker count for the same seeds).
+    runtime: Optional[RuntimeConfig] = None
+    # Deprecated: pre-session spellings of the two most common runtime
+    # knobs.  Use ``runtime=RuntimeConfig(workers=..., qor_cache_path=...)``.
     flow_workers: int = 1
     qor_cache_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        legacy = {}
+        if self.flow_workers != 1:
+            legacy["flow_workers"] = self.flow_workers
+        if self.qor_cache_path is not None:
+            legacy["qor_cache_path"] = self.qor_cache_path
+        if legacy:
+            warn_legacy_runtime_kwargs("OnlineConfig", **legacy)
+            if self.runtime is not None:
+                raise TrainingError(
+                    "pass runtime=RuntimeConfig(...) or the deprecated "
+                    "flow_workers/qor_cache_path kwargs, not both"
+                )
+
+    def resolved_runtime(self) -> RuntimeConfig:
+        """The loop's effective :class:`RuntimeConfig` (folding in any
+        deprecated ``flow_workers`` / ``qor_cache_path`` values)."""
+        if self.runtime is not None:
+            return self.runtime
+        return RuntimeConfig(
+            workers=self.flow_workers,
+            qor_cache_path=self.qor_cache_path,
+            seed=self.seed,
+        )
 
 
 @dataclass
@@ -147,17 +178,16 @@ class OnlineResult:
 class OnlineFineTuner:
     """Runs the closed-loop fine-tuning of an aligned model on one design.
 
-    ``executor`` supervises every flow invocation; the default wraps
-    :func:`repro.flow.runner.run_flow` with the standard retry policy.
-    Pass a custom one to add deadlines, change the backoff schedule, or
-    (in tests) inject faults and virtual time.
+    Every flow invocation goes through one :class:`FlowSession` built
+    from ``config.runtime`` (workers, QoR cache, retry policy, trace
+    toggle); each iteration's K proposals are a single
+    ``session.evaluate`` batch — bit-identical results at any worker
+    count, K-way concurrent wall-clock when workers allow.
 
-    With ``config.flow_workers > 1`` (and no explicit ``executor``, whose
-    closures could not cross a process boundary) each iteration's K
-    proposals are evaluated as one :class:`ParallelFlowExecutor` batch —
-    bit-identical results, K-way concurrent wall-clock.  A
-    ``config.qor_cache_path`` additionally persists successful runs on
-    disk, so re-proposed recipe sets and repeated studies are free.
+    ``executor`` remains the test-oriented escape hatch: a fully-built
+    :class:`FlowExecutor` (closures, virtual clocks, wrapped fault
+    injectors) that the session runs every job through sequentially,
+    exactly as before the session layer existed.
     """
 
     def __init__(
@@ -165,26 +195,22 @@ class OnlineFineTuner:
         config: OnlineConfig = OnlineConfig(),
         executor: Optional[FlowExecutor] = None,
     ) -> None:
-        if config.flow_workers < 1:
-            raise TrainingError(
-                f"flow_workers must be >= 1, got {config.flow_workers}"
-            )
         self.config = config
-        self._batch_executor: Optional[ParallelFlowExecutor] = None
-        if executor is None and (
-            config.flow_workers > 1 or config.qor_cache_path
-        ):
-            self._batch_executor = ParallelFlowExecutor(
-                workers=config.flow_workers,
-                cache=config.qor_cache_path,
-                seed=config.seed,
+        if executor is not None:
+            self._session = FlowSession(
+                config.runtime or RuntimeConfig(), executor=executor
             )
-        self.executor = executor if executor is not None else FlowExecutor()
+        else:
+            self._session = FlowSession(config.resolved_runtime())
+
+    @property
+    def session(self) -> FlowSession:
+        """The loop's flow-evaluation session."""
+        return self._session
 
     def close(self) -> None:
-        """Release the worker pool, if one was started."""
-        if self._batch_executor is not None:
-            self._batch_executor.close()
+        """Release the session's worker pool, if one was started."""
+        self._session.close()
 
     def run(
         self,
@@ -354,19 +380,11 @@ class OnlineFineTuner:
 
     # ------------------------------------------------------------------
     def _evaluate(self, design, params_list, seed):
-        """Evaluate one iteration's proposals, in order.
-
-        One parallel batch when a batch executor is configured, otherwise
-        the sequential supervised loop — same reports either way.
-        """
-        if self._batch_executor is not None:
-            return self._batch_executor.run_batch(
-                [FlowJob(design, params, seed) for params in params_list]
-            )
-        return [
-            self.executor.try_execute(design, params, seed=seed)
-            for params in params_list
-        ]
+        """Evaluate one iteration's proposals as a single session batch
+        (outcomes come back in proposal order)."""
+        return self._session.evaluate(
+            [FlowJob(design, params, seed) for params in params_list]
+        )
 
     # ------------------------------------------------------------------
     def _checkpoint(self, model, optimizer, rng, design, iteration,

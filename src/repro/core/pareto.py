@@ -12,7 +12,7 @@ Conventions: objectives are *minimized*; points are rows of an
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

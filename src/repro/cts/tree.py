@@ -12,7 +12,7 @@ floor by :attr:`CtsParams.target_skew_ps`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 

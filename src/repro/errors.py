@@ -30,6 +30,13 @@ class CorruptQoR(FlowError):
     trajectory (partial snapshot) instead of a usable QoR report."""
 
 
+class RuntimeConfigError(ReproError):
+    """Raised when a :class:`~repro.runtime.session.RuntimeConfig` (or the
+    way a :class:`~repro.runtime.session.FlowSession` composes one) is
+    invalid: bad worker counts, negative deadlines, conflicting injection
+    options, and similar misconfiguration caught before any flow runs."""
+
+
 class RecipeError(ReproError):
     """Raised for unknown recipes or malformed recipe sets."""
 

@@ -12,6 +12,7 @@ from repro.flow.result import FlowResult, StageSnapshot
 from repro.flow.runner import (
     clear_netlist_cache,
     netlist_cache_info,
+    netlist_cache_limit,
     run_flow,
     set_netlist_cache_limit,
     validate_qor,
@@ -28,6 +29,7 @@ __all__ = [
     "FlowStage",
     "clear_netlist_cache",
     "netlist_cache_info",
+    "netlist_cache_limit",
     "set_netlist_cache_limit",
     "validate_qor",
 ]

@@ -22,7 +22,7 @@ the caller.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -33,7 +33,6 @@ from repro.netlist.net import Net
 from repro.netlist.netlist import Netlist
 from repro.techlib.cells import CellFunction
 from repro.timing.constraints import TimingConstraints
-from repro.timing.graph import build_timing_graph
 from repro.timing.sta import TimingReport, run_sta
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 import pickle
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Union
 
 from repro.errors import CorruptQoR
@@ -66,6 +67,22 @@ def set_netlist_cache_limit(limit: int) -> int:
 def netlist_cache_info() -> Dict[str, int]:
     """Current cache occupancy: ``{"size": ..., "limit": ...}``."""
     return {"size": len(_NETLIST_CACHE), "limit": _NETLIST_CACHE_LIMIT}
+
+
+@contextmanager
+def netlist_cache_limit(limit: int):
+    """Temporarily resize the netlist LRU cache, restoring the previous
+    limit on exit — including when the body raises, which bare
+    ``set_netlist_cache_limit`` callers get wrong.
+
+    Entries admitted above the old cap are evicted (oldest first) on
+    restore, exactly as a direct shrink would.
+    """
+    previous = set_netlist_cache_limit(limit)
+    try:
+        yield
+    finally:
+        set_netlist_cache_limit(previous)
 
 
 def _fresh_netlist(profile: DesignProfile, seed: int) -> Netlist:

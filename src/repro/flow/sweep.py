@@ -8,13 +8,12 @@ subset of flow knobs onto their QoR response, serially or with caching.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cts.tree import CtsParams
 from repro.errors import FlowError
 from repro.flow.parameters import FlowParameters, OptParams, TradeoffWeights
-from repro.flow.runner import run_flow
 from repro.netlist.profiles import DesignProfile
 from repro.placement.placer import PlacerParams
 from repro.routing.groute import RouteParams
@@ -81,18 +80,46 @@ def sweep(
     axes: Dict[str, Sequence[float]],
     base: FlowParameters = FlowParameters(),
     seed: int = 0,
-    workers: int = 1,
+    runtime: Optional["RuntimeConfig"] = None,
+    workers: Optional[int] = None,
     qor_cache_path: Optional[str] = None,
 ) -> SweepResult:
     """Full-factorial sweep of ``axes`` (knob -> values) on one design.
 
-    ``workers > 1`` fans the grid out over a
-    :class:`~repro.runtime.parallel.ParallelFlowExecutor` process pool;
-    ``qor_cache_path`` serves repeated grid points (across sweeps and
-    other studies) from the persistent QoR cache.  Either way the result
-    is identical to the serial loop.
+    The grid is evaluated as one
+    :class:`~repro.runtime.session.FlowSession` batch configured by
+    ``runtime`` (workers, QoR cache, retry policy, trace toggle); the
+    result is identical at any worker count.  The config's ``seed`` is
+    overridden by ``seed`` so grid-point identity always follows the
+    sweep seed.  ``workers=`` / ``qor_cache_path=`` are the deprecated
+    pre-session spellings.
     """
     from repro.observability import get_tracer
+    from repro.runtime.parallel import FlowJob
+    from repro.runtime.session import (
+        FlowSession,
+        RuntimeConfig,
+        warn_legacy_runtime_kwargs,
+    )
+
+    legacy = {}
+    if workers is not None:
+        legacy["workers"] = workers
+    if qor_cache_path is not None:
+        legacy["qor_cache_path"] = qor_cache_path
+    if legacy:
+        warn_legacy_runtime_kwargs("sweep", **legacy)
+        if runtime is not None:
+            raise FlowError(
+                "pass runtime=RuntimeConfig(...) or the deprecated "
+                "workers/qor_cache_path kwargs, not both"
+            )
+    if runtime is None:
+        runtime = RuntimeConfig(
+            workers=workers if workers is not None else 1,
+            qor_cache_path=qor_cache_path,
+        )
+    runtime = runtime.replace(seed=seed)
 
     if not axes:
         raise FlowError("sweep needs at least one axis")
@@ -111,23 +138,10 @@ def sweep(
         design=design_name,
         knobs=",".join(knobs),
         points=len(points),
-        workers=workers,
+        workers=runtime.workers,
     ):
-        if workers == 1 and qor_cache_path is None:
-            qors = []
-            for values, params in zip(grid, points):
-                with tracer.span(
-                    "sweep.point",
-                    point=",".join(f"{v:g}" for v in values),
-                ):
-                    qors.append(dict(run_flow(design, params, seed=seed).qor))
-            return SweepResult(knobs=knobs, grid=grid, qors=qors)
-        from repro.runtime.parallel import FlowJob, ParallelFlowExecutor
-
-        with ParallelFlowExecutor(
-            workers=workers, cache=qor_cache_path, seed=seed
-        ) as executor:
-            results = executor.execute_batch(
+        with FlowSession(runtime) as session:
+            results = session.evaluate_strict(
                 [FlowJob(design, p, seed) for p in points]
             )
         return SweepResult(

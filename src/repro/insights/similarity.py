@@ -10,7 +10,7 @@ new design resemble?") and for analysis in the benches.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -9,7 +9,7 @@ Table-I "congestion level during placement step X" insight consume.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Sequence
 
 import numpy as np
 

@@ -11,7 +11,6 @@ floorplans fail timing signoff even when nominal STA passes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ what combinations do.  This module quantifies that from data:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -8,7 +8,6 @@ placement regions (pin-access failures).
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.routing.groute import RoutingResult
 

@@ -19,8 +19,14 @@ flaky and hours-long) P&R tool invocation:
   batches out over a process pool (deterministic at any worker count) and
   :class:`QoRCache` persists successful results on disk so repeated
   evaluations are free.
+- :mod:`repro.runtime.session` — :class:`FlowSession` composes all of the
+  above (policy, pool, cache, faults, tracing) behind one batch-first
+  ``evaluate(jobs)`` API configured by a typed, validated
+  :class:`RuntimeConfig`.  Every flow consumer in the repo goes through a
+  session; nothing outside this package constructs the executors directly.
 
-See ``docs/robustness.md`` for the end-to-end story.
+See ``docs/architecture.md`` for how the pieces compose and
+``docs/robustness.md`` for the resilience story.
 """
 
 from repro.runtime.checkpoint import (
@@ -37,6 +43,7 @@ from repro.runtime.executor import (
     FlowRunReport,
     RetryPolicy,
 )
+from repro.errors import RuntimeConfigError
 from repro.runtime.faults import FaultInjector, FaultKind, SimulatedToolCrash
 from repro.runtime.parallel import (
     FaultPlan,
@@ -44,6 +51,12 @@ from repro.runtime.parallel import (
     ParallelFlowExecutor,
     QoRCache,
     qor_cache_key,
+)
+from repro.runtime.session import (
+    FlowOutcome,
+    FlowSession,
+    RuntimeConfig,
+    warn_legacy_runtime_kwargs,
 )
 
 __all__ = [
@@ -54,11 +67,15 @@ __all__ = [
     "FlowAttempt",
     "FlowExecutor",
     "FlowJob",
+    "FlowOutcome",
     "FlowRunReport",
+    "FlowSession",
     "ParallelFlowExecutor",
     "QoRCache",
     "RecordingSleep",
     "RetryPolicy",
+    "RuntimeConfig",
+    "RuntimeConfigError",
     "SimulatedToolCrash",
     "TrainingCheckpoint",
     "VirtualClock",
@@ -66,4 +83,5 @@ __all__ = [
     "load_checkpoint",
     "qor_cache_key",
     "save_checkpoint",
+    "warn_legacy_runtime_kwargs",
 ]

@@ -42,7 +42,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import FlowError, ReproError
+from repro.errors import ReproError
 from repro.flow.parameters import FlowParameters
 from repro.flow.result import FlowResult
 from repro.observability import get_registry, get_tracer, new_lock
@@ -157,16 +157,27 @@ def _worker_init(settings: _RunnerSettings,
     global _WORKER_SETTINGS
     _WORKER_SETTINGS = settings
     if warm:
-        from repro.flow.runner import _fresh_netlist
+        from repro.flow.runner import (
+            _fresh_netlist,
+            netlist_cache_info,
+            netlist_cache_limit,
+        )
         from repro.netlist.profiles import get_profile
 
-        for design, seed in warm:
-            try:
-                _fresh_netlist(get_profile(design), seed)
-            except ReproError:
-                # Warming is an optimization, never a failure mode; an
-                # unknown design will surface properly when its job runs.
-                pass
+        # Warm the whole batch's working set even when it exceeds the
+        # configured LRU cap; the cap (and eviction) is restored on exit
+        # even if a profile lookup raises.
+        with netlist_cache_limit(
+            max(netlist_cache_info()["limit"], len(warm))
+        ):
+            for design, seed in warm:
+                try:
+                    _fresh_netlist(get_profile(design), seed)
+                except ReproError:
+                    # Warming is an optimization, never a failure mode;
+                    # an unknown design will surface properly when its
+                    # job runs.
+                    pass
 
 
 def _worker_run(task: Tuple[int, FlowJob]) -> Tuple[int, FlowRunReport]:

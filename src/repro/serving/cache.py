@@ -11,7 +11,7 @@ subscriptions), making version mismatches structurally impossible.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Hashable, List, Optional, Tuple
+from typing import Hashable, Optional, Tuple
 
 import numpy as np
 

@@ -18,9 +18,9 @@ from typing import Dict, Optional
 
 # Back-compat re-exports: the serving layer's original metric primitives
 # are now the registry's (identical unlabelled behaviour).
-from repro.observability.metrics import (  # noqa: F401
-    Counter,
-    Histogram,
+from repro.observability.metrics import (
+    Counter,  # noqa: F401
+    Histogram,  # noqa: F401
     MetricsRegistry,
     get_registry,
 )

@@ -14,8 +14,9 @@ from repro.core.dataset import build_offline_dataset
 from repro.flow.parameters import FlowParameters
 from repro.flow.runner import run_flow
 from repro.netlist.generator import generate_netlist
-from repro.netlist.profiles import DesignProfile, get_profile
+from repro.netlist.profiles import DesignProfile
 from repro.placement.placer import PlacerParams, place
+from repro.runtime.session import RuntimeConfig
 
 
 def tiny_profile(name: str = "T1", **overrides) -> DesignProfile:
@@ -78,7 +79,7 @@ def mini_dataset():
         designs=["D6", "D10", "D11"],
         sets_per_design=48,
         seed=11,
-        processes=1,
+        runtime=RuntimeConfig(workers=1),
     )
 
 

@@ -1,6 +1,5 @@
 """Tests for the CLI and the text report renderers."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
@@ -8,7 +7,6 @@ from repro.flow.report import render_flow_summary, render_timing_report
 from repro.flow.runner import run_flow
 from repro.netlist.generator import generate_netlist
 
-from conftest import tiny_profile
 
 
 class TestReports:

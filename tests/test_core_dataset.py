@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.dataset import (
-    DataPoint,
     OfflineDataset,
     build_offline_dataset,
     sample_recipe_sets,

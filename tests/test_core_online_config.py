@@ -1,7 +1,6 @@
 """Additional online-loop tests: proposal hygiene, config, updates."""
 
 import numpy as np
-import pytest
 
 from repro.core.beam import beam_search
 from repro.core.model import InsightAlignModel

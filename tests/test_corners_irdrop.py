@@ -1,6 +1,5 @@
 """Tests for multi-corner STA and IR-drop analysis."""
 
-import numpy as np
 import pytest
 
 from repro.cts.tree import CtsParams, synthesize_clock_tree

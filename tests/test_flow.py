@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import numpy as np
 import pytest
 
 from repro.cts.tree import CtsParams, synthesize_clock_tree
@@ -14,7 +13,6 @@ from repro.flow.stages import FlowStage
 from repro.netlist.generator import generate_netlist
 from repro.placement.placer import PlacerParams, place
 from repro.timing.constraints import default_constraints
-from repro.timing.sta import run_sta
 
 from conftest import tiny_profile
 

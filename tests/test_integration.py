@@ -7,7 +7,6 @@ and online fine-tuning must not regress the best-so-far QoR (Fig. 6).
 """
 
 import numpy as np
-import pytest
 
 from repro.core.beam import beam_search
 from repro.core.crossval import evaluate_design

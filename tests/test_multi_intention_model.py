@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.multi_intention import (
-    CONDITIONED_METRICS,
     IntentionConditionedModel,
     conditioned_insight,
 )

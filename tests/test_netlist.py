@@ -1,6 +1,5 @@
 """Tests for netlist containers, validation, and the synthetic generator."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

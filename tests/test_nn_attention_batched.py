@@ -1,7 +1,6 @@
 """Batched-path gradient checks for attention (3-D tensors)."""
 
 import numpy as np
-import pytest
 
 from repro.nn.attention import SingleHeadAttention, TransformerDecoderLayer
 from repro.nn.tensor import Tensor

@@ -13,7 +13,6 @@ from repro.nn.layers import (
     FeedForward,
     LayerNorm,
     Linear,
-    Module,
     positional_encoding,
 )
 from repro.nn.optim import SGD, Adam, clip_grad_norm

@@ -1,6 +1,5 @@
 """White-box tests for the optimizer's individual moves."""
 
-import numpy as np
 import pytest
 
 from repro.cts.tree import CtsParams, synthesize_clock_tree

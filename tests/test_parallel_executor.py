@@ -36,6 +36,7 @@ from repro.runtime import (
     FlowJob,
     ParallelFlowExecutor,
     RetryPolicy,
+    RuntimeConfig,
 )
 
 WORKER_COUNTS = (1, 2, 8)
@@ -257,7 +258,7 @@ class TestOnlineLoopParallel:
         return OfflineDataset(points=points, insights=insights, seed=0)
 
     def test_parallel_iterations_match_sequential(self, archive):
-        """flow_workers=2 reproduces the sequential fine-tuning run
+        """A two-worker runtime reproduces the sequential fine-tuning run
         exactly: same survivors, same QoR, same scores, same weights."""
         from repro.core.model import InsightAlignModel
         from repro.core.online import OnlineConfig, OnlineFineTuner
@@ -273,7 +274,9 @@ class TestOnlineLoopParallel:
                 tuner.close()
 
         seq_result, seq_model = run(OnlineConfig(**base))
-        par_result, par_model = run(OnlineConfig(flow_workers=2, **base))
+        par_result, par_model = run(
+            OnlineConfig(runtime=RuntimeConfig(workers=2, seed=13), **base)
+        )
 
         assert len(seq_result.records) == len(par_result.records)
         for a, b in zip(seq_result.records, par_result.records):

@@ -1,6 +1,5 @@
 """Tests for power analysis, global routing, and DRC estimation."""
 
-import numpy as np
 import pytest
 
 from repro.cts.tree import CtsParams, synthesize_clock_tree

@@ -1,6 +1,5 @@
 """Tests for the design-dependent power tradeoffs (gating overhead, Vt)."""
 
-import pytest
 
 from repro.cts.tree import CtsParams, synthesize_clock_tree
 from repro.flow.parameters import FlowParameters, OptParams

@@ -14,6 +14,7 @@ from repro.runtime import (
     FlowJob,
     ParallelFlowExecutor,
     QoRCache,
+    RuntimeConfig,
     qor_cache_key,
 )
 
@@ -138,10 +139,10 @@ class TestCallSites:
                 "placer.effort": [0.8, 1.0]}
         serial = sweep(profile, axes, seed=4)
         path = str(tmp_path / "qor")
-        parallel = sweep(profile, axes, seed=4, workers=2,
-                         qor_cache_path=path)
-        cached = sweep(profile, axes, seed=4, workers=1,
-                       qor_cache_path=path)
+        parallel = sweep(profile, axes, seed=4,
+                         runtime=RuntimeConfig(workers=2, qor_cache_path=path))
+        cached = sweep(profile, axes, seed=4,
+                       runtime=RuntimeConfig(workers=1, qor_cache_path=path))
         assert parallel.grid == serial.grid
         assert parallel.qors == serial.qors
         assert cached.qors == serial.qors
@@ -151,10 +152,14 @@ class TestCallSites:
         self, tmp_path, processes
     ):
         kwargs = dict(designs=["D6"], sets_per_design=3, seed=5)
-        reference = build_offline_dataset(processes=1, **kwargs)
+        reference = build_offline_dataset(
+            runtime=RuntimeConfig(workers=1), **kwargs
+        )
         dataset = build_offline_dataset(
-            processes=processes,
-            qor_cache_path=tmp_path / f"qor{processes}",
+            runtime=RuntimeConfig(
+                workers=processes,
+                qor_cache_path=str(tmp_path / f"qor{processes}"),
+            ),
             **kwargs,
         )
         assert len(dataset.points) == len(reference.points)

@@ -10,7 +10,6 @@ regenerate the pins with::
 which prints the current values in copy-pasteable form.
 """
 
-import numpy as np
 import pytest
 
 from repro.flow.parameters import FlowParameters

@@ -1,6 +1,5 @@
 """White-box routing tests: detour charging, supply model, geometry."""
 
-import numpy as np
 import pytest
 
 from repro.netlist.generator import generate_netlist

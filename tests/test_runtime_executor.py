@@ -1,6 +1,5 @@
 """FlowExecutor: deadlines, retry/backoff ordering, typed failure taxonomy."""
 
-import numpy as np
 import pytest
 
 from repro.errors import (

@@ -1,0 +1,329 @@
+"""FlowSession / RuntimeConfig: validation, shims, and the one-door rule.
+
+Three concerns live here:
+
+1. ``RuntimeConfig`` rejects every malformed field with a typed
+   ``RuntimeConfigError`` before any flow runs, and ``FlowSession``
+   rejects contradictory compositions (injected executor + pool/cache).
+2. The deprecation shims on the old per-call-site keywords still work,
+   still produce identical results, and warn with a message naming
+   ``RuntimeConfig`` (the test suite elsewhere turns exactly those
+   warnings into errors — see ``pyproject.toml``).
+3. The refactor's structural invariant: nothing outside
+   ``repro/runtime/`` constructs ``FlowExecutor`` / ``ParallelFlowExecutor``
+   directly any more — every consumer goes through a session.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from conftest import tiny_profile
+from repro.errors import FlowCrash, FlowError, RuntimeConfigError
+from repro.flow.parameters import FlowParameters, OptParams
+from repro.flow.runner import (
+    netlist_cache_info,
+    netlist_cache_limit,
+    run_flow,
+)
+from repro.observability import (
+    InMemoryExporter,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+from repro.runtime import (
+    FaultKind,
+    FaultPlan,
+    FlowExecutor,
+    FlowJob,
+    FlowSession,
+    RetryPolicy,
+    RuntimeConfig,
+)
+from test_parallel_executor import toy_flow
+
+SRC_ROOT = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+class TestRuntimeConfigValidation:
+    @pytest.mark.parametrize("bad", [
+        dict(workers=0),
+        dict(workers=-2),
+        dict(workers=1.5),
+        dict(workers=True),
+        dict(workers="4"),
+        dict(qor_cache_path=123),
+        dict(policy="retry-three-times"),
+        dict(deadline_s=0.0),
+        dict(deadline_s=-5.0),
+        dict(min_snapshots=-1),
+        dict(min_snapshots=2.5),
+        dict(seed="zero"),
+        dict(seed=False),
+        dict(fault_plan="crash-everything"),
+        dict(trace="yes"),
+        dict(start_method="quantum"),
+    ])
+    def test_rejects_bad_fields(self, bad):
+        with pytest.raises(RuntimeConfigError):
+            RuntimeConfig(**bad)
+
+    def test_defaults_are_valid_and_frozen(self):
+        config = RuntimeConfig()
+        assert config.workers == 1
+        assert config.trace is True
+        with pytest.raises(AttributeError):
+            config.workers = 2
+
+    def test_replace_revalidates(self):
+        config = RuntimeConfig(workers=2)
+        assert config.replace(workers=4).workers == 4
+        with pytest.raises(RuntimeConfigError):
+            config.replace(workers=0)
+
+    def test_accepts_full_composition(self):
+        config = RuntimeConfig(
+            workers=2,
+            qor_cache_path="/tmp/qor",
+            policy=RetryPolicy(max_attempts=2),
+            deadline_s=60.0,
+            min_snapshots=3,
+            seed=7,
+            fault_plan=FaultPlan(rate=0.5),
+            trace=False,
+        )
+        assert config.policy.max_attempts == 2
+
+
+class TestFlowSessionComposition:
+    def test_rejects_non_config(self):
+        with pytest.raises(RuntimeConfigError):
+            FlowSession({"workers": 2})
+
+    def test_injected_executor_conflicts(self):
+        executor = FlowExecutor(flow_fn=toy_flow)
+        with pytest.raises(RuntimeConfigError):
+            FlowSession(
+                RuntimeConfig(workers=2), executor=executor
+            )
+        with pytest.raises(RuntimeConfigError):
+            FlowSession(
+                RuntimeConfig(qor_cache_path="/tmp/qor"), executor=executor
+            )
+        with pytest.raises(RuntimeConfigError):
+            FlowSession(
+                RuntimeConfig(fault_plan=FaultPlan(rate=1.0)),
+                executor=executor,
+            )
+        with pytest.raises(RuntimeConfigError):
+            FlowSession(
+                RuntimeConfig(), flow_fn=toy_flow, executor=executor
+            )
+
+    def test_single_job_conveniences(self):
+        profile = tiny_profile()
+        with FlowSession(RuntimeConfig()) as session:
+            outcome = session.run(profile, FlowParameters(), seed=3)
+            assert outcome.ok and not outcome.cached
+            result = session.execute(profile, FlowParameters(), seed=3)
+        direct = run_flow(profile, FlowParameters(), seed=3)
+        assert outcome.result.qor == direct.qor
+        assert result.qor == direct.qor
+
+    def test_evaluate_accepts_tuples_and_preserves_order(self):
+        profile = tiny_profile()
+        jobs = [
+            (profile, FlowParameters(opt=OptParams(vt_swap_bias=b)), 3)
+            for b in (1.1, 0.9, 1.0)
+        ]
+        with FlowSession(RuntimeConfig()) as session:
+            outcomes = session.evaluate(jobs)
+        for (design, params, seed), outcome in zip(jobs, outcomes):
+            assert outcome.result.qor == run_flow(design, params, seed=seed).qor
+
+    def test_evaluate_strict_raises_first_failure_in_submission_order(self):
+        # rate=1.0 crashes every job; the raised error must belong to job 0.
+        plan = FaultPlan(rate=1.0, kinds=(FaultKind.CRASH,), seed=5)
+        config = RuntimeConfig(
+            workers=1, fault_plan=plan, policy=RetryPolicy(max_attempts=1)
+        )
+        with FlowSession(config, flow_fn=toy_flow) as session:
+            jobs = [
+                FlowJob("T", FlowParameters(opt=OptParams(vt_swap_bias=b)), 0)
+                for b in (1.0, 1.1)
+            ]
+            outcomes = session.evaluate(jobs)
+            assert all(not o.ok for o in outcomes)
+            with pytest.raises(FlowCrash):
+                session.evaluate_strict(jobs)
+
+    def test_stats_shape(self):
+        profile = tiny_profile()
+        with FlowSession(RuntimeConfig()) as session:
+            session.run(profile, FlowParameters(), seed=1)
+            stats = session.stats()
+        assert stats["workers"] == 1
+        assert stats["jobs_run"] == 1
+        assert stats["trace"] is True
+        injected = FlowSession(RuntimeConfig(), executor=FlowExecutor())
+        assert injected.stats()["injected"] is True
+        injected.close()  # no-op: nothing to release
+
+
+class TestTraceToggle:
+    def _spans_during(self, config):
+        profile = tiny_profile()
+        exporter = InMemoryExporter()
+        previous = set_tracer(Tracer(exporter=exporter))
+        try:
+            with FlowSession(config) as session:
+                session.run(profile, FlowParameters(), seed=2)
+        finally:
+            set_tracer(previous)
+        return exporter.records()
+
+    def test_trace_on_emits_flow_spans(self):
+        spans = self._spans_during(RuntimeConfig(trace=True))
+        assert {s.name for s in spans} >= {"flow.run", "flow.batch"}
+
+    def test_trace_off_is_silent_and_restores_tracer(self):
+        before = get_tracer()
+        assert self._spans_during(RuntimeConfig(trace=False)) == []
+        assert get_tracer() is before
+
+    def test_results_identical_either_way(self):
+        profile = tiny_profile()
+        outcomes = []
+        for trace in (True, False):
+            with FlowSession(RuntimeConfig(trace=trace)) as session:
+                outcomes.append(session.execute(profile, FlowParameters(), 4))
+        assert outcomes[0].qor == outcomes[1].qor
+
+
+class TestDeprecationShims:
+    """Old keyword spellings warn (naming RuntimeConfig) but still work."""
+
+    def test_online_config_flow_workers(self):
+        from repro.core.online import OnlineConfig
+
+        with pytest.warns(DeprecationWarning, match="RuntimeConfig"):
+            config = OnlineConfig(flow_workers=2)
+        assert config.resolved_runtime().workers == 2
+
+    def test_online_config_qor_cache_path(self, tmp_path):
+        from repro.core.online import OnlineConfig
+
+        path = str(tmp_path / "qor")
+        with pytest.warns(DeprecationWarning, match="RuntimeConfig"):
+            config = OnlineConfig(qor_cache_path=path)
+        assert config.resolved_runtime().qor_cache_path == path
+
+    def test_online_config_rejects_both_spellings(self):
+        from repro.core.online import OnlineConfig
+        from repro.errors import TrainingError
+
+        with pytest.warns(DeprecationWarning, match="RuntimeConfig"):
+            with pytest.raises(TrainingError):
+                OnlineConfig(flow_workers=2, runtime=RuntimeConfig())
+
+    def test_build_offline_dataset_processes(self):
+        from repro.core.dataset import build_offline_dataset
+
+        kwargs = dict(designs=["D6"], sets_per_design=2, seed=5)
+        with pytest.warns(DeprecationWarning, match="RuntimeConfig"):
+            legacy = build_offline_dataset(processes=1, **kwargs)
+        current = build_offline_dataset(
+            runtime=RuntimeConfig(workers=1), **kwargs
+        )
+        assert [(p.design, p.recipe_set, p.qor) for p in legacy.points] == \
+            [(p.design, p.recipe_set, p.qor) for p in current.points]
+
+    def test_build_offline_dataset_rejects_both_spellings(self):
+        from repro.core.dataset import build_offline_dataset
+        from repro.errors import TrainingError
+
+        with pytest.warns(DeprecationWarning, match="RuntimeConfig"):
+            with pytest.raises(TrainingError):
+                build_offline_dataset(
+                    designs=["D6"], sets_per_design=2, processes=1,
+                    runtime=RuntimeConfig(),
+                )
+
+    def test_sweep_workers_and_cache(self, tmp_path):
+        from repro.flow.sweep import sweep
+
+        profile = tiny_profile()
+        axes = {"opt.vt_swap_bias": [0.9, 1.1]}
+        current = sweep(profile, axes, seed=4)
+        with pytest.warns(DeprecationWarning, match="RuntimeConfig"):
+            legacy = sweep(
+                profile, axes, seed=4, workers=1,
+                qor_cache_path=str(tmp_path / "qor"),
+            )
+        assert legacy.qors == current.qors
+        with pytest.warns(DeprecationWarning, match="RuntimeConfig"):
+            with pytest.raises(FlowError):
+                sweep(profile, axes, seed=4, workers=2,
+                      runtime=RuntimeConfig())
+
+    def test_parallel_flow_objective_workers(self):
+        from repro.baselines.common import ParallelFlowObjective
+
+        profile = tiny_profile()
+        with pytest.warns(DeprecationWarning, match="RuntimeConfig"):
+            objective = ParallelFlowObjective(
+                profile, lambda qor: -qor["power_mw"], workers=1
+            )
+        try:
+            score = objective((0,) * 40)
+        finally:
+            objective.close()
+        direct = run_flow(profile, FlowParameters(), seed=0)
+        assert score == -direct.qor["power_mw"]
+
+
+class TestNetlistCacheLimit:
+    def test_restores_previous_limit(self):
+        before = netlist_cache_info()["limit"]
+        with netlist_cache_limit(before + 7):
+            assert netlist_cache_info()["limit"] == before + 7
+        assert netlist_cache_info()["limit"] == before
+
+    def test_restores_on_exception(self):
+        before = netlist_cache_info()["limit"]
+        with pytest.raises(RuntimeError):
+            with netlist_cache_limit(before + 3):
+                raise RuntimeError("boom")
+        assert netlist_cache_info()["limit"] == before
+
+    def test_rejects_bad_limit(self):
+        before = netlist_cache_info()["limit"]
+        with pytest.raises(ValueError):
+            with netlist_cache_limit(0):
+                pass
+        assert netlist_cache_info()["limit"] == before
+
+
+class TestOneDoorRule:
+    """No module outside repro/runtime builds the executors directly."""
+
+    # Matches constructor calls like ``FlowExecutor(`` but not the name
+    # alone (imports, type hints, isinstance checks are fine).
+    CONSTRUCT = re.compile(r"\b(?:Parallel)?FlowExecutor\s*\(")
+
+    def test_executors_only_constructed_inside_runtime(self):
+        offenders = []
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            if "runtime" in path.relative_to(SRC_ROOT).parts:
+                continue
+            for number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if self.CONSTRUCT.search(line):
+                    offenders.append(f"{path}:{number}: {line.strip()}")
+        assert not offenders, (
+            "flow executors must be composed via repro.runtime.FlowSession; "
+            "direct construction found in:\n" + "\n".join(offenders)
+        )

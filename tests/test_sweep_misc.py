@@ -1,11 +1,10 @@
 """Tests for the sweep utility, interaction summary and fold balance."""
 
-import numpy as np
 import pytest
 
 from repro.errors import FlowError
 from repro.flow.parameters import FlowParameters
-from repro.flow.sweep import SweepResult, set_knob, sweep
+from repro.flow.sweep import set_knob, sweep
 
 from conftest import tiny_profile
 

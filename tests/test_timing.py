@@ -8,7 +8,7 @@ from repro.errors import FlowError
 from repro.netlist.generator import generate_netlist
 from repro.placement.placer import PlacerParams, place
 from repro.timing.constraints import TimingConstraints, default_constraints
-from repro.timing.graph import build_timing_graph, output_load_ff
+from repro.timing.graph import build_timing_graph
 from repro.timing.sta import run_sta
 
 from conftest import tiny_profile

@@ -1,7 +1,6 @@
 """Additional coverage: viz edge cases, insight describe, report renderers."""
 
 import numpy as np
-import pytest
 
 from repro.flow.report import render_timing_report
 from repro.netlist.generator import generate_netlist
