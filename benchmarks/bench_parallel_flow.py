@@ -24,7 +24,13 @@ import time
 from repro.flow.parameters import FlowParameters, OptParams
 from repro.flow.result import FlowResult
 from repro.flow.runner import REQUIRED_QOR_KEYS
-from repro.runtime import FlowExecutor, FlowJob, ParallelFlowExecutor
+from repro.runtime import (
+    FaultKind,
+    FaultPlan,
+    FlowExecutor,
+    FlowJob,
+    ParallelFlowExecutor,
+)
 
 from common import run_once
 
@@ -82,6 +88,37 @@ def test_parallel_flow_speedup(benchmark, tmp_path):
         table["tool"] = {"seq_s": seq_s, "par_s": par_s,
                          "speedup": seq_s / par_s}
 
+        # -- Gated section: supervised resilience.  Workers are killed by
+        # a seeded fault plan mid-batch; the self-healing pool must still
+        # finish every job, match the serial run bit-for-bit, and beat
+        # the *clean* sequential loop on wall-clock — worker death cannot
+        # cost more than the parallelism it interrupts.
+        kill_plan = FaultPlan(
+            rate=0.35, kinds=(FaultKind.WORKER_KILL,), seed=3
+        )
+        with ParallelFlowExecutor(
+            workers=1, flow_fn=slow_flow, fault_plan=kill_plan,
+            max_respawns=4 * JOBS, poison_retries=2,
+        ) as serial_chaos:
+            chaos_reference = serial_chaos.run_batch(jobs)
+        with ParallelFlowExecutor(
+            workers=WORKERS, flow_fn=slow_flow, fault_plan=kill_plan,
+            max_respawns=4 * JOBS, poison_retries=2,
+        ) as chaos_pool:
+            started = time.perf_counter()
+            chaos_reports = chaos_pool.run_batch(jobs)
+            chaos_s = time.perf_counter() - started
+            chaos_stats = chaos_pool.stats()
+        assert [(r.ok, r.result.qor if r.ok else str(r.error))
+                for r in chaos_reports] == \
+               [(r.ok, r.result.qor if r.ok else str(r.error))
+                for r in chaos_reference]
+        table["chaos"] = {
+            "par_s": chaos_s,
+            "restarts": chaos_stats["worker_restarts"],
+            "redispatched": chaos_stats["jobs_redispatched"],
+        }
+
         # -- Informational: real simulated flow + persistent QoR cache.
         real_jobs = [
             FlowJob("D1", FlowParameters(opt=OptParams(
@@ -110,6 +147,11 @@ def test_parallel_flow_speedup(benchmark, tmp_path):
     print(f"sequential {tool['seq_s']:>7.2f}s   "
           f"parallel {tool['par_s']:>7.2f}s   "
           f"speedup {tool['speedup']:>5.1f}x   (gate >= {GATE:.1f}x)")
+    chaos = table["chaos"]
+    print(f"chaos pool {chaos['par_s']:>7.2f}s under seeded worker kills "
+          f"({chaos['restarts']} restarts, "
+          f"{chaos['redispatched']} re-dispatched)   "
+          f"(gate <= sequential {tool['seq_s']:.2f}s)")
     cache = table["cache"]
     print(f"QoR cache: cold {cache['cold_s']*1e3:>7.1f}ms   "
           f"warm {cache['warm_s']*1e3:>7.1f}ms   "
@@ -118,6 +160,12 @@ def test_parallel_flow_speedup(benchmark, tmp_path):
     assert tool["speedup"] >= GATE, (
         f"parallel executor only {tool['speedup']:.2f}x at {WORKERS} "
         f"workers on {JOBS} jobs (gate {GATE:.1f}x)"
+    )
+    # Self-healing under worker kills must still beat the clean
+    # sequential loop — recovery overhead bounded by the parallelism.
+    assert chaos["par_s"] <= tool["seq_s"], (
+        f"supervised pool took {chaos['par_s']:.2f}s under worker kills "
+        f"vs {tool['seq_s']:.2f}s clean sequential"
     )
     # Warm cache reruns must be far cheaper than re-simulating.
     assert cache["speedup"] >= 5.0

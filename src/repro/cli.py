@@ -63,6 +63,37 @@ from repro.recipes.apply import apply_recipe_set
 from repro.recipes.catalog import default_catalog
 
 
+def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
+    """Worker-pool supervision knobs shared by flow-running subcommands."""
+    group = parser.add_argument_group("worker supervision")
+    group.add_argument("--watchdog-s", type=float, default=0.0,
+                       help="wall-clock budget per dispatched job; a "
+                            "worker holding one longer is killed and "
+                            "replaced (0 = no watchdog)")
+    group.add_argument("--max-respawns", type=int, default=8,
+                       help="worker deaths absorbed (with respawn) before "
+                            "the pool degrades to serial execution")
+    group.add_argument("--poison-retries", type=int, default=1,
+                       help="re-dispatches of a job that killed its "
+                            "worker before it is quarantined as poison")
+
+
+def _runtime_from_args(args, **overrides):
+    """The RuntimeConfig shared by every flow-running subcommand."""
+    from repro.runtime.session import RuntimeConfig
+
+    settings = dict(
+        workers=getattr(args, "flow_workers", None)
+        or getattr(args, "workers", 1),
+        qor_cache_path=getattr(args, "qor_cache", "") or None,
+        watchdog_s=getattr(args, "watchdog_s", 0.0) or None,
+        max_respawns=getattr(args, "max_respawns", 8),
+        poison_retries=getattr(args, "poison_retries", 1),
+    )
+    settings.update(overrides)
+    return RuntimeConfig(**settings)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="InsightAlign reproduction CLI"
@@ -102,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "(design, recipe set, seed) evaluations are free")
     p_ds.add_argument("--trace", default="",
                       help="record spans + metrics to this JSONL file")
+    _add_supervision_flags(p_ds)
 
     p_align = sub.add_parser("align", help="offline alignment (Algorithm 1)")
     p_align.add_argument("--dataset", required=True)
@@ -167,6 +199,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma-separated QoR columns to print")
     p_sweep.add_argument("--trace", default="",
                          help="record spans + metrics to this JSONL file")
+    _add_supervision_flags(p_sweep)
 
     p_obs = sub.add_parser(
         "obs", help="observability: inspect recorded traces"
@@ -218,6 +251,21 @@ def build_parser() -> argparse.ArgumentParser:
                              "repeated evaluations are free")
     p_eval.add_argument("--trace", default="",
                         help="record spans + metrics to this JSONL file")
+    _add_supervision_flags(p_eval)
+    chaos = p_eval.add_argument_group(
+        "chaos rehearsal (seeded fault injection; disables the QoR cache)"
+    )
+    chaos.add_argument("--chaos-rate", type=float, default=0.0,
+                       help="probability that any flow invocation "
+                            "misbehaves (0 = chaos off)")
+    chaos.add_argument("--chaos-kinds", default="worker_kill",
+                       help="comma-separated FaultKind values to draw "
+                            "from (e.g. worker_kill,worker_stall,crash)")
+    chaos.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the deterministic fault schedule")
+    chaos.add_argument("--chaos-stall-s", type=float, default=30.0,
+                       help="real wall-clock sleep of a worker_stall "
+                            "fault")
     return parser
 
 
@@ -334,8 +382,6 @@ def cmd_list(args) -> int:
 
 
 def cmd_build_dataset(args) -> int:
-    from repro.runtime.session import RuntimeConfig
-
     designs = _split(args.designs) or None
     dataset = build_offline_dataset(
         designs=designs,
@@ -343,10 +389,7 @@ def cmd_build_dataset(args) -> int:
         seed=args.seed,
         cache_path=args.out,
         verbose=True,
-        runtime=RuntimeConfig(
-            workers=args.flow_workers,
-            qor_cache_path=args.qor_cache or None,
-        ),
+        runtime=_runtime_from_args(args),
     )
     print(f"wrote {len(dataset)} datapoints over "
           f"{len(dataset.designs())} designs to {args.out}")
@@ -430,7 +473,6 @@ def cmd_serve(args) -> int:
 def cmd_sweep(args) -> int:
     """Full-factorial knob sweep; prints the QoR grid and the best point."""
     from repro.flow.sweep import sweep
-    from repro.runtime.session import RuntimeConfig
 
     if not args.axis:
         print("sweep needs at least one --axis KNOB=V1,V2,...",
@@ -441,10 +483,7 @@ def cmd_sweep(args) -> int:
         args.design,
         axes,
         seed=args.seed,
-        runtime=RuntimeConfig(
-            workers=args.workers,
-            qor_cache_path=args.qor_cache or None,
-        ),
+        runtime=_runtime_from_args(args),
     )
     metrics = _split(args.metrics)
     print(result.render(metrics=metrics))
@@ -467,7 +506,7 @@ def cmd_obs(args) -> int:
 
 def cmd_recommend(args) -> int:
     from repro.runtime.parallel import FlowJob
-    from repro.runtime.session import FlowSession, RuntimeConfig
+    from repro.runtime.session import FlowSession
 
     ia = InsightAlign.load(args.model)
     dataset = OfflineDataset.load(args.dataset)
@@ -479,11 +518,7 @@ def cmd_recommend(args) -> int:
     results = None
     if args.evaluate:
         # All K evaluations as one supervised session batch.
-        runtime = RuntimeConfig(
-            workers=args.flow_workers,
-            qor_cache_path=args.qor_cache or None,
-            seed=args.seed,
-        )
+        runtime = _runtime_from_args(args, seed=args.seed)
         with FlowSession(runtime) as session:
             results = session.evaluate_strict([
                 FlowJob(
@@ -508,19 +543,47 @@ def cmd_recommend(args) -> int:
     return 0
 
 
+def _chaos_plan_from_args(args):
+    """A :class:`FaultPlan` built from the ``--chaos-*`` flags, or ``None``
+    when chaos is off (``--chaos-rate 0``)."""
+    rate = getattr(args, "chaos_rate", 0.0)
+    if not rate:
+        return None
+    from repro.runtime.faults import FaultKind
+    from repro.runtime.parallel import FaultPlan
+
+    kinds = tuple(
+        FaultKind(token.strip())
+        for token in args.chaos_kinds.split(",") if token.strip()
+    )
+    return FaultPlan(
+        rate=rate,
+        kinds=kinds or None,
+        seed=args.chaos_seed,
+        stall_s=args.chaos_stall_s,
+    )
+
+
+def _print_supervision_stats(stats: dict) -> None:
+    print(
+        "supervision: "
+        f"restarts={stats.get('worker_restarts', 0)} "
+        f"redispatched={stats.get('jobs_redispatched', 0)} "
+        f"poison={stats.get('poison_jobs', 0)} "
+        f"degraded={stats.get('degraded', False)}"
+    )
+
+
 def cmd_evaluate(args) -> int:
     """Table IV for a saved model: zero-shot rows against the archive."""
     from repro.core.crossval import evaluate_design
-    from repro.runtime.session import FlowSession, RuntimeConfig
+    from repro.runtime.session import FlowSession
 
     ia = InsightAlign.load(args.model)
     dataset = OfflineDataset.load(args.dataset)
     designs = _split(args.designs) or dataset.designs()
-    runtime = RuntimeConfig(
-        workers=args.flow_workers,
-        qor_cache_path=args.qor_cache or None,
-        seed=args.seed,
-    )
+    plan = _chaos_plan_from_args(args)
+    runtime = _runtime_from_args(args, seed=args.seed, fault_plan=plan)
     print(f"{'design':<8} {'known best':>12} {'recommended':>12} "
           f"{'win%':>7}")
     win_pcts = []
@@ -533,6 +596,8 @@ def cmd_evaluate(args) -> int:
             win_pcts.append(row.win_pct)
             print(f"{design:<8} {row.best_known_score:>12.3f} "
                   f"{row.rec_score:>12.3f} {row.win_pct:>6.1f}%")
+        if plan is not None or runtime.workers > 1:
+            _print_supervision_stats(session.stats())
     mean = sum(win_pcts) / len(win_pcts)
     print(f"mean win% over {len(designs)} design(s): {mean:.1f}%")
     return 0

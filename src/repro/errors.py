@@ -30,6 +30,18 @@ class CorruptQoR(FlowError):
     trajectory (partial snapshot) instead of a usable QoR report."""
 
 
+class WorkerCrash(FlowError):
+    """Raised (or reported) when a flow job repeatedly killed the worker
+    process running it and was quarantined as poison instead of being
+    re-dispatched again."""
+
+
+class WorkerPoolError(ReproError):
+    """Raised when the supervised worker pool exhausts its respawn budget
+    and serial degradation is disabled — the pool cannot keep workers
+    alive and has been shut down."""
+
+
 class RuntimeConfigError(ReproError):
     """Raised when a :class:`~repro.runtime.session.RuntimeConfig` (or the
     way a :class:`~repro.runtime.session.FlowSession` composes one) is

@@ -58,6 +58,7 @@ from repro.observability.profiling import (
 )
 from repro.observability.report import (
     aggregate_spans,
+    render_supervision,
     render_trace_report,
 )
 from repro.observability.trace import (
@@ -94,6 +95,7 @@ __all__ = [
     "profile_block",
     "profile_stats",
     "profiled",
+    "render_supervision",
     "render_trace_report",
     "set_registry",
     "set_tracer",

@@ -70,6 +70,32 @@ def render_span_tree(trace: TraceFile, root: SpanRecord,
     return "\n".join(lines)
 
 
+# Worker-pool supervision families, rendered as their own report section
+# so a chaotic run's recovery story is readable without grepping the full
+# metrics snapshot.  (name, human label) in display order.
+SUPERVISION_METRICS = (
+    ("flow_workers_live", "live workers"),
+    ("flow_worker_restarts_total", "worker restarts"),
+    ("flow_jobs_redispatched_total", "jobs re-dispatched"),
+    ("flow_poison_jobs_total", "poison jobs quarantined"),
+    ("flow_pool_degraded_total", "pool degradations to serial"),
+)
+
+
+def render_supervision(metrics: Dict[str, object]) -> str:
+    """The worker-pool supervision counters of a trace's metrics snapshot,
+    or ``""`` when the run never touched the supervised pool."""
+    lines: List[str] = []
+    for name, label in SUPERVISION_METRICS:
+        family = metrics.get(name)
+        if not family:
+            continue
+        for labels, value in sorted(family.get("values", {}).items()):
+            shown = labels if labels != "{}" else ""
+            lines.append(f"{label + shown:<32} {value:g}")
+    return "\n".join(lines)
+
+
 def render_metrics(metrics: Dict[str, object]) -> str:
     """The metrics snapshot of a trace, one line per labelled value."""
     lines: List[str] = []
@@ -103,6 +129,10 @@ def render_trace_report(trace: TraceFile, top: int = 12,
         for root in slowest:
             sections.append(render_span_tree(trace, root))
     if trace.metrics:
+        supervision = render_supervision(trace.metrics)
+        if supervision:
+            sections.append("\n=== worker supervision ===")
+            sections.append(supervision)
         sections.append("\n=== metrics snapshot ===")
         sections.append(render_metrics(trace.metrics))
     return "\n".join(sections)

@@ -43,8 +43,14 @@ from repro.runtime.executor import (
     FlowRunReport,
     RetryPolicy,
 )
-from repro.errors import RuntimeConfigError
-from repro.runtime.faults import FaultInjector, FaultKind, SimulatedToolCrash
+from repro.errors import RuntimeConfigError, WorkerCrash, WorkerPoolError
+from repro.runtime.faults import (
+    IN_TOOL_KINDS,
+    FaultInjector,
+    FaultKind,
+    SimulatedToolCrash,
+    SimulatedWorkerDeath,
+)
 from repro.runtime.parallel import (
     FaultPlan,
     FlowJob,
@@ -61,6 +67,7 @@ from repro.runtime.session import (
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "IN_TOOL_KINDS",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
@@ -77,8 +84,11 @@ __all__ = [
     "RuntimeConfig",
     "RuntimeConfigError",
     "SimulatedToolCrash",
+    "SimulatedWorkerDeath",
     "TrainingCheckpoint",
     "VirtualClock",
+    "WorkerCrash",
+    "WorkerPoolError",
     "atomic_pickle",
     "load_checkpoint",
     "qor_cache_key",

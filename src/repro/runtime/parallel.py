@@ -25,10 +25,28 @@ sequential path has:
   — online-loop dedup, benchmark reruns, cross-validation folds — are free.
   Writes are atomic (temp file + ``os.replace``); corrupt entries degrade
   to cache misses.
+- **Process-level fault tolerance.**  Workers are not pooled through a bare
+  ``multiprocessing.Pool`` (whose ``imap_unordered`` deadlocks forever if a
+  worker dies holding a job) but through a :class:`_WorkerSupervisor` that
+  tracks the one in-flight job per worker, detects worker death (liveness +
+  exit codes), respawns workers with the same warm-cache initialization,
+  and re-dispatches the lost job under a bounded budget.  A job that kills
+  its worker more than ``poison_retries`` times is quarantined as a typed
+  :class:`~repro.errors.WorkerCrash` report; a job that wedges past
+  ``watchdog_s`` wall-clock seconds gets its worker killed and surfaces as
+  a typed :class:`~repro.errors.FlowTimeout`; and when the respawn budget
+  (``max_respawns``) runs dry the batch degrades gracefully to supervised
+  in-process serial execution (or raises
+  :class:`~repro.errors.WorkerPoolError` when ``degrade_to_serial`` is
+  off).  Re-dispatch seeds are keyed by ``(job index, dispatch count)``, so
+  a re-dispatched job reproduces the serial run bit-for-bit.
 
 ``workers=1`` (the default everywhere) runs the same per-job machinery
 in-process: no pool, no pickling constraints, byte-for-byte the results the
-pool produces.  See ``docs/performance.md`` for the end-to-end story.
+pool produces — including the poison/watchdog accounting, driven by
+:class:`~repro.runtime.faults.SimulatedWorkerDeath` instead of real process
+death.  See ``docs/performance.md`` for the end-to-end story and
+``docs/robustness.md`` for the supervision design.
 """
 
 from __future__ import annotations
@@ -36,19 +54,47 @@ from __future__ import annotations
 import hashlib
 import json
 import multiprocessing
+import multiprocessing.connection
 import os
 import pickle
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
-from repro.errors import ReproError
+from repro.errors import (
+    FlowTimeout,
+    ReproError,
+    WorkerCrash,
+    WorkerPoolError,
+)
 from repro.flow.parameters import FlowParameters
 from repro.flow.result import FlowResult
 from repro.observability import get_registry, get_tracer, new_lock
 from repro.runtime.clock import VirtualClock
-from repro.runtime.executor import FlowExecutor, FlowRunReport, RetryPolicy
-from repro.runtime.faults import FaultInjector, FaultKind
+from repro.runtime.executor import (
+    FlowAttempt,
+    FlowExecutor,
+    FlowRunReport,
+    RetryPolicy,
+)
+from repro.runtime.faults import (
+    FaultInjector,
+    FaultKind,
+    SimulatedWorkerDeath,
+    mark_pool_worker,
+)
 
 # Version stamp baked into every cache key: bump when FlowResult layout or
 # flow semantics change so stale entries can never masquerade as fresh runs.
@@ -95,6 +141,7 @@ class FaultPlan:
     kinds: Optional[Tuple[FaultKind, ...]] = None
     seed: int = 0
     hang_s: float = 3600.0
+    stall_s: float = 30.0
 
 
 @dataclass(frozen=True)
@@ -110,8 +157,17 @@ class _RunnerSettings:
 
 
 def _execute_job(settings: _RunnerSettings, index: int,
-                 job: FlowJob) -> FlowRunReport:
-    """Run one supervised job, identically in-process or in a worker."""
+                 job: FlowJob, dispatch: int = 0) -> FlowRunReport:
+    """Run one supervised job, identically in-process or in a worker.
+
+    ``dispatch`` counts how many times this job's worker has already died
+    (0 on first dispatch).  It feeds the fault-stream seed so a
+    re-dispatched job draws a *fresh* schedule — a job that was killed by
+    chance can survive its re-dispatch — while dispatch 0 reproduces the
+    exact pre-supervision schedules.  Both the pool supervisor and the
+    serial path key on the same ``(index, dispatch)`` pair, which is what
+    makes re-dispatched results bit-identical to the workers=1 run.
+    """
     if settings.flow_fn is None:
         from repro.flow.runner import run_flow
 
@@ -123,11 +179,15 @@ def _execute_job(settings: _RunnerSettings, index: int,
     if settings.fault_plan is not None:
         plan = settings.fault_plan
         virtual = VirtualClock()
+        fault_seed = _job_stream_seed(plan.seed, index)
+        if dispatch:
+            fault_seed = _job_stream_seed(fault_seed, dispatch)
         injector = FaultInjector(
             rate=plan.rate,
             kinds=plan.kinds,
-            seed=_job_stream_seed(plan.seed, index),
+            seed=fault_seed,
             hang_s=plan.hang_s,
+            stall_s=plan.stall_s,
             clock=virtual,
         )
         flow_fn = injector.wrap(flow_fn)
@@ -180,9 +240,376 @@ def _worker_init(settings: _RunnerSettings,
                     pass
 
 
-def _worker_run(task: Tuple[int, FlowJob]) -> Tuple[int, FlowRunReport]:
-    index, job = task
-    return index, _execute_job(_WORKER_SETTINGS, index, job)
+class _RemoteError:
+    """Envelope for a non-flow exception raised inside a worker.
+
+    Configuration bugs (:class:`~repro.errors.ReproError` outside the flow
+    taxonomy) must propagate to the caller, not be absorbed into reports or
+    mistaken for worker death — so the worker catches them, ships them back
+    over the result queue, and the supervisor re-raises in the parent.
+    """
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+def _supervised_worker(task_queue, result_conn,
+                       settings: _RunnerSettings,
+                       warm: Sequence[Tuple[str, int]]) -> None:
+    """Main of one supervised pool worker.
+
+    Marks the process as a pool worker (so ``WORKER_KILL`` faults die for
+    real), performs the same warm-cache initialization as the original
+    pool initializer, then serves ``(epoch, index, job, dispatch)`` tasks
+    until the ``None`` shutdown sentinel arrives.  Every completion —
+    report or shipped exception — is one synchronous ``result_conn.send``
+    over a pipe *private to this worker*: no feeder thread and no lock
+    shared with other processes, so a worker SIGKILL'd (or ``os._exit``-ed
+    by a ``WORKER_KILL`` fault) at any instant can neither lose a result
+    it already sent nor wedge its siblings' result channels.  A worker
+    that dies mid-job simply never answers — exactly the signal the
+    supervisor watches for.
+    """
+    mark_pool_worker()
+    _worker_init(settings, warm)
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        epoch, index, job, dispatch = task
+        try:
+            payload: object = _execute_job(settings, index, job, dispatch)
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as err:  # noqa: BLE001 - shipped to the parent
+            payload = _RemoteError(err)
+        result_conn.send((epoch, index, payload))
+
+
+def _quarantine_report(job: FlowJob, kills: int) -> FlowRunReport:
+    """The typed report for a poison job (killed its worker ``kills``
+    times).  Built identically by the pool supervisor and the serial
+    path, so quarantine outcomes are worker-count invariant."""
+    error = WorkerCrash(
+        f"flow job on {job.design} killed its worker {kills} time(s); "
+        f"quarantined as poison"
+    )
+    return FlowRunReport(
+        design=str(job.design),
+        attempts=[FlowAttempt(index=kills - 1, error=error, elapsed_s=0.0)],
+    )
+
+
+def _watchdog_report(job: FlowJob, watchdog_s: float) -> FlowRunReport:
+    """The typed report for a stalled job whose worker the watchdog shot.
+
+    Deliberately carries the watchdog budget, not the measured wall time,
+    so the serial and pool paths produce byte-identical reports."""
+    error = FlowTimeout(
+        f"flow job on {job.design} stalled past the {watchdog_s:.3g}s "
+        f"supervision watchdog; worker killed and replaced"
+    )
+    return FlowRunReport(
+        design=str(job.design),
+        attempts=[FlowAttempt(index=0, error=error, elapsed_s=watchdog_s)],
+    )
+
+
+class _PoolMember:
+    """One supervised worker: process + private task/result channels +
+    the in-flight job."""
+
+    __slots__ = ("id", "process", "task_queue", "result_recv",
+                 "inflight", "dispatched_at")
+
+    def __init__(self, worker_id: int, process, task_queue,
+                 result_recv) -> None:
+        self.id = worker_id
+        self.process = process
+        self.task_queue = task_queue
+        self.result_recv = result_recv
+        # (index, job, dispatch) currently running on this worker, or None.
+        self.inflight: Optional[Tuple[int, FlowJob, int]] = None
+        self.dispatched_at = 0.0
+
+
+class _WorkerSupervisor:
+    """Keeps ``workers`` processes alive and a batch flowing through them.
+
+    The contract with :meth:`ParallelFlowExecutor.run_batch`:
+
+    - :meth:`run` yields ``(index, report)`` for *every* task it was given,
+      exactly once, regardless of worker deaths, stalls, or degradation —
+      the batch can never hang on a lost job.
+    - Non-flow exceptions shipped back from a worker are re-raised.
+    - Worker death with a job in flight → the job is re-dispatched with an
+      incremented dispatch count, up to ``poison_retries`` times, then
+      quarantined as a :class:`~repro.errors.WorkerCrash` report.
+    - A job in flight longer than ``watchdog_s`` → its worker is killed and
+      the job surfaces as a :class:`~repro.errors.FlowTimeout` report.
+    - Each death/kill consumes one respawn from ``max_respawns``; when the
+      budget is gone the pool shuts down and the rest of the batch runs
+      through ``run_inprocess`` (the executor's serial supervision), or
+      :class:`~repro.errors.WorkerPoolError` is raised when
+      ``degrade_to_serial`` is off.
+    """
+
+    POLL_S = 0.02
+
+    def __init__(
+        self,
+        context,
+        workers: int,
+        settings: _RunnerSettings,
+        warm: Sequence[Tuple[str, int]],
+        max_respawns: int,
+        poison_retries: int,
+        watchdog_s: Optional[float],
+        degrade_to_serial: bool,
+        run_inprocess: Callable[[int, FlowJob, int], FlowRunReport],
+        on_restart: Callable[[int, Optional[int], int], None],
+        on_redispatch: Callable[[], None],
+        on_poison: Callable[[], None],
+        on_degrade: Callable[[], None],
+    ) -> None:
+        self._ctx = context
+        self._settings = settings
+        self._warm = warm
+        self.workers = int(workers)
+        self.max_respawns = int(max_respawns)
+        self.poison_retries = int(poison_retries)
+        self.watchdog_s = watchdog_s
+        self.degrade_to_serial = bool(degrade_to_serial)
+        self._run_inprocess = run_inprocess
+        self._on_restart = on_restart
+        self._on_redispatch = on_redispatch
+        self._on_poison = on_poison
+        self._on_degrade = on_degrade
+        self._epoch = 0
+        self._next_id = 0
+        self.respawns = 0
+        self.degraded = False
+        self._members: Dict[int, _PoolMember] = {}
+        for _ in range(self.workers):
+            self._spawn()
+        self._update_live_gauge()
+
+    # -- membership ----------------------------------------------------
+    def _spawn(self) -> _PoolMember:
+        worker_id = self._next_id
+        self._next_id += 1
+        task_queue = self._ctx.SimpleQueue()
+        result_recv, result_send = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_supervised_worker,
+            args=(task_queue, result_send, self._settings, self._warm),
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's copy of the send end: the worker now holds the
+        # only writer, so worker death surfaces as EOF on the recv end.
+        result_send.close()
+        member = _PoolMember(worker_id, process, task_queue, result_recv)
+        self._members[worker_id] = member
+        return member
+
+    def _discard(self, member: _PoolMember, kill: bool = False) -> None:
+        self._members.pop(member.id, None)
+        if kill and member.process.is_alive():
+            member.process.kill()
+        member.process.join()
+        try:
+            member.result_recv.close()
+        except OSError:
+            pass
+
+    def live_count(self) -> int:
+        return sum(
+            1 for m in self._members.values() if m.process.is_alive()
+        )
+
+    def _update_live_gauge(self) -> None:
+        get_registry().gauge("flow_workers_live").set(self.live_count())
+
+    def _respawn_or_degrade(self) -> bool:
+        """Replace one dead/killed worker; False when the budget is dry."""
+        if self.respawns >= self.max_respawns:
+            return False
+        self.respawns += 1
+        self._spawn()
+        self._update_live_gauge()
+        return True
+
+    # -- the supervision loop ------------------------------------------
+    def run(
+        self, tasks: Sequence[Tuple[int, FlowJob]]
+    ) -> Iterator[Tuple[int, FlowRunReport]]:
+        """Drive one batch; yields ``(index, report)`` as jobs finish."""
+        self._epoch += 1
+        epoch = self._epoch
+        backlog: Deque[Tuple[int, FlowJob, int]] = deque(
+            (index, job, 0) for index, job in tasks
+        )
+        kills: Dict[int, int] = {}
+        done: Set[int] = set()
+        total = len(backlog)
+        finished = 0
+        while finished < total:
+            if self.degraded or not self._members:
+                for item in self._degrade(backlog, kills):
+                    done.add(item[0])
+                    finished += 1
+                    yield item
+                continue
+            # Dispatch: every idle worker gets the next backlog task.
+            for member in self._members.values():
+                if member.inflight is None and backlog:
+                    index, job, dispatch = backlog.popleft()
+                    member.task_queue.put((epoch, index, job, dispatch))
+                    member.inflight = (index, job, dispatch)
+                    member.dispatched_at = time.monotonic()
+            # Collect: block briefly, then drain whatever else arrived.
+            for worker_id, index, payload in self._collect(epoch, done):
+                member = self._members.get(worker_id)
+                if member is not None and member.inflight is not None \
+                        and member.inflight[0] == index:
+                    member.inflight = None
+                if isinstance(payload, _RemoteError):
+                    raise payload.error
+                done.add(index)
+                finished += 1
+                yield index, payload
+            # Watchdog: kill workers stuck past the wall-clock budget.
+            if self.watchdog_s is not None:
+                now = time.monotonic()
+                for member in list(self._members.values()):
+                    if member.inflight is None:
+                        continue
+                    if now - member.dispatched_at <= self.watchdog_s:
+                        continue
+                    index, job, _ = member.inflight
+                    self._discard(member, kill=True)
+                    if self._respawn_or_degrade():
+                        self._on_restart(member.id,
+                                         member.process.exitcode, index)
+                    self._update_live_gauge()
+                    if index not in done:
+                        done.add(index)
+                        finished += 1
+                        yield index, _watchdog_report(job, self.watchdog_s)
+            # Liveness: a dead worker's in-flight job was lost with it.
+            for member in list(self._members.values()):
+                if member.process.is_alive():
+                    continue
+                index, job, dispatch = (
+                    member.inflight if member.inflight is not None
+                    else (None, None, 0)
+                )
+                self._discard(member)
+                if self._respawn_or_degrade():
+                    self._on_restart(member.id, member.process.exitcode,
+                                     index)
+                self._update_live_gauge()
+                if index is None or index in done:
+                    continue
+                kills[index] = kills.get(index, 0) + 1
+                if kills[index] > self.poison_retries:
+                    self._on_poison()
+                    done.add(index)
+                    finished += 1
+                    yield index, _quarantine_report(job, kills[index])
+                else:
+                    self._on_redispatch()
+                    backlog.appendleft((index, job, kills[index]))
+
+    def _collect(
+        self, epoch: int, done: Set[int]
+    ) -> List[Tuple[int, int, object]]:
+        """Every result currently available (one brief blocking wait).
+
+        Waits on each member's private result pipe.  A dead worker's pipe
+        is drained too (its last ``send`` completed before it died, so the
+        bytes are intact) before EOF surfaces — results are never lost to
+        a death that happened after completion.
+        """
+        out: List[Tuple[int, int, object]] = []
+        by_conn = {
+            member.result_recv: member for member in self._members.values()
+        }
+        if not by_conn:
+            return out
+        ready = multiprocessing.connection.wait(
+            list(by_conn), timeout=self.POLL_S
+        )
+        for conn in ready:
+            member = by_conn[conn]
+            while True:
+                try:
+                    if not conn.poll(0):
+                        break
+                    item = conn.recv()
+                except (EOFError, OSError):
+                    break  # dead worker; the liveness pass handles it
+                item_epoch, index, payload = item
+                if item_epoch == epoch and index not in done:
+                    out.append((member.id, index, payload))
+        return out
+
+    def _degrade(
+        self,
+        backlog: Deque[Tuple[int, FlowJob, int]],
+        kills: Dict[int, int],
+    ) -> Iterator[Tuple[int, FlowRunReport]]:
+        """Respawn budget is gone: recover in-flight jobs, kill the pool,
+        and run everything left through the serial supervision path."""
+        if not self.degraded:
+            self.degraded = True
+            self._on_degrade()
+            for member in list(self._members.values()):
+                if member.inflight is not None:
+                    backlog.appendleft(member.inflight)
+                self._discard(member, kill=True)
+            self._update_live_gauge()
+        if not self.degrade_to_serial:
+            raise WorkerPoolError(
+                f"worker pool exhausted its respawn budget "
+                f"({self.max_respawns}) and degrade_to_serial is off; "
+                f"{len(backlog)} job(s) unfinished"
+            )
+        while backlog:
+            index, job, _ = backlog.popleft()
+            yield index, self._run_inprocess(index, job,
+                                             kills.get(index, 0))
+
+    # -- shutdown ------------------------------------------------------
+    def shutdown(self, timeout_s: float = 5.0) -> None:
+        """Graceful stop: sentinel + bounded join, then kill stragglers.
+
+        The bounded wait lets idle workers exit cleanly (flushing any
+        in-progress teardown) without letting a wedged worker block
+        shutdown forever.
+        """
+        for member in self._members.values():
+            if member.process.is_alive():
+                try:
+                    member.task_queue.put(None)
+                except (OSError, ValueError):
+                    pass
+        deadline = time.monotonic() + timeout_s
+        for member in self._members.values():
+            member.process.join(max(0.0, deadline - time.monotonic()))
+        for member in self._members.values():
+            if member.process.is_alive():
+                member.process.kill()
+                member.process.join()
+            try:
+                member.result_recv.close()
+            except OSError:
+                pass
+        self._members.clear()
+        self._update_live_gauge()
 
 
 # ----------------------------------------------------------------------
@@ -353,6 +780,19 @@ class ParallelFlowExecutor:
         start_method: Multiprocessing start method; default prefers
             ``fork`` (workers inherit the parent's warm netlist cache for
             free) and falls back to the platform default.
+        max_respawns: Worker deaths the supervisor absorbs (respawning the
+            worker each time) before the pool stops replacing workers and,
+            once none are left, degrades.
+        poison_retries: Times a job whose worker died is re-dispatched
+            before it is quarantined as a typed
+            :class:`~repro.errors.WorkerCrash` report.
+        watchdog_s: Wall-clock budget per dispatch; a worker holding one
+            job longer is killed and the job surfaces as a typed
+            :class:`~repro.errors.FlowTimeout`.  ``None`` disables the
+            watchdog.
+        degrade_to_serial: When the respawn budget is exhausted, finish
+            the batch with supervised in-process execution (default)
+            instead of raising :class:`~repro.errors.WorkerPoolError`.
     """
 
     def __init__(
@@ -366,10 +806,30 @@ class ParallelFlowExecutor:
         cache: Union[QoRCache, os.PathLike, str, None] = None,
         fault_plan: Optional[FaultPlan] = None,
         start_method: Optional[str] = None,
+        max_respawns: int = 8,
+        poison_retries: int = 1,
+        watchdog_s: Optional[float] = None,
+        degrade_to_serial: bool = True,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be >= 0, got {max_respawns}"
+            )
+        if poison_retries < 0:
+            raise ValueError(
+                f"poison_retries must be >= 0, got {poison_retries}"
+            )
+        if watchdog_s is not None and not watchdog_s > 0:
+            raise ValueError(
+                f"watchdog_s must be positive or None, got {watchdog_s}"
+            )
         self.workers = int(workers)
+        self.max_respawns = int(max_respawns)
+        self.poison_retries = int(poison_retries)
+        self.watchdog_s = watchdog_s
+        self.degrade_to_serial = bool(degrade_to_serial)
         if cache is None or isinstance(cache, QoRCache):
             self.cache = cache
         else:
@@ -386,10 +846,14 @@ class ParallelFlowExecutor:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self._start_method = start_method
-        self._pool = None
+        self._pool: Optional[_WorkerSupervisor] = None
         self._counter_lock = new_lock()
         self.jobs_run = 0
         self.batches_run = 0
+        self.worker_restarts = 0
+        self.jobs_redispatched = 0
+        self.poison_jobs = 0
+        self.degraded = False
 
     # ------------------------------------------------------------------
     @property
@@ -427,33 +891,47 @@ class ParallelFlowExecutor:
 
             batch_span.set_attribute("cached", len(jobs) - len(pending))
             queue_depth = registry.gauge("flow_pool_queue_depth")
-            if pending:
-                queue_depth.set(len(pending))
-                if self.workers == 1:
-                    for index, job in pending:
-                        reports[index] = _execute_job(
-                            self._settings, index, job
-                        )
-                        queue_depth.dec()
-                else:
-                    pool = self._ensure_pool(jobs)
-                    # Unordered completion + index reassembly: stragglers
-                    # never stall finished results, and submission order is
-                    # restored from the index, so completion order is
-                    # unobservable.
-                    for index, report in pool.imap_unordered(
-                        _worker_run, pending, chunksize=1
-                    ):
-                        reports[index] = report
-                        queue_depth.dec()
-                if self._cache_enabled:
-                    for index, job in pending:
-                        report = reports[index]
-                        if report is not None and report.ok:
-                            self.cache.put(
-                                job.design, job.params, job.seed,
-                                report.result,
+            try:
+                if pending:
+                    queue_depth.set(len(pending))
+                    if self.workers == 1 or self.degraded:
+                        for index, job in pending:
+                            reports[index] = self._run_supervised_inprocess(
+                                index, job
                             )
+                            queue_depth.dec()
+                    else:
+                        supervisor = self._ensure_pool(jobs)
+                        before = self._supervision_counters()
+                        with get_tracer().span(
+                            "flow.supervise", workers=self.workers,
+                            jobs=len(pending),
+                        ) as sup_span:
+                            # Unordered completion + index reassembly:
+                            # stragglers never stall finished results, and
+                            # submission order is restored from the index,
+                            # so completion order is unobservable.
+                            for index, report in supervisor.run(pending):
+                                reports[index] = report
+                                queue_depth.dec()
+                            after = self._supervision_counters()
+                            sup_span.set_attributes(**{
+                                key: after[key] - before[key]
+                                for key in before
+                            }, degraded=self.degraded)
+                    if self._cache_enabled:
+                        for index, job in pending:
+                            report = reports[index]
+                            if report is not None and report.ok:
+                                self.cache.put(
+                                    job.design, job.params, job.seed,
+                                    report.result,
+                                )
+            finally:
+                # A batch leaves no residue: the gauge reads 0 between
+                # batches (a fully-cached batch never touched it, and the
+                # last in-batch decrement used to linger indefinitely).
+                queue_depth.set(0)
             failed = sum(1 for r in reports if r is not None and not r.ok)
             batch_span.set_attribute("failed", failed)
             registry.counter("flow_jobs_total").inc(len(jobs))
@@ -482,7 +960,75 @@ class ParallelFlowExecutor:
             return FlowJob(*job)
         raise TypeError(f"expected FlowJob or tuple, got {type(job).__name__}")
 
-    def _ensure_pool(self, jobs: Sequence[FlowJob]):
+    def _run_supervised_inprocess(self, index: int, job: FlowJob,
+                                  kills: int = 0) -> FlowRunReport:
+        """One job under the serial equivalent of pool supervision.
+
+        :class:`~repro.runtime.faults.SimulatedWorkerDeath` stands in for
+        real worker death and feeds the same poison accounting; the
+        watchdog is enforced post-hoc on measured wall time (a stalled
+        "worker" cannot be pre-empted in-process, but the typed outcome is
+        identical to the pool's).
+        """
+        registry = get_registry()
+        while True:
+            started = time.monotonic()
+            try:
+                report = _execute_job(self._settings, index, job,
+                                      dispatch=kills)
+            except SimulatedWorkerDeath:
+                kills += 1
+                if kills > self.poison_retries:
+                    self._note_poison()
+                    return _quarantine_report(job, kills)
+                self._note_redispatch()
+                registry.counter("flow_worker_restarts_total").inc(
+                    mode="inprocess"
+                )
+                continue
+            if (self.watchdog_s is not None
+                    and time.monotonic() - started > self.watchdog_s):
+                return _watchdog_report(job, self.watchdog_s)
+            return report
+
+    # -- supervision bookkeeping ---------------------------------------
+    def _supervision_counters(self) -> Dict[str, int]:
+        with self._counter_lock:
+            return {
+                "restarts": self.worker_restarts,
+                "redispatched": self.jobs_redispatched,
+                "poisoned": self.poison_jobs,
+            }
+
+    def _note_restart(self, worker_id: int, exitcode: Optional[int],
+                      job_index: Optional[int]) -> None:
+        with self._counter_lock:
+            self.worker_restarts += 1
+        get_registry().counter("flow_worker_restarts_total").inc(
+            mode="pool"
+        )
+        with get_tracer().span(
+            "flow.worker_restart", worker=worker_id,
+            exitcode=-1 if exitcode is None else int(exitcode),
+            job=-1 if job_index is None else int(job_index),
+        ):
+            pass
+
+    def _note_redispatch(self) -> None:
+        with self._counter_lock:
+            self.jobs_redispatched += 1
+        get_registry().counter("flow_jobs_redispatched_total").inc()
+
+    def _note_poison(self) -> None:
+        with self._counter_lock:
+            self.poison_jobs += 1
+        get_registry().counter("flow_poison_jobs_total").inc()
+
+    def _note_degraded(self) -> None:
+        self.degraded = True
+        get_registry().counter("flow_pool_degraded_total").inc()
+
+    def _ensure_pool(self, jobs: Sequence[FlowJob]) -> _WorkerSupervisor:
         if self._pool is None:
             context = multiprocessing.get_context(self._start_method)
             warm = []
@@ -494,21 +1040,36 @@ class ParallelFlowExecutor:
                     warm.append(key)
             if self._start_method == "fork":
                 # Generate each pristine netlist once in the parent; every
-                # forked worker inherits the warm cache copy-on-write.
+                # forked worker — including respawns — inherits the warm
+                # cache copy-on-write.
                 _worker_init(self._settings, warm)
                 warm = []
-            self._pool = context.Pool(
-                processes=self.workers,
-                initializer=_worker_init,
-                initargs=(self._settings, warm),
+            self._pool = _WorkerSupervisor(
+                context,
+                workers=self.workers,
+                settings=self._settings,
+                warm=warm,
+                max_respawns=self.max_respawns,
+                poison_retries=self.poison_retries,
+                watchdog_s=self.watchdog_s,
+                degrade_to_serial=self.degrade_to_serial,
+                run_inprocess=self._run_supervised_inprocess,
+                on_restart=self._note_restart,
+                on_redispatch=self._note_redispatch,
+                on_poison=self._note_poison,
+                on_degrade=self._note_degraded,
             )
         return self._pool
 
-    def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Shut the worker pool down (idempotent).
+
+        Graceful first — shutdown sentinels plus a bounded join, so idle
+        workers tear down cleanly — with SIGKILL as the fallback for
+        anything still alive at the deadline.
+        """
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            self._pool.shutdown(timeout_s=timeout_s)
             self._pool = None
 
     def __enter__(self) -> "ParallelFlowExecutor":
@@ -527,11 +1088,21 @@ class ParallelFlowExecutor:
         """Executor counters plus cache occupancy (when one is attached)."""
         with self._counter_lock:
             jobs_run, batches_run = self.jobs_run, self.batches_run
+            restarts = self.worker_restarts
+            redispatched = self.jobs_redispatched
+            poisoned = self.poison_jobs
         out: Dict[str, object] = {
             "workers": self.workers,
             "jobs_run": jobs_run,
             "batches_run": batches_run,
             "pool_live": self._pool is not None,
+            "workers_live": (
+                self._pool.live_count() if self._pool is not None else 0
+            ),
+            "worker_restarts": restarts,
+            "jobs_redispatched": redispatched,
+            "poison_jobs": poisoned,
+            "degraded": self.degraded,
         }
         if self.cache is not None:
             out["cache"] = self.cache.info()

@@ -100,6 +100,18 @@ class RuntimeConfig:
             either way; instrumentation never consumes RNG).
         start_method: Multiprocessing start method override (``None``
             prefers ``fork`` so workers inherit the warm netlist cache).
+        max_respawns: Worker deaths the supervised pool absorbs (each one
+            respawning a warm replacement worker) before it stops
+            replacing workers and degrades.
+        poison_retries: Times a job whose worker died is re-dispatched
+            before being quarantined as a typed
+            :class:`~repro.errors.WorkerCrash` report.
+        watchdog_s: Wall-clock budget per dispatched job; a worker
+            holding one longer is killed and the job surfaces as a typed
+            :class:`~repro.errors.FlowTimeout` (``None`` disables).
+        degrade_to_serial: Finish batches in-process when the pool cannot
+            keep workers alive (default) instead of raising
+            :class:`~repro.errors.WorkerPoolError`.
     """
 
     workers: int = 1
@@ -111,6 +123,10 @@ class RuntimeConfig:
     fault_plan: Optional[FaultPlan] = None
     trace: bool = True
     start_method: Optional[str] = None
+    max_respawns: int = 8
+    poison_retries: int = 1
+    watchdog_s: Optional[float] = None
+    degrade_to_serial: bool = True
 
     def __post_init__(self) -> None:
         if not isinstance(self.workers, int) or isinstance(self.workers, bool):
@@ -165,6 +181,22 @@ class RuntimeConfig:
             raise RuntimeConfigError(
                 f"unknown start_method {self.start_method!r}; available: "
                 f"{', '.join(multiprocessing.get_all_start_methods())}"
+            )
+        for name in ("max_respawns", "poison_retries"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 0:
+                raise RuntimeConfigError(
+                    f"{name} must be a non-negative int, got {value!r}"
+                )
+        if self.watchdog_s is not None and not self.watchdog_s > 0:
+            raise RuntimeConfigError(
+                f"watchdog_s must be positive or None, got {self.watchdog_s}"
+            )
+        if not isinstance(self.degrade_to_serial, bool):
+            raise RuntimeConfigError(
+                f"degrade_to_serial must be a bool, got "
+                f"{type(self.degrade_to_serial).__name__}"
             )
 
     def replace(self, **overrides) -> "RuntimeConfig":
@@ -242,6 +274,12 @@ class FlowSession:
                     "fault injection for an injected executor belongs in "
                     "the executor itself, not the session's fault_plan"
                 )
+            if config.watchdog_s is not None:
+                raise RuntimeConfigError(
+                    "the supervision watchdog applies to session-owned "
+                    "workers; an injected executor bypasses it — drop "
+                    "watchdog_s or the executor"
+                )
         self.config = config
         self._injected = executor
         self._parallel: Optional[ParallelFlowExecutor] = None
@@ -256,6 +294,10 @@ class FlowSession:
                 cache=config.qor_cache_path,
                 fault_plan=config.fault_plan,
                 start_method=config.start_method,
+                max_respawns=config.max_respawns,
+                poison_retries=config.poison_retries,
+                watchdog_s=config.watchdog_s,
+                degrade_to_serial=config.degrade_to_serial,
             )
 
     # ------------------------------------------------------------------
