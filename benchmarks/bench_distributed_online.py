@@ -1,0 +1,205 @@
+"""Distributed online fine-tuning: actor/learner async vs. the serial loop.
+
+The online loop's wall-clock is dominated by the P&R tool: each iteration
+evaluates K proposed recipe sets, and the serial loop pays K tool
+latencies per iteration even though the evaluations are independent.  The
+contender is :class:`~repro.distributed.DistributedOnlineFineTuner` in
+**async** mode: N actor processes propose against their last-synced
+policy replica and evaluate concurrently, streaming experience records to
+the learner, which updates from arrival-ordered batches under a bounded
+staleness (``max_policy_lag``) and broadcasts fresh weights.
+
+As in ``bench_parallel_flow.py``, the tool is modelled by a fixed
+wall-clock latency around a deterministic QoR synthesis — the
+latency-bound regime the actor pool exists for.
+
+Acceptance gates (ISSUE 7):
+- async at 4 actors completes the same number of iterations >= 2x faster
+  than the serial loop (>= 1.2x in the tiny CI configuration,
+  ``REPRO_DISTRIBUTED_BENCH_TINY=1``);
+- a seeded actor-kill run still completes every iteration with every
+  experience record accounted for (arrivals - stale drops == iterations
+  x K) while the pool respawns the killed actors.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.dataset import DataPoint, OfflineDataset
+from repro.core.model import InsightAlignModel
+from repro.core.online import OnlineConfig, OnlineFineTuner
+from repro.distributed import DistributedConfig, DistributedOnlineFineTuner
+from repro.flow.result import FlowResult
+from repro.flow.runner import REQUIRED_QOR_KEYS
+from repro.insights.extractor import InsightVector
+from repro.insights.schema import INSIGHT_DIMS
+
+from common import record_bench, run_once
+
+TINY = os.environ.get("REPRO_DISTRIBUTED_BENCH_TINY", "") not in ("", "0")
+ACTORS = 4
+ITERATIONS = 3 if TINY else 4
+K = 3 if TINY else 4
+TOOL_LATENCY_S = 0.15 if TINY else 0.25
+GATE = 1.2 if TINY else 2.0
+DESIGN = "D6"
+
+
+def slow_flow(design, params, seed=0):
+    """Stand-in for the external P&R tool: fixed wall-clock latency, then
+    a deterministic QoR synthesized from the parameters (module-level so
+    actor processes can pickle it)."""
+    time.sleep(TOOL_LATENCY_S)
+    fingerprint = hash((
+        round(params.placer.effort, 6),
+        round(params.opt.vt_swap_bias, 6),
+        round(params.route.effort, 6),
+    ))
+    base = 1.0 + (abs(fingerprint) % 1000) / 1000.0
+    return FlowResult(
+        design=str(design),
+        qor={key: base * (index + 1) * 0.1
+             for index, key in enumerate(REQUIRED_QOR_KEYS)},
+    )
+
+
+def _archive() -> OfflineDataset:
+    """A tiny synthetic archive (no real flow runs)."""
+    rng = np.random.default_rng(0)
+    points = []
+    insights = {DESIGN: InsightVector(
+        DESIGN, rng.normal(size=(INSIGHT_DIMS,)), {}
+    )}
+    for _ in range(30):
+        bits = tuple(int(b) for b in rng.integers(0, 2, size=40))
+        qor = {key: float(rng.uniform(0.5, 2.0))
+               for key in REQUIRED_QOR_KEYS}
+        points.append(DataPoint(DESIGN, bits, qor))
+    return OfflineDataset(points=points, insights=insights, seed=0)
+
+
+def _config(distributed=None) -> OnlineConfig:
+    return OnlineConfig(
+        iterations=ITERATIONS, k=K, insight_refresh=0.0, seed=3,
+        dpo_pairs_per_update=8, distributed=distributed,
+    )
+
+
+def test_distributed_online_speedup(benchmark):
+    archive = _archive()
+
+    def run_all():
+        table = {}
+
+        # -- Serial reference: the in-process loop, K latencies/iteration.
+        with OnlineFineTuner(_config(), flow_fn=slow_flow) as serial:
+            started = time.perf_counter()
+            serial_result = serial.run(
+                InsightAlignModel(seed=9), archive, DESIGN
+            )
+        serial_s = time.perf_counter() - started
+        assert len(serial_result.records) == ITERATIONS
+
+        # -- Gated section: async actor/learner at 4 actors.
+        async_cfg = _config(DistributedConfig(actors=ACTORS, mode="async"))
+        with DistributedOnlineFineTuner(
+            async_cfg, flow_fn=slow_flow
+        ) as tuner:
+            started = time.perf_counter()
+            async_result = tuner.run(
+                InsightAlignModel(seed=9), archive, DESIGN
+            )
+            async_s = time.perf_counter() - started
+            async_stats = tuner.actor_stats()
+        assert len(async_result.records) == ITERATIONS
+        assert all(
+            len(r.recipe_sets) + len(r.failures) == K
+            for r in async_result.records
+        )
+        table["async"] = {
+            "serial_s": serial_s, "async_s": async_s,
+            "speedup": serial_s / async_s, "stats": async_stats,
+        }
+
+        # -- Gated section: seeded actor kills.  The pool respawns every
+        # victim and re-issues its in-flight proposal; the run completes
+        # with every experience record accounted for.
+        chaos_cfg = _config(DistributedConfig(
+            actors=ACTORS, mode="async", kill_rate=0.4, kill_seed=11,
+            max_actor_respawns=16 * ITERATIONS * K,
+        ))
+        with DistributedOnlineFineTuner(
+            chaos_cfg, flow_fn=slow_flow
+        ) as chaos:
+            started = time.perf_counter()
+            chaos_result = chaos.run(
+                InsightAlignModel(seed=9), archive, DESIGN
+            )
+            chaos_s = time.perf_counter() - started
+            chaos_stats = chaos.actor_stats()
+        assert len(chaos_result.records) == ITERATIONS
+        consumed = (
+            chaos_stats["records_total"] - chaos_stats["dropped_stale"]
+        )
+        assert consumed == ITERATIONS * K, (
+            f"experience lost under actor kills: consumed {consumed} of "
+            f"{ITERATIONS * K}"
+        )
+        table["chaos"] = {"chaos_s": chaos_s, "stats": chaos_stats}
+        return table
+
+    table = run_once(benchmark, run_all)
+
+    spd = table["async"]
+    chaos = table["chaos"]
+    print(f"\n=== Distributed online fine-tuning ({ACTORS} actors, "
+          f"{ITERATIONS} iterations x K={K}, "
+          f"{TOOL_LATENCY_S:.2f}s tool latency) ===")
+    print(f"serial {spd['serial_s']:>7.2f}s   "
+          f"async {spd['async_s']:>7.2f}s   "
+          f"speedup {spd['speedup']:>5.1f}x   (gate >= {GATE:.1f}x)")
+    stats = spd["stats"]
+    print(f"async: records={stats['records_total']} "
+          f"dropped={stats['dropped_stale']} "
+          f"broadcasts={stats['broadcasts']}")
+    cstats = chaos["stats"]
+    print(f"chaos  {chaos['chaos_s']:>7.2f}s under seeded actor kills "
+          f"({cstats['restarts']} restarts, "
+          f"{cstats['reissued']} re-issued, "
+          f"{cstats['dropped_stale']} stale drops)")
+
+    assert spd["speedup"] >= GATE, (
+        f"async learner only {spd['speedup']:.2f}x at {ACTORS} actors "
+        f"(gate {GATE:.1f}x)"
+    )
+    assert cstats["restarts"] > 0, (
+        "the chaos section killed no actors; raise kill_rate or change "
+        "kill_seed"
+    )
+
+    record_bench(
+        "distributed_online",
+        gates={
+            "async_speedup": {"gate": GATE, "measured": spd["speedup"]},
+            "chaos_experience_consumed": {
+                "gate": ITERATIONS * K,
+                "measured": (cstats["records_total"]
+                             - cstats["dropped_stale"]),
+            },
+            "chaos_restarts_nonzero": {
+                "gate": 1, "measured": cstats["restarts"],
+            },
+        },
+        medians={
+            "serial_s": spd["serial_s"],
+            "async_s": spd["async_s"],
+            "chaos_s": chaos["chaos_s"],
+        },
+        config={
+            "tiny": TINY, "actors": ACTORS, "iterations": ITERATIONS,
+            "k": K, "tool_latency_s": TOOL_LATENCY_S,
+            "async_stats": stats, "chaos_stats": cstats,
+        },
+    )

@@ -32,7 +32,7 @@ from repro.runtime import (
     ParallelFlowExecutor,
 )
 
-from common import run_once
+from common import record_bench, run_once
 
 TINY = os.environ.get("REPRO_PARALLEL_BENCH_TINY", "") not in ("", "0")
 WORKERS = 2 if TINY else 8
@@ -169,3 +169,27 @@ def test_parallel_flow_speedup(benchmark, tmp_path):
     )
     # Warm cache reruns must be far cheaper than re-simulating.
     assert cache["speedup"] >= 5.0
+
+    record_bench(
+        "parallel_flow",
+        gates={
+            "speedup": {"gate": GATE, "measured": tool["speedup"]},
+            "chaos_not_slower_than_sequential": {
+                "gate": tool["seq_s"], "measured": chaos["par_s"],
+            },
+            "cache_speedup": {"gate": 5.0, "measured": cache["speedup"]},
+        },
+        medians={
+            "sequential_s": tool["seq_s"],
+            "parallel_s": tool["par_s"],
+            "chaos_s": chaos["par_s"],
+            "cache_cold_s": cache["cold_s"],
+            "cache_warm_s": cache["warm_s"],
+        },
+        config={
+            "tiny": TINY, "workers": WORKERS, "jobs": JOBS,
+            "tool_latency_s": TOOL_LATENCY_S,
+            "chaos_restarts": chaos["restarts"],
+            "chaos_redispatched": chaos["redispatched"],
+        },
+    )

@@ -9,8 +9,11 @@ regenerate from scratch.
 
 from __future__ import annotations
 
+import json
+import os
 import pickle
 from pathlib import Path
+from typing import Dict, Optional
 
 from repro.core.alignment import AlignmentConfig
 from repro.core.crossval import CrossValResult, cross_validate
@@ -76,3 +79,53 @@ def fold_model_for(result: CrossValResult, design: str):
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+# --- machine-readable gate summaries -----------------------------------
+#
+# ``pytest benchmarks/... --json DIR`` (see conftest.py), or the
+# ``REPRO_BENCH_JSON=DIR`` environment variable, makes each wired bench
+# emit ``DIR/BENCH_<name>.json``: the gates it asserted (with thresholds
+# and measured values), its headline medians/timings, and the
+# configuration it ran at — so CI can archive and diff runs without
+# scraping stdout.
+
+_JSON_TARGET: Optional[str] = None
+
+
+def set_bench_json_target(directory: Optional[str]) -> None:
+    """Route :func:`record_bench` output into ``directory`` (conftest
+    calls this when ``--json`` is passed)."""
+    global _JSON_TARGET
+    _JSON_TARGET = directory
+
+
+def record_bench(
+    name: str,
+    *,
+    gates: Optional[Dict[str, object]] = None,
+    medians: Optional[Dict[str, float]] = None,
+    config: Optional[Dict[str, object]] = None,
+) -> Optional[Path]:
+    """Write ``BENCH_<name>.json`` if a JSON target is configured.
+
+    Returns the written path, or ``None`` when emission is off (no
+    ``--json`` flag and no ``REPRO_BENCH_JSON`` env var) — benches call
+    this unconditionally.
+    """
+    target = _JSON_TARGET or os.environ.get("REPRO_BENCH_JSON") or None
+    if not target:
+        return None
+    directory = Path(target)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    payload = {
+        "name": name,
+        "gates": gates or {},
+        "medians": medians or {},
+        "config": config or {},
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path

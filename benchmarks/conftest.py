@@ -1,6 +1,25 @@
-"""Make benchmarks/common.py importable when pytest runs from the repo root."""
+"""Make benchmarks/common.py importable when pytest runs from the repo
+root, and register the ``--json`` gate-summary flag."""
 
 import sys
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        default=None,
+        metavar="DIR",
+        help="emit BENCH_<name>.json gate/median summaries into DIR "
+             "(same as setting REPRO_BENCH_JSON=DIR)",
+    )
+
+
+def pytest_configure(config):
+    target = config.getoption("--json")
+    if target:
+        import common
+
+        common.set_bench_json_target(target)

@@ -13,6 +13,9 @@ Subcommands:
 - ``evaluate``   — the paper's Table IV protocol for a saved model:
   zero-shot recommendations for each design, evaluated with real flow
   runs and scored against the design's known archive (Win%).
+- ``online``     — online fine-tuning of a model on one design, serial or
+  distributed over an actor/learner pool (``--actors``, ``--mode``), with
+  crash-safe checkpointing (``--checkpoint`` / ``--resume``).
 - ``serve``      — load a saved model into the batched
   :class:`~repro.serving.service.RecommendationService` and drive it with
   synthetic traffic, printing throughput / latency / cache statistics.
@@ -76,6 +79,24 @@ def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--poison-retries", type=int, default=1,
                        help="re-dispatches of a job that killed its "
                             "worker before it is quarantined as poison")
+
+
+def _add_chaos_flags(parser: argparse.ArgumentParser) -> None:
+    """Seeded fault-injection knobs shared by flow-running subcommands."""
+    chaos = parser.add_argument_group(
+        "chaos rehearsal (seeded fault injection; disables the QoR cache)"
+    )
+    chaos.add_argument("--chaos-rate", type=float, default=0.0,
+                       help="probability that any flow invocation "
+                            "misbehaves (0 = chaos off)")
+    chaos.add_argument("--chaos-kinds", default="worker_kill",
+                       help="comma-separated FaultKind values to draw "
+                            "from (e.g. worker_kill,worker_stall,crash)")
+    chaos.add_argument("--chaos-seed", type=int, default=0,
+                       help="seed of the deterministic fault schedule")
+    chaos.add_argument("--chaos-stall-s", type=float, default=30.0,
+                       help="real wall-clock sleep of a worker_stall "
+                            "fault")
 
 
 def _runtime_from_args(args, **overrides):
@@ -252,20 +273,60 @@ def build_parser() -> argparse.ArgumentParser:
     p_eval.add_argument("--trace", default="",
                         help="record spans + metrics to this JSONL file")
     _add_supervision_flags(p_eval)
-    chaos = p_eval.add_argument_group(
-        "chaos rehearsal (seeded fault injection; disables the QoR cache)"
+    _add_chaos_flags(p_eval)
+
+    p_online = sub.add_parser(
+        "online",
+        help="online fine-tuning on one design, optionally distributed "
+             "over an actor/learner pool",
     )
-    chaos.add_argument("--chaos-rate", type=float, default=0.0,
-                       help="probability that any flow invocation "
-                            "misbehaves (0 = chaos off)")
-    chaos.add_argument("--chaos-kinds", default="worker_kill",
-                       help="comma-separated FaultKind values to draw "
-                            "from (e.g. worker_kill,worker_stall,crash)")
-    chaos.add_argument("--chaos-seed", type=int, default=0,
-                       help="seed of the deterministic fault schedule")
-    chaos.add_argument("--chaos-stall-s", type=float, default=30.0,
-                       help="real wall-clock sleep of a worker_stall "
-                            "fault")
+    p_online.add_argument("design", help="design name (D1..D17)")
+    p_online.add_argument("--dataset", required=True,
+                          help="archive .pkl with datapoints + insights")
+    p_online.add_argument("--model", default="",
+                          help="saved aligned model .npz to start from "
+                               "(default: fresh weights)")
+    p_online.add_argument("--iterations", type=int, default=10)
+    p_online.add_argument("--k", type=int, default=5,
+                          help="recipe sets proposed per iteration")
+    p_online.add_argument("--seed", type=int, default=0)
+    p_online.add_argument("--checkpoint", default="",
+                          help="crash-safe loop checkpoint path (written "
+                               "atomically every --checkpoint-every "
+                               "iterations)")
+    p_online.add_argument("--checkpoint-every", type=int, default=1)
+    p_online.add_argument("--resume", default="",
+                          help="resume from a checkpoint file; continues "
+                               "bit-identically with the same seed")
+    p_online.add_argument("--flow-workers", type=int, default=1,
+                          help="in-process session workers (ignored when "
+                               "--actors > 1: actors evaluate one job "
+                               "each)")
+    p_online.add_argument("--qor-cache", default="",
+                          help="persistent QoR result cache directory")
+    p_online.add_argument("--trace", default="",
+                          help="record spans + metrics to this JSONL file")
+    _add_supervision_flags(p_online)
+    dist = p_online.add_argument_group("actor/learner execution")
+    dist.add_argument("--actors", type=int, default=1,
+                      help="actor processes evaluating proposals (1 with "
+                           "--mode sync and no --kill-rate runs the "
+                           "serial in-process loop)")
+    dist.add_argument("--mode", choices=["sync", "async"], default="sync",
+                      help="sync: bit-identical to the serial loop; "
+                           "async: bounded-staleness experience stream")
+    dist.add_argument("--max-policy-lag", type=int, default=1,
+                      help="async: oldest policy version whose experience "
+                           "still updates the model")
+    dist.add_argument("--max-actor-respawns", type=int, default=8,
+                      help="actor deaths absorbed (with respawn) before "
+                           "the loop degrades to in-process execution")
+    dist.add_argument("--kill-rate", type=float, default=0.0,
+                      help="chaos rehearsal: per-task probability that an "
+                           "actor process dies instead of serving")
+    dist.add_argument("--kill-seed", type=int, default=0,
+                      help="seed of the actor chaos-kill schedule")
+    _add_chaos_flags(p_online)
     return parser
 
 
@@ -603,6 +664,70 @@ def cmd_evaluate(args) -> int:
     return 0
 
 
+def cmd_online(args) -> int:
+    """Online fine-tuning on one design, serial or actor/learner."""
+    from repro.core.online import OnlineConfig, OnlineFineTuner
+
+    dataset = OfflineDataset.load(args.dataset)
+    if args.model:
+        model = InsightAlign.load(args.model).model
+    else:
+        from repro.core.model import InsightAlignModel
+
+        model = InsightAlignModel(seed=args.seed)
+    plan = _chaos_plan_from_args(args)
+    runtime = _runtime_from_args(args, seed=args.seed, fault_plan=plan)
+    distributed = None
+    if args.actors > 1 or args.mode != "sync" or args.kill_rate > 0:
+        from repro.distributed import DistributedConfig
+
+        distributed = DistributedConfig(
+            actors=args.actors,
+            mode=args.mode,
+            max_policy_lag=args.max_policy_lag,
+            max_actor_respawns=args.max_actor_respawns,
+            kill_rate=args.kill_rate,
+            kill_seed=args.kill_seed,
+        )
+    config = OnlineConfig(
+        iterations=args.iterations,
+        k=args.k,
+        seed=args.seed,
+        checkpoint_path=args.checkpoint or None,
+        checkpoint_every=args.checkpoint_every,
+        resume_from=args.resume or None,
+        runtime=runtime,
+        distributed=distributed,
+    )
+    if distributed is not None:
+        from repro.distributed import fine_tuner_for
+
+        tuner = fine_tuner_for(config)
+    else:
+        tuner = OnlineFineTuner(config)
+    with tuner:
+        result = tuner.run(model, dataset, args.design, verbose=True)
+    final = result.records[-1]
+    print(
+        f"online: {args.design} iterations={len(result.records)} "
+        f"best={final.best_score_so_far:.3f} "
+        f"avg-top5={final.avg_top5_so_far:.3f} "
+        f"failures={len(result.failures)}"
+    )
+    if distributed is not None:
+        stats = tuner.actor_stats()
+        print(
+            "actors: "
+            f"mode={stats['mode']} live={stats['actors_live']} "
+            f"spawned={stats['spawned']} restarts={stats['restarts']} "
+            f"records={stats['records_total']} "
+            f"reissued={stats['reissued']} "
+            f"dropped={stats['dropped_stale']} "
+            f"degraded={stats['degraded']}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "run-flow": cmd_run_flow,
     "list": cmd_list,
@@ -611,6 +736,7 @@ _COMMANDS = {
     "align": cmd_align,
     "recommend": cmd_recommend,
     "evaluate": cmd_evaluate,
+    "online": cmd_online,
     "serve": cmd_serve,
     "sweep": cmd_sweep,
     "obs": cmd_obs,

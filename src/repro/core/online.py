@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -84,12 +84,29 @@ class OnlineConfig:
     # the loop's FlowSession.  None means the sequential in-process
     # default (bit-identical to any worker count for the same seeds).
     runtime: Optional[RuntimeConfig] = None
+    # Actor/learner execution of the loop itself: actor count, sync vs
+    # bounded-staleness async, elastic-membership budgets — a validated
+    # repro.distributed.DistributedConfig.  None (default) runs the loop
+    # in-process; a non-None value is honored by
+    # repro.distributed.DistributedOnlineFineTuner (constructing the
+    # plain serial tuner with one is a configuration error).
+    distributed: Optional["DistributedConfig"] = None  # noqa: F821
     # Deprecated: pre-session spellings of the two most common runtime
     # knobs.  Use ``runtime=RuntimeConfig(workers=..., qor_cache_path=...)``.
     flow_workers: int = 1
     qor_cache_path: Optional[str] = None
 
     def __post_init__(self) -> None:
+        if self.distributed is not None:
+            # Imported lazily: repro.distributed composes *this* config,
+            # so an eager import would be circular.
+            from repro.distributed.config import DistributedConfig
+
+            if not isinstance(self.distributed, DistributedConfig):
+                raise TrainingError(
+                    f"distributed must be a DistributedConfig or None, "
+                    f"got {type(self.distributed).__name__}"
+                )
         legacy = {}
         if self.flow_workers != 1:
             legacy["flow_workers"] = self.flow_workers
@@ -175,6 +192,32 @@ class OnlineResult:
         return out
 
 
+@dataclass
+class _LoopState:
+    """The mutable state one online run threads through its iterations.
+
+    Bundled so the iteration-absorption step (:meth:`OnlineFineTuner._absorb`)
+    has a single override-friendly signature — the distributed async learner
+    reuses the exact serial accounting/update/checkpoint body against
+    experience batches that arrived out of proposal order.
+    """
+
+    design: str
+    model: InsightAlignModel
+    optimizer: Adam
+    rng: np.random.Generator
+    insight: np.ndarray
+    observed: List[Tuple[Tuple[int, ...], float]]
+    seen: set
+    result: OnlineResult
+    best_overall: Tuple[float, Optional[Dict[str, float]]]
+    normalizer: object
+    intention: QoRIntention
+    extractor: InsightExtractor
+    profile: object
+    verbose: bool = False
+
+
 class OnlineFineTuner:
     """Runs the closed-loop fine-tuning of an aligned model on one design.
 
@@ -194,14 +237,26 @@ class OnlineFineTuner:
         self,
         config: OnlineConfig = OnlineConfig(),
         executor: Optional[FlowExecutor] = None,
+        flow_fn: Optional[Callable] = None,
     ) -> None:
+        if config.distributed is not None and type(self) is OnlineFineTuner:
+            raise TrainingError(
+                "config.distributed is set; use "
+                "repro.distributed.DistributedOnlineFineTuner (or "
+                "repro.distributed.fine_tuner_for) to honor it"
+            )
         self.config = config
+        self._flow_fn = flow_fn
         if executor is not None:
             self._session = FlowSession(
-                config.runtime or RuntimeConfig(), executor=executor
+                config.runtime or RuntimeConfig(),
+                flow_fn=flow_fn,
+                executor=executor,
             )
         else:
-            self._session = FlowSession(config.resolved_runtime())
+            self._session = FlowSession(
+                config.resolved_runtime(), flow_fn=flow_fn
+            )
 
     @property
     def session(self) -> FlowSession:
@@ -211,6 +266,12 @@ class OnlineFineTuner:
     def close(self) -> None:
         """Release the session's worker pool, if one was started."""
         self._session.close()
+
+    def __enter__(self) -> "OnlineFineTuner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def run(
         self,
@@ -247,8 +308,14 @@ class OnlineFineTuner:
                 model, optimizer, rng, design, observed, seen, result
             )
 
+        state = _LoopState(
+            design=design, model=model, optimizer=optimizer, rng=rng,
+            insight=insight, observed=observed, seen=seen, result=result,
+            best_overall=best_overall, normalizer=normalizer,
+            intention=intention, extractor=extractor, profile=profile,
+            verbose=verbose,
+        )
         tracer = get_tracer()
-        registry = get_registry()
         with tracer.span(
             "online.run",
             design=design,
@@ -260,13 +327,7 @@ class OnlineFineTuner:
                 with tracer.span(
                     "online.iteration", iteration=iteration
                 ) as iter_span:
-                    proposals = self._propose(model, insight, seen, rng)
-                    survivors: List[Tuple[int, ...]] = []
-                    qors: List[Dict[str, float]] = []
-                    scores: List[float] = []
-                    failures: List[FlowFailure] = []
-                    best_run = None
-                    best_run_score = -np.inf
+                    proposals = self._propose(model, state.insight, seen, rng)
                     params_list = [
                         apply_recipe_set(list(bits), catalog)
                         for bits in proposals
@@ -275,113 +336,149 @@ class OnlineFineTuner:
                         "online.evaluate", proposals=len(proposals)
                     ):
                         reports = self._evaluate(
-                            design, params_list, dataset.seed
+                            design, params_list, dataset.seed,
+                            iteration=iteration,
                         )
-                    for bits, report in zip(proposals, reports):
-                        seen.add(bits)
-                        if not report.ok:
-                            error = report.error
-                            failures.append(FlowFailure(
-                                iteration=iteration,
-                                recipe_set=bits,
-                                error_type=type(error).__name__,
-                                message=str(error),
-                                attempts=len(report.attempts),
-                            ))
-                            registry.counter(
-                                "online_flow_failures_total",
-                                "failed evaluations in the online loop",
-                            ).inc(type=type(error).__name__)
-                            logger.warning(
-                                "%s iter %d: recipe set evaluation failed "
-                                "after %d attempt(s) with %s: %s",
-                                design, iteration, len(report.attempts),
-                                type(error).__name__, error,
-                            )
-                            continue
-                        flow = report.result
-                        score = normalizer.score(flow.qor, intention)
-                        survivors.append(bits)
-                        qors.append(dict(flow.qor))
-                        scores.append(score)
-                        observed.append((bits, score))
-                        if score > best_run_score:
-                            best_run_score = score
-                            best_run = flow
-                        if score > best_overall[0]:
-                            best_overall = (score, dict(flow.qor))
-
-                    updated = len(survivors) >= max(1, cfg.min_successes)
-                    if updated:
-                        with tracer.span(
-                            "online.update", survivors=len(survivors)
-                        ):
-                            self._update(
-                                model, optimizer, insight, survivors,
-                                scores, observed, rng,
-                            )
-                        if cfg.insight_refresh > 0 and best_run is not None:
-                            fresh = extractor.extract(best_run, profile).values
-                            insight = (
-                                (1.0 - cfg.insight_refresh) * insight
-                                + cfg.insight_refresh * fresh
-                            )
-                    else:
-                        logger.warning(
-                            "%s iter %d: only %d/%d evaluations survived "
-                            "(min_successes=%d), skipping the model update",
-                            design, iteration, len(survivors), len(proposals),
-                            cfg.min_successes,
-                        )
-
-                    record = self._record(
-                        iteration, survivors, qors, scores, observed,
-                        best_overall[1],
-                    )
-                    record.failures = failures
-                    record.updated = updated
-                    result.records.append(record)
+                    record = self._absorb(state, iteration, proposals,
+                                          reports)
                     iter_span.set_attributes(
-                        survivors=len(survivors),
-                        failures=len(failures),
-                        updated=updated,
+                        survivors=len(record.recipe_sets),
+                        failures=len(record.failures),
+                        updated=record.updated,
                         best_score=record.best_score_so_far,
                     )
-                    registry.counter(
-                        "online_iterations_total", "online iterations run"
-                    ).inc()
-                    if np.isfinite(record.best_score_so_far):
-                        registry.gauge(
-                            "online_best_score",
-                            "best QoR score observed so far",
-                        ).set(record.best_score_so_far)
-                    if np.isfinite(record.avg_top5_so_far):
-                        registry.gauge(
-                            "online_avg_top5",
-                            "mean of the top-5 QoR scores so far",
-                        ).set(record.avg_top5_so_far)
-                    if cfg.checkpoint_path and (
-                        (iteration + 1) % cfg.checkpoint_every == 0
-                        or iteration + 1 == cfg.iterations
-                    ):
-                        self._checkpoint(
-                            model, optimizer, rng, design, iteration,
-                            observed, seen, insight, best_overall, result,
-                        )
-                    if verbose:
-                        print(
-                            f"{design} iter {iteration}: best so far "
-                            f"{record.best_score_so_far:.3f} "
-                            f"avg-top5 {record.avg_top5_so_far:.3f} "
-                            f"({len(survivors)}/{len(proposals)} runs ok)"
-                        )
         result.model = model
         return result
 
+    def _absorb(self, state: _LoopState, iteration: int, proposals,
+                reports) -> IterationRecord:
+        """Fold one iteration's evaluated proposals into the loop state.
+
+        Everything after evaluation lives here — survivor/failure triage,
+        the margin-DPO + PPO update, the insight refresh, the iteration
+        record, metrics and the checkpoint — so the serial loop and the
+        distributed async learner (whose batches are experience records
+        reassembled from actor pipes) share one accounting body, RNG draw
+        for RNG draw.
+        """
+        cfg = self.config
+        tracer = get_tracer()
+        registry = get_registry()
+        design = state.design
+        survivors: List[Tuple[int, ...]] = []
+        qors: List[Dict[str, float]] = []
+        scores: List[float] = []
+        failures: List[FlowFailure] = []
+        best_run = None
+        best_run_score = -np.inf
+        for bits, report in zip(proposals, reports):
+            state.seen.add(bits)
+            if not report.ok:
+                error = report.error
+                failures.append(FlowFailure(
+                    iteration=iteration,
+                    recipe_set=bits,
+                    error_type=type(error).__name__,
+                    message=str(error),
+                    attempts=len(report.attempts),
+                ))
+                registry.counter(
+                    "online_flow_failures_total",
+                    "failed evaluations in the online loop",
+                ).inc(type=type(error).__name__)
+                logger.warning(
+                    "%s iter %d: recipe set evaluation failed "
+                    "after %d attempt(s) with %s: %s",
+                    design, iteration, len(report.attempts),
+                    type(error).__name__, error,
+                )
+                continue
+            flow = report.result
+            score = state.normalizer.score(flow.qor, state.intention)
+            survivors.append(bits)
+            qors.append(dict(flow.qor))
+            scores.append(score)
+            state.observed.append((bits, score))
+            if score > best_run_score:
+                best_run_score = score
+                best_run = flow
+            if score > state.best_overall[0]:
+                state.best_overall = (score, dict(flow.qor))
+
+        updated = len(survivors) >= max(1, cfg.min_successes)
+        if updated:
+            with tracer.span(
+                "online.update", survivors=len(survivors)
+            ):
+                self._update(
+                    state.model, state.optimizer, state.insight,
+                    survivors, scores, state.observed, state.rng,
+                )
+            if cfg.insight_refresh > 0 and best_run is not None:
+                fresh = state.extractor.extract(
+                    best_run, state.profile
+                ).values
+                state.insight = (
+                    (1.0 - cfg.insight_refresh) * state.insight
+                    + cfg.insight_refresh * fresh
+                )
+        else:
+            logger.warning(
+                "%s iter %d: only %d/%d evaluations survived "
+                "(min_successes=%d), skipping the model update",
+                design, iteration, len(survivors), len(proposals),
+                cfg.min_successes,
+            )
+
+        record = self._record(
+            iteration, survivors, qors, scores, state.observed,
+            state.best_overall[1],
+        )
+        record.failures = failures
+        record.updated = updated
+        state.result.records.append(record)
+        registry.counter(
+            "online_iterations_total", "online iterations run"
+        ).inc()
+        if np.isfinite(record.best_score_so_far):
+            registry.gauge(
+                "online_best_score",
+                "best QoR score observed so far",
+            ).set(record.best_score_so_far)
+        if np.isfinite(record.avg_top5_so_far):
+            registry.gauge(
+                "online_avg_top5",
+                "mean of the top-5 QoR scores so far",
+            ).set(record.avg_top5_so_far)
+        if cfg.checkpoint_path and (
+            (iteration + 1) % cfg.checkpoint_every == 0
+            or iteration + 1 == cfg.iterations
+        ):
+            self._checkpoint(
+                state.model, state.optimizer, state.rng, design,
+                iteration, state.observed, state.seen, state.insight,
+                state.best_overall, state.result,
+            )
+        if state.verbose:
+            print(
+                f"{design} iter {iteration}: best so far "
+                f"{record.best_score_so_far:.3f} "
+                f"avg-top5 {record.avg_top5_so_far:.3f} "
+                f"({len(survivors)}/{len(proposals)} runs ok)"
+            )
+        return record
+
     # ------------------------------------------------------------------
-    def _evaluate(self, design, params_list, seed):
+    def _evaluate(self, design, params_list, seed, iteration=0):
         """Evaluate one iteration's proposals as a single session batch
-        (outcomes come back in proposal order)."""
+        (outcomes come back in proposal order).
+
+        ``iteration`` is unused here — per-job randomness is keyed by
+        batch index alone, as it always was — but the distributed
+        subclass needs it to label dispatches, so the override point
+        carries it.
+        """
+        del iteration
         return self._session.evaluate(
             [FlowJob(design, params, seed) for params in params_list]
         )
@@ -415,7 +512,7 @@ class OnlineFineTuner:
     def _restore(self, model, optimizer, rng, design, observed, seen, result):
         """Load ``resume_from`` into the live loop state (bit-identical)."""
         from repro.errors import CheckpointError
-        from repro.runtime.checkpoint import load_checkpoint
+        from repro.runtime.checkpoint import intern_keys, load_checkpoint
 
         cfg = self.config
         checkpoint = load_checkpoint(cfg.resume_from, expected_kind="online")
@@ -445,8 +542,20 @@ class OnlineFineTuner:
         seen.clear()
         seen.update(tuple(bits) for bits in payload["seen"])
         result.records[:] = payload.get("records", [])
-        insight = np.asarray(payload["insight"]).copy()
+        # astype (not .copy()) so the restored array re-acquires numpy's
+        # interned dtype — unpickled arrays carry a fresh dtype instance,
+        # which would change the next checkpoint's pickle bytes.
+        insight = np.asarray(payload["insight"])
+        insight = insight.astype(insight.dtype.str, copy=True)
         best_score, best_qor = payload["best_overall"]
+        # Unpickled QoR dicts carry fresh key-string objects; re-key them
+        # with the interned literals so the *next* checkpoint this run
+        # writes pickles byte-identically to an uninterrupted run's.
+        for record in result.records:
+            for qor in record.qors:
+                intern_keys(qor)
+        if best_qor is not None:
+            intern_keys(best_qor)
         return checkpoint.step + 1, insight, (best_score, best_qor)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,90 @@
+"""Experience records and the learner-side arrival queue.
+
+One :class:`ExperienceRecord` is the unit of actor → learner traffic: the
+recipe set that was evaluated, the full supervised
+:class:`~repro.runtime.executor.FlowRunReport` (QoR on success, the typed
+failure otherwise), the insight vector the proposal was conditioned on,
+and the policy version the proposing replica was running — the field the
+async learner's staleness bound (``max_policy_lag``) is enforced against.
+
+:class:`ExperienceQueue` is the learner's arrival buffer.  It is a plain
+in-process FIFO — the *transport* is the per-actor pipes, which the pool
+drains into this queue — kept as its own type so depth is observable
+(``online_experience_queue_depth``) and arrival accounting lives in one
+place.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.observability import get_registry
+from repro.runtime.executor import FlowRunReport
+
+
+@dataclass
+class ExperienceRecord:
+    """One evaluated proposal, as shipped over an actor's result pipe.
+
+    Attributes:
+        task_id: Learner-assigned global proposal index.  It keys the
+            per-job randomness (``evaluate_at(index=task_id)``) and, with
+            ``dispatch``, the proposal-sampling stream — so a re-issued
+            task reproduces deterministically on whichever actor picks
+            it up.
+        actor_id: The actor that produced the record.
+        dispatch: Prior dispatch attempts of this task (owners that died
+            holding it).
+        policy_version: The producing replica's policy version at
+            proposal time; the async staleness bound compares it to the
+            learner's current version.
+        recipe_set: The proposed/evaluated recipe-selection bits.
+        report: The supervised evaluation outcome (``report.ok`` /
+            ``report.result`` / ``report.error``).
+        insight: The insight vector the proposal was conditioned on
+            (``None`` in sync mode, where the learner proposed).
+    """
+
+    task_id: int
+    actor_id: int
+    dispatch: int
+    policy_version: int
+    recipe_set: Tuple[int, ...]
+    report: FlowRunReport
+    insight: Optional[np.ndarray] = None
+
+
+@dataclass
+class ExperienceQueue:
+    """FIFO of experience records awaiting the learner, depth-gauged."""
+
+    _items: Deque[ExperienceRecord] = field(default_factory=deque)
+
+    def _gauge(self) -> None:
+        get_registry().gauge(
+            "online_experience_queue_depth",
+            "experience records buffered at the learner",
+        ).set(len(self._items))
+
+    def push(self, record: ExperienceRecord) -> None:
+        self._items.append(record)
+        get_registry().counter(
+            "online_experience_records_total",
+            "experience records received from actors",
+        ).inc()
+        self._gauge()
+
+    def pop(self) -> ExperienceRecord:
+        record = self._items.popleft()
+        self._gauge()
+        return record
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)

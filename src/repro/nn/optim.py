@@ -9,6 +9,19 @@ import numpy as np
 from repro.nn.tensor import Tensor
 
 
+def _restore_buffer(buffer: np.ndarray) -> np.ndarray:
+    """Copy a restored buffer onto the canonical (interned) dtype.
+
+    Arrays coming out of ``pickle.load`` carry a fresh dtype instance
+    rather than numpy's singleton; a plain ``np.array(..., copy=True)``
+    preserves it, which breaks checkpoint-byte identity when the state
+    is re-serialized after a resume (the pickler can no longer share the
+    dtype via its memo).  ``astype`` re-resolves the dtype descriptor.
+    """
+    array = np.asarray(buffer)
+    return array.astype(array.dtype.str, copy=True)
+
+
 def clip_grad_norm(params: List[Tensor], max_norm: float) -> float:
     """Scale all gradients so their global L2 norm is at most ``max_norm``."""
     total = 0.0
@@ -64,7 +77,7 @@ class SGD:
         _check_optimizer_state(state, "sgd", self.params, state.get("velocity"))
         self.lr = float(state["lr"])
         self.momentum = float(state["momentum"])
-        self._velocity = [np.array(v, copy=True) for v in state["velocity"]]
+        self._velocity = [_restore_buffer(v) for v in state["velocity"]]
 
 
 class Adam:
@@ -133,8 +146,8 @@ class Adam:
         self.epsilon = float(state["epsilon"])
         self.weight_decay = float(state["weight_decay"])
         self._step_count = int(state["step_count"])
-        self._m = [np.array(m, copy=True) for m in state["m"]]
-        self._v = [np.array(v, copy=True) for v in state["v"]]
+        self._m = [_restore_buffer(m) for m in state["m"]]
+        self._v = [_restore_buffer(v) for v in state["v"]]
 
 
 def _check_optimizer_state(state: dict, kind: str, params, buffers) -> None:

@@ -58,6 +58,7 @@ from repro.observability.profiling import (
 )
 from repro.observability.report import (
     aggregate_spans,
+    render_distributed,
     render_supervision,
     render_trace_report,
 )
@@ -95,6 +96,7 @@ __all__ = [
     "profile_block",
     "profile_stats",
     "profiled",
+    "render_distributed",
     "render_supervision",
     "render_trace_report",
     "set_registry",

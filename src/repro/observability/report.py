@@ -96,6 +96,36 @@ def render_supervision(metrics: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+# Actor/learner distributed-online families, rendered as their own
+# section: membership health, experience-stream accounting, staleness.
+# (name, human label) in display order.
+DISTRIBUTED_METRICS = (
+    ("online_actors_live", "live actors"),
+    ("online_actor_restarts_total", "actor restarts"),
+    ("online_experience_records_total", "experience records received"),
+    ("online_experience_queue_depth", "experience queue depth"),
+    ("online_experience_reissued_total", "proposals re-issued"),
+    ("online_experience_dropped_total", "stale records dropped"),
+    ("online_weight_broadcasts_total", "weight broadcasts"),
+    ("online_policy_lag", "last consumed policy lag"),
+    ("online_pool_degraded_total", "pool degradations to in-process"),
+)
+
+
+def render_distributed(metrics: Dict[str, object]) -> str:
+    """The actor/learner counters of a trace's metrics snapshot, or
+    ``""`` when the run never used the distributed online loop."""
+    lines: List[str] = []
+    for name, label in DISTRIBUTED_METRICS:
+        family = metrics.get(name)
+        if not family:
+            continue
+        for labels, value in sorted(family.get("values", {}).items()):
+            shown = labels if labels != "{}" else ""
+            lines.append(f"{label + shown:<32} {value:g}")
+    return "\n".join(lines)
+
+
 def render_metrics(metrics: Dict[str, object]) -> str:
     """The metrics snapshot of a trace, one line per labelled value."""
     lines: List[str] = []
@@ -133,6 +163,10 @@ def render_trace_report(trace: TraceFile, top: int = 12,
         if supervision:
             sections.append("\n=== worker supervision ===")
             sections.append(supervision)
+        distributed = render_distributed(trace.metrics)
+        if distributed:
+            sections.append("\n=== online actor/learner ===")
+            sections.append(distributed)
         sections.append("\n=== metrics snapshot ===")
         sections.append(render_metrics(trace.metrics))
     return "\n".join(sections)

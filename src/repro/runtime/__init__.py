@@ -33,6 +33,8 @@ from repro.runtime.checkpoint import (
     CHECKPOINT_VERSION,
     TrainingCheckpoint,
     atomic_pickle,
+    checkpoint_digest,
+    intern_keys,
     load_checkpoint,
     save_checkpoint,
 )
@@ -90,6 +92,8 @@ __all__ = [
     "WorkerCrash",
     "WorkerPoolError",
     "atomic_pickle",
+    "checkpoint_digest",
+    "intern_keys",
     "load_checkpoint",
     "qor_cache_key",
     "save_checkpoint",

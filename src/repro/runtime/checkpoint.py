@@ -14,8 +14,10 @@ A crash mid-save costs at most one checkpoint interval of progress.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
+import sys
 import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Union
@@ -71,6 +73,35 @@ def atomic_pickle(payload: Any, path: PathLike) -> None:
         except OSError:
             pass
         raise
+
+
+def intern_keys(mapping: Dict[str, Any]) -> Dict[str, Any]:
+    """Re-key ``mapping`` in place with :func:`sys.intern`-ed key strings.
+
+    Checkpoint *bytes* (not just values) are part of the bit-identity
+    contract, and pickle's output depends on object sharing: a dict whose
+    keys are the module-literal strings (``"power_mw"``, ...) pickles as
+    one string plus memo references, while an equal dict whose keys
+    crossed a process pipe — or came out of an earlier checkpoint — gets
+    fresh string objects and a different memo pattern.  Interning restores
+    the canonical sharing (CPython interns code-object literals), so
+    results arriving from distributed actors and state restored by
+    ``resume_from`` pickle byte-identically to the in-process originals.
+    """
+    items = list(mapping.items())
+    mapping.clear()
+    for key, value in items:
+        mapping[sys.intern(key) if isinstance(key, str) else key] = value
+    return mapping
+
+
+def checkpoint_digest(path: PathLike) -> str:
+    """SHA-256 of the checkpoint file's raw bytes (bit-identity probe)."""
+    digest = hashlib.sha256()
+    with open(os.fspath(path), "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
 
 
 def save_checkpoint(checkpoint: TrainingCheckpoint, path: PathLike) -> None:

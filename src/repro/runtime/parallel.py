@@ -951,6 +951,37 @@ class ParallelFlowExecutor:
                 raise report.error
         return [report.result for report in reports]
 
+    def run_at(self, job, index: int = 0,
+               dispatch: int = 0) -> FlowRunReport:
+        """One job evaluated exactly as position ``index`` of a batch.
+
+        The distributed actors' primitive: per-job randomness (retry
+        jitter, injected faults) is keyed by ``index`` just as
+        :meth:`run_batch` keys it, so an actor evaluating proposal
+        ``index`` in its own process produces the bit-identical report the
+        serial batch would have produced at that position.  ``dispatch``
+        counts prior dispatch attempts of the same logical job (an actor
+        died holding it); like the supervised pool's re-dispatch path it
+        perturbs only the fault stream, never the executor's jitter — a
+        re-dispatched job without an active fault plan is indistinguishable
+        from the first attempt.
+        """
+        job = self._coerce(job)
+        cached = (
+            self.cache.get(job.design, job.params, job.seed)
+            if self._cache_enabled else None
+        )
+        if cached is not None:
+            return FlowRunReport(
+                design=str(job.design), result=cached, cached=True
+            )
+        report = self._run_supervised_inprocess(index, job, kills=dispatch)
+        if self._cache_enabled and report.ok:
+            self.cache.put(job.design, job.params, job.seed, report.result)
+        with self._counter_lock:
+            self.jobs_run += 1
+        return report
+
     # ------------------------------------------------------------------
     @staticmethod
     def _coerce(job) -> FlowJob:

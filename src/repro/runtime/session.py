@@ -334,6 +334,28 @@ class FlowSession:
                 ]
             return self._parallel.run_batch(jobs)
 
+    def evaluate_at(
+        self, job, index: int = 0, dispatch: int = 0
+    ) -> FlowOutcome:
+        """Evaluate one job exactly as position ``index`` of a batch.
+
+        This is the distributed actors' door: per-job randomness is keyed
+        by the *global* batch index, so an actor that owns proposal
+        ``index`` of an iteration produces the bit-identical outcome
+        :meth:`evaluate` would have produced at that position of the full
+        batch.  ``dispatch`` counts prior dispatch attempts of the same
+        logical job (a previous owner died holding it) and perturbs only
+        the fault-injection stream — see
+        :meth:`ParallelFlowExecutor.run_at`.
+        """
+        with self._traced():
+            if self._injected is not None:
+                job = ParallelFlowExecutor._coerce(job)
+                return self._injected.try_execute(
+                    job.design, job.params, seed=job.seed
+                )
+            return self._parallel.run_at(job, index=index, dispatch=dispatch)
+
     def evaluate_strict(self, jobs: Sequence) -> List[FlowResult]:
         """All-or-nothing batch: results in submission order, or the
         first failed job's terminal typed :class:`~repro.errors.FlowError`
