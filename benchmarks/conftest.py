@@ -15,6 +15,13 @@ def pytest_addoption(parser):
         help="emit BENCH_<name>.json gate/median summaries into DIR "
              "(same as setting REPRO_BENCH_JSON=DIR)",
     )
+    parser.addoption(
+        "--cluster",
+        action="store_true",
+        default=False,
+        help="run the multi-replica serving-cluster SLO bench (same as "
+             "setting REPRO_SERVING_BENCH_CLUSTER=1)",
+    )
 
 
 def pytest_configure(config):

@@ -201,6 +201,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--trace", default="",
                          help="record spans + metrics to this JSONL file")
+    p_serve.add_argument("--replicas", type=int, default=0,
+                         help="serve through a multi-replica cluster with "
+                              "this many replicas (0 = single service)")
+    p_serve.add_argument("--routing", default="least-loaded",
+                         choices=("least-loaded", "consistent-hash",
+                                  "round-robin"),
+                         help="cluster routing policy")
+    p_serve.add_argument("--backend", default="process",
+                         choices=("process", "inline"),
+                         help="replica backend: child processes (parallel "
+                              "decode) or in-process (deterministic)")
+    p_serve.add_argument("--shed-watermark", type=int, default=256,
+                         help="cluster admission watermark: arrivals beyond "
+                              "this many in-flight requests are shed with a "
+                              "typed OverloadedError")
+    p_serve.add_argument("--concurrency", type=int, default=32,
+                         help="cluster mode: requests kept in flight")
+    p_serve.add_argument("--canary", default="",
+                         help="saved model .npz to register as the canary "
+                              "version and route --canary-fraction of "
+                              "traffic to")
+    p_serve.add_argument("--canary-fraction", type=float, default=0.1,
+                         help="deterministic fraction of traffic assigned "
+                              "to the canary version")
+    p_serve.add_argument("--shadow", action="store_true",
+                         help="mirror the canary fraction to the canary and "
+                              "count mismatches instead of serving from it")
 
     p_sweep = sub.add_parser(
         "sweep", help="full-factorial flow-parameter sweep on one design"
@@ -494,8 +521,10 @@ def cmd_serve(args) -> int:
         max_queue_depth=args.queue_depth,
         default_deadline_s=(args.deadline_ms / 1e3) or None,
     )
-    service = RecommendationService(ia, config)
     rng = np.random.default_rng(args.seed)
+    if args.replicas:
+        return _serve_cluster(args, ia, config, designs, insights, rng)
+    service = RecommendationService(ia, config)
 
     tickets = []
     started = time.monotonic()
@@ -528,6 +557,67 @@ def cmd_serve(args) -> int:
     print(f"batching mean occupancy {occupancy['mean']:.2f}  "
           f"cache hit rate {stats['cache']['hit_rate']:.2f}  "
           f"model {stats['model_version']}")
+    return 0
+
+
+def _serve_cluster(args, ia, config, designs, insights, rng) -> int:
+    """The ``serve --replicas N`` path: traffic through a ServingCluster."""
+    import time
+
+    from repro.serving import ClusterConfig, ServingCluster
+
+    cluster_config = ClusterConfig(
+        replicas=args.replicas,
+        routing=args.routing,
+        backend=args.backend,
+        shed_watermark=args.shed_watermark,
+    )
+    workload = []
+    for index in range(args.requests):
+        design = designs[index % len(designs)]
+        workload.append(
+            insights[design]
+            + args.jitter * rng.normal(size=insights[design].shape)
+        )
+    with ServingCluster(ia, cluster_config, config) as cluster:
+        if args.canary:
+            cluster.register_model("canary", args.canary)
+            cluster.set_canary(
+                "canary", fraction=args.canary_fraction, shadow=args.shadow
+            )
+        started = time.monotonic()
+        results = cluster.serve_all(
+            workload, k=args.k,
+            concurrency=min(args.concurrency, args.shed_watermark),
+            deadline_s=(args.deadline_ms / 1e3) or None,
+        )
+        elapsed = time.monotonic() - started
+        stats = cluster.stats()
+    served = sum(1 for r in results if r is not None)
+    print(f"cluster served {served}/{args.requests} requests in "
+          f"{elapsed:.3f}s ({served / elapsed:.1f} req/s) | "
+          f"{stats['replicas']} x {stats['backend']} replicas, "
+          f"{stats['routing']} routing")
+    admission = stats["admission"]
+    print(f"admission shed {admission['shed']} "
+          f"(rate {admission['shed_rate']:.3f}, "
+          f"watermark {admission['shed_watermark']}) | "
+          f"L2 hit rate {stats['l2']['hit_rate']:.2f} | "
+          f"L1 hits {stats['l1_hits']}")
+    routed = "  ".join(
+        f"{replica}={int(count)}"
+        for replica, count in sorted(stats["routed"].items())
+    )
+    print(f"routed   {routed} | restarts {stats['restarts']} "
+          f"redispatched {stats['redispatched']}")
+    if args.canary:
+        canary = stats["canary"]
+        mode = "shadow" if canary["shadow"] else "canary"
+        print(f"{mode}   version={canary['version']} "
+              f"fraction={canary['fraction']:.2f} "
+              f"requests={int(canary['requests'])} "
+              f"mirrors={canary['mirrors']} "
+              f"mismatches={canary['mismatches']}")
     return 0
 
 

@@ -84,5 +84,15 @@ class DeadlineExceededError(ServingError):
     """Raised when a request's deadline passed before it could be served."""
 
 
+class OverloadedError(ServingError):
+    """Raised by cluster admission control when outstanding work crossed
+    the shed watermark.
+
+    Unlike :class:`QueueFullError` (one service's bounded queue), this is
+    the cluster-level signal: the request was rejected *immediately* at
+    the gateway, before any queueing could burn its deadline.  Callers
+    should back off and retry."""
+
+
 class RegistryError(ServingError):
     """Raised for unknown model versions or activation without a model."""

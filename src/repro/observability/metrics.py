@@ -28,7 +28,7 @@ from __future__ import annotations
 import re
 import threading
 from collections import deque
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -108,6 +108,16 @@ class Counter:
     def values(self) -> Dict[LabelKey, float]:
         with self._lock:
             return dict(self._values)
+
+    def aggregate(self, match: Optional[Callable[[Dict[str, str]], bool]]
+                  = None) -> float:
+        """Sum over the label children selected by ``match(labels)`` —
+        every child counted exactly once (all children when ``None``)."""
+        with self._lock:
+            return sum(
+                value for key, value in self._values.items()
+                if match is None or match(dict(key))
+            )
 
 
 class Gauge:
@@ -242,6 +252,39 @@ class Histogram:
         with self._lock:
             return {key: state.summary()
                     for key, state in self._states.items()}
+
+    def aggregate_summary(
+        self, match: Optional[Callable[[Dict[str, str]], bool]] = None
+    ) -> Dict[str, float]:
+        """One merged summary over the label children selected by
+        ``match(labels)`` (all children when ``None``).
+
+        Lifetime aggregates (count / sum / min / max) merge exactly;
+        percentiles are computed over the *union* of the children's
+        retained sample windows — the correct rollup for cluster-level
+        latency, where averaging per-child percentiles would be wrong.
+        """
+        with self._lock:
+            states = [
+                state for key, state in self._states.items()
+                if match is None or match(dict(key))
+            ]
+            count = sum(state.count for state in states)
+            total = sum(state.sum for state in states)
+            mins = [state.min for state in states if state.min is not None]
+            maxs = [state.max for state in states if state.max is not None]
+            samples = [v for state in states for v in state.samples]
+        out = {
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "min": min(mins) if mins else 0.0,
+            "max": max(maxs) if maxs else 0.0,
+        }
+        arr = np.asarray(samples, dtype=float) if samples else None
+        for name, q in (("p50", 50.0), ("p95", 95.0), ("p99", 99.0)):
+            out[name] = float(np.percentile(arr, q)) if arr is not None \
+                else 0.0
+        return out
 
 
 class BoundCounter:

@@ -126,6 +126,40 @@ def render_distributed(metrics: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+# Serving-cluster families, rendered as their own section: routing
+# spread, admission/shedding, tiered-cache effectiveness, replica
+# membership health, rollout accounting.  (name, human label) in
+# display order.
+CLUSTER_METRICS = (
+    ("serving_replicas_live", "live replicas"),
+    ("serving_cluster_requests_total", "requests routed"),
+    ("serving_cluster_shed_total", "arrivals shed"),
+    ("serving_cluster_l2_hits_total", "shared L2 hits"),
+    ("serving_cluster_l2_misses_total", "shared L2 misses"),
+    ("serving_cluster_replica_restarts_total", "replica restarts"),
+    ("serving_cluster_redispatched_total", "requests re-dispatched"),
+    ("serving_cluster_canary_requests_total", "canary requests"),
+    ("serving_cluster_shadow_mirrors_total", "shadow mirrors"),
+    ("serving_cluster_shadow_mismatch_total", "shadow mismatches"),
+    ("serving_cluster_degraded_total", "degradations to in-gateway"),
+    ("serving_cluster_outstanding", "outstanding at snapshot"),
+)
+
+
+def render_cluster(metrics: Dict[str, object]) -> str:
+    """The serving-cluster counters of a trace's metrics snapshot, or
+    ``""`` when the run never served through a cluster."""
+    lines: List[str] = []
+    for name, label in CLUSTER_METRICS:
+        family = metrics.get(name)
+        if not family:
+            continue
+        for labels, value in sorted(family.get("values", {}).items()):
+            shown = labels if labels != "{}" else ""
+            lines.append(f"{label + shown:<32} {value:g}")
+    return "\n".join(lines)
+
+
 def render_metrics(metrics: Dict[str, object]) -> str:
     """The metrics snapshot of a trace, one line per labelled value."""
     lines: List[str] = []
@@ -167,6 +201,10 @@ def render_trace_report(trace: TraceFile, top: int = 12,
         if distributed:
             sections.append("\n=== online actor/learner ===")
             sections.append(distributed)
+        cluster = render_cluster(trace.metrics)
+        if cluster:
+            sections.append("\n=== serving cluster ===")
+            sections.append(cluster)
         sections.append("\n=== metrics snapshot ===")
         sections.append(render_metrics(trace.metrics))
     return "\n".join(sections)

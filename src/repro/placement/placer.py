@@ -339,9 +339,18 @@ def _legalize(positions, grid: PlacementGrid, areas, width, height, rng) -> np.n
                 positions[cell, 0] = cx[tr, tc] + jitter[0] * grid.bin_width_um
                 positions[cell, 1] = cy[tr, tc] + jitter[1] * grid.bin_height_um
         positions = np.clip(positions, 0.0, [width, height])
-    # Snap to site rows (pitch scaled to keep ~200 rows on any die).
+    # Snap to site rows (pitch scaled to keep ~200 rows on any die).  The
+    # snap is clamped to each cell's legalized bin: rounding can carry a
+    # boundary cell across a bin edge, silently re-filling a bin (e.g. a
+    # fully-blocked one) the spill loop just emptied.
     row_pitch = max(0.2, height / 200.0)
+    rows, _ = grid.bin_indices(positions[:, 0], positions[:, 1])
     positions[:, 1] = np.round(positions[:, 1] / row_pitch) * row_pitch
+    positions[:, 1] = np.clip(
+        positions[:, 1],
+        rows * grid.bin_height_um,
+        (rows + 1) * grid.bin_height_um - 1e-9,
+    )
     return np.clip(positions, 0.0, [width, height])
 
 

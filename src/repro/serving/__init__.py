@@ -20,20 +20,36 @@ a *service* able to absorb many concurrent recommendation requests:
   behind :meth:`RecommendationService.stats`.
 - :mod:`repro.serving.service` — :class:`RecommendationService`, the
   composition of all of the above.
+- :mod:`repro.serving.cluster` — :class:`ServingCluster`, the multi-replica
+  async gateway: pluggable routing (:mod:`repro.serving.router`), watermark
+  admission control with typed load shedding
+  (:mod:`repro.serving.admission`), a cluster-shared L2 result cache over
+  the replicas' L1s, canary/shadow rollout, and self-healing replica
+  membership.
 
 See ``docs/serving.md`` for the architecture walkthrough and
 ``benchmarks/bench_serving_throughput.py`` for the speedup evidence.
 """
 
+from repro.serving.admission import AdmissionController
 from repro.serving.batch_decode import (
     batched_beam_search,
     batched_greedy_decode,
     batched_sample_decode,
 )
 from repro.serving.cache import ResultCache, quantize_insight
+from repro.serving.cluster import ClusterConfig, ServingCluster
 from repro.serving.engine import DecodeState, InferenceEngine
 from repro.serving.metrics import Counter, Histogram, ServingMetrics
 from repro.serving.registry import ModelRegistry
+from repro.serving.router import (
+    ROUTING_POLICIES,
+    ConsistentHashRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    Router,
+    router_for,
+)
 from repro.serving.scheduler import (
     MicroBatcher,
     RequestStatus,
@@ -44,15 +60,23 @@ from repro.serving.service import INITIAL_VERSION, RecommendationService
 
 __all__ = [
     "INITIAL_VERSION",
+    "ROUTING_POLICIES",
+    "AdmissionController",
+    "ClusterConfig",
+    "ConsistentHashRouter",
     "Counter",
     "DecodeState",
     "Histogram",
     "InferenceEngine",
+    "LeastLoadedRouter",
     "MicroBatcher",
     "ModelRegistry",
     "RecommendationService",
     "RequestStatus",
     "ResultCache",
+    "RoundRobinRouter",
+    "Router",
+    "ServingCluster",
     "ServingConfig",
     "ServingMetrics",
     "Ticket",
@@ -60,4 +84,5 @@ __all__ = [
     "batched_greedy_decode",
     "batched_sample_decode",
     "quantize_insight",
+    "router_for",
 ]

@@ -85,6 +85,27 @@ class ResultCache:
             self.invalidations += 1
             return dropped
 
+    def purge_version(self, model_version: str) -> int:
+        """Versioned invalidation: drop only ``model_version``'s entries.
+
+        The cluster's shared L2 uses this on hot-swap — entries of the
+        versions still registered (e.g. a live canary) survive, while the
+        retired version's entries stop occupying capacity.  Keys embed
+        the version, so this is a space reclaim, never a correctness
+        requirement.
+        """
+        with self._lock:
+            stale = [
+                key for key in self._entries
+                if isinstance(key, tuple) and key
+                and key[0] == model_version
+            ]
+            for key in stale:
+                del self._entries[key]
+            if stale:
+                self.invalidations += 1
+            return len(stale)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

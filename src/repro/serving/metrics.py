@@ -14,7 +14,7 @@ plain-dict shape exactly.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional, Set
 
 # Back-compat re-exports: the serving layer's original metric primitives
 # are now the registry's (identical unlabelled behaviour).
@@ -26,6 +26,52 @@ from repro.observability.metrics import (
 )
 
 _SERVICE_IDS = itertools.count()
+
+#: The serving counter families, as (snapshot path, family name) pairs —
+#: the single source of truth for both per-service snapshots and the
+#: cluster-level aggregation.
+_COUNTER_FAMILIES = (
+    (("requests", "submitted"), "serving_requests_submitted_total"),
+    (("requests", "completed"), "serving_requests_completed_total"),
+    (("requests", "expired"), "serving_requests_expired_total"),
+    (("requests", "rejected"), "serving_requests_rejected_total"),
+    (("batches",), "serving_batches_total"),
+    (("hot_swaps",), "serving_hot_swaps_total"),
+    (("cache", "hits"), "serving_cache_hits_total"),
+    (("cache", "misses"), "serving_cache_misses_total"),
+)
+
+_HISTOGRAM_FAMILIES = (
+    ("queue_wait_s", "serving_queue_wait_seconds"),
+    ("latency_s", "serving_request_latency_seconds"),
+    ("batch_occupancy", "serving_batch_occupancy"),
+    ("queue_depth", "serving_queue_depth_at_dispatch"),
+)
+
+
+def used_service_ids(registry: Optional[MetricsRegistry] = None) -> Set[str]:
+    """Every ``service=`` label value present in any ``serving_*`` family.
+
+    A fresh :class:`ServingMetrics` must never adopt one of these: binding
+    to a label child that already carries a predecessor's counts would
+    silently *merge* two services' totals, and any cross-service rollup
+    would double-count the shared child.
+    """
+    reg = registry if registry is not None else get_registry()
+    used: Set[str] = set()
+    for name in reg.names():
+        if not name.startswith("serving_"):
+            continue
+        family = reg.get(name)
+        keys: Iterable = (
+            family.summaries() if family.kind == "histogram"
+            else family.values()
+        )
+        for key in keys:
+            for label, value in key:
+                if label == "service":
+                    used.add(value)
+    return used
 
 
 class ServingMetrics:
@@ -46,14 +92,26 @@ class ServingMetrics:
     ) -> None:
         reg = registry if registry is not None else get_registry()
         self.registry = reg
-        self.service_id = (
-            service_id if service_id is not None
-            else f"svc{next(_SERVICE_IDS)}"
-        )
+        if service_id is None:
+            # Auto ids skip label children the registry already carries
+            # (a reused registry outliving the module counter — fresh
+            # subprocess, reload, or a respawned replica reusing its id)
+            # so two services never share — and therefore double-count —
+            # one child.
+            used = used_service_ids(reg)
+            service_id = f"svc{next(_SERVICE_IDS)}"
+            while service_id in used:
+                service_id = f"svc{next(_SERVICE_IDS)}"
+        self.service_id = service_id
         bind = {"service": self.service_id}
         self.submitted = reg.counter(
             "serving_requests_submitted_total", "requests admitted"
         ).bind(**bind)
+        # Materialize the child immediately (a zero-increment) so this
+        # service's id is visible to used_service_ids() from birth — not
+        # only after its first request — keeping auto-id collision
+        # avoidance airtight.
+        self.submitted.inc(0)
         self.completed = reg.counter(
             "serving_requests_completed_total", "requests served"
         ).bind(**bind)
@@ -111,3 +169,57 @@ class ServingMetrics:
             "batch_occupancy": self.batch_occupancy.summary(),
             "queue_depth": self.queue_depth.summary(),
         }
+
+
+def aggregate_serving_snapshot(
+    registry: Optional[MetricsRegistry] = None,
+    services: Optional[Iterable[str]] = None,
+) -> Dict[str, object]:
+    """Sum the ``serving_*`` families across services — the cluster view.
+
+    Returns the exact :meth:`ServingMetrics.snapshot` dict shape (plus a
+    ``services`` list), with every counter summed over each selected
+    ``service=`` label child exactly once and every histogram merged
+    sample-exactly through
+    :meth:`~repro.observability.metrics.Histogram.aggregate_summary` —
+    so ``latency_s["p99"]`` is the percentile of the *pooled* samples,
+    not an average of per-service percentiles.
+
+    ``services`` restricts the rollup (e.g. a cluster summing only its
+    replicas' ids); ``None`` aggregates every service in the registry.
+    """
+    reg = registry if registry is not None else get_registry()
+    wanted = None if services is None else {str(s) for s in services}
+
+    def match(labels: Dict[str, str]) -> bool:
+        service = labels.get("service")
+        if service is None:
+            return False
+        return wanted is None or service in wanted
+
+    snapshot: Dict[str, object] = {
+        "services": sorted(
+            wanted if wanted is not None else used_service_ids(reg)
+        ),
+        "requests": {},
+        "cache": {},
+    }
+    for path, name in _COUNTER_FAMILIES:
+        family = reg.get(name)
+        value = family.aggregate(match) if family is not None else 0
+        node = snapshot
+        for part in path[:-1]:
+            node = node.setdefault(part, {})
+        node[path[-1]] = value
+    hits = snapshot["cache"]["hits"]
+    misses = snapshot["cache"]["misses"]
+    snapshot["cache"]["hit_rate"] = (
+        hits / (hits + misses) if hits + misses else 0.0
+    )
+    for key, name in _HISTOGRAM_FAMILIES:
+        family = reg.get(name)
+        snapshot[key] = (
+            family.aggregate_summary(match) if family is not None
+            else Histogram(name).aggregate_summary()
+        )
+    return snapshot

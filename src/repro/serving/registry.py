@@ -46,6 +46,15 @@ class ModelRegistry:
     def versions(self) -> List[str]:
         return sorted(self._sources)
 
+    def sources(self) -> Dict[str, ModelSource]:
+        """Every registered ``version -> source`` (a shallow copy).
+
+        Used by the serving cluster to replicate this registry into
+        replica processes: paths load lazily there, in-memory recommenders
+        are pickled along.
+        """
+        return dict(self._sources)
+
     def subscribe(self, callback: Callable[[str], None]) -> None:
         """``callback(version)`` fires after every successful activation."""
         self._subscribers.append(callback)
@@ -75,6 +84,29 @@ class ModelRegistry:
         for callback in self._subscribers:
             callback(version)
         return recommender
+
+    def resolve(self, version: str) -> InsightAlign:
+        """The recommender for ``version`` *without* activating it.
+
+        This is the version-pinning hook behind canary/shadow serving: a
+        request pinned to a registered-but-not-active version decodes on
+        that model while the active slot keeps serving everyone else.
+        Archive sources are loaded once and memoized (the loaded instance
+        replaces the path), so pinned traffic does not reload per request.
+        """
+        if self._active is not None and self._active[0] == version:
+            return self._active[1]
+        try:
+            source = self._sources[version]
+        except KeyError:
+            raise RegistryError(
+                f"unknown model version {version!r}; "
+                f"registered: {self.versions()}"
+            ) from None
+        if not isinstance(source, InsightAlign):
+            source = InsightAlign.load(source)
+            self._sources[version] = source
+        return source
 
     # ------------------------------------------------------------------
     @property

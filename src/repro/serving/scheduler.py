@@ -48,6 +48,11 @@ class ServingConfig:
             their own (``None`` = no deadline).
         cache_capacity: LRU result-cache entries (0 disables caching).
         insight_decimals: Cache-key quantization of the insight vector.
+        decode_latency_s: Wall-clock latency added (through the service's
+            injectable ``sleep``) per decoded batch, modeling an attached
+            accelerator's round-trip — the regime where multi-replica
+            serving scales regardless of host core count.  Cache hits do
+            not pay it.  0 (the default) for pure in-host decode.
     """
 
     max_batch_size: int = 8
@@ -56,6 +61,7 @@ class ServingConfig:
     default_deadline_s: Optional[float] = None
     cache_capacity: int = 256
     insight_decimals: int = 6
+    decode_latency_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -67,6 +73,10 @@ class ServingConfig:
         if self.max_queue_depth < 1:
             raise ServingError(
                 f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.decode_latency_s < 0:
+            raise ServingError(
+                f"decode_latency_s must be >= 0, got {self.decode_latency_s}"
             )
 
 
@@ -81,6 +91,10 @@ class Ticket:
     k: int
     submitted_at: float
     deadline_at: Optional[float] = None
+    # Canary/shadow hook: serve this request with a specific *registered*
+    # model version instead of the active one (None = active).  The
+    # active slot is untouched; see ModelRegistry.resolve().
+    pinned_version: Optional[str] = None
     status: RequestStatus = RequestStatus.PENDING
     completed_at: Optional[float] = None
     cache_hit: bool = False

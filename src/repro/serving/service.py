@@ -26,6 +26,7 @@ decision is deterministic and instant in tests.
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from typing import Callable, List, Optional, Union
 
 import numpy as np
@@ -55,7 +56,14 @@ class RecommendationService:
         config: ServingConfig = ServingConfig(),
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
+        cache: Optional[ResultCache] = None,
+        service_id: Optional[str] = None,
     ) -> None:
+        """``cache`` is the shared-cache hook: pass an external
+        :class:`ResultCache` (e.g. a cluster's shared L2) and the service
+        uses it instead of building a private L1 — keys embed the model
+        version, so sharing across services is always coherent.
+        ``service_id`` pins the metrics label (auto ``svcN`` otherwise)."""
         self.config = config
         self.clock = clock
         self.sleep = sleep
@@ -65,8 +73,8 @@ class RecommendationService:
             self.registry = ModelRegistry()
             self.registry.register(INITIAL_VERSION, model)
             self.registry.activate(INITIAL_VERSION)
-        self.metrics = ServingMetrics()
-        self.cache = ResultCache(
+        self.metrics = ServingMetrics(service_id=service_id)
+        self.cache = cache if cache is not None else ResultCache(
             capacity=config.cache_capacity,
             insight_decimals=config.insight_decimals,
         )
@@ -94,6 +102,7 @@ class RecommendationService:
         insight: np.ndarray,
         k: int = 5,
         deadline_s: Optional[float] = None,
+        model_version: Optional[str] = None,
     ) -> Ticket:
         """Enqueue a request; raises ``QueueFullError`` under overload.
 
@@ -102,6 +111,10 @@ class RecommendationService:
             k: Beam width / number of recipe sets wanted.
             deadline_s: Seconds from now after which the request must not
                 be served (falls back to ``config.default_deadline_s``).
+            model_version: Pin this request to a registered (not
+                necessarily active) model version — the canary/shadow
+                hook.  ``None`` serves on whatever version is active at
+                dispatch time.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -114,6 +127,7 @@ class RecommendationService:
             k=int(k),
             submitted_at=now,
             deadline_at=None if deadline_s is None else now + deadline_s,
+            pinned_version=model_version,
         )
         try:
             self._batcher.submit(ticket)
@@ -166,10 +180,15 @@ class RecommendationService:
         with tracer.span(
             "serve.batch", size=len(batch), queue_depth=depth_before
         ) as batch_span:
-            version, recommender = self.registry.active()
+            active_version, _ = self.registry.active()
             misses: List[Ticket] = []
+            # Pinned requests (canary/shadow) decode on their pinned
+            # version; everyone else on the active one.  Cache keys use
+            # the resolved version, so pinned and active traffic never
+            # cross-contaminate entries.
             for ticket in batch:
-                key = self.cache.key(version, ticket.insight, ticket.k)
+                resolved = ticket.pinned_version or active_version
+                key = self.cache.key(resolved, ticket.insight, ticket.k)
                 cached = self.cache.get(key)
                 if cached is not None:
                     ticket._result = cached
@@ -181,29 +200,17 @@ class RecommendationService:
             batch_span.set_attribute("cache_hits", len(batch) - len(misses))
 
             if misses:
-                with tracer.span("serve.decode", rows=len(misses)):
-                    insights = np.stack([t.insight for t in misses])
-                    widths = [t.k for t in misses]
-                    decoded = batched_beam_search(
-                        recommender.model, insights, widths
-                    )
-                names = recommender.catalog.names()
-                for ticket, candidates in zip(misses, decoded):
-                    result = [
-                        Recommendation(
-                            recipe_set=bits,
-                            log_prob=log_prob,
-                            recipe_names=[
-                                names[i] for i, bit in enumerate(bits) if bit
-                            ],
-                        )
-                        for bits, log_prob in candidates
-                    ]
-                    ticket._result = result
-                    self.cache.put(
-                        self.cache.key(version, ticket.insight, ticket.k),
-                        result,
-                    )
+                groups: "OrderedDict[str, List[Ticket]]" = OrderedDict()
+                for ticket in misses:
+                    resolved = ticket.pinned_version or active_version
+                    groups.setdefault(resolved, []).append(ticket)
+                with tracer.span(
+                    "serve.decode", rows=len(misses), versions=len(groups)
+                ):
+                    for resolved, group in groups.items():
+                        self._decode_group(resolved, group)
+                if self.config.decode_latency_s:
+                    self.sleep(self.config.decode_latency_s)
 
         done_at = self.clock()
         for ticket in batch:
@@ -213,6 +220,29 @@ class RecommendationService:
             self.metrics.latency_s.observe(done_at - ticket.submitted_at)
             self._end_request_span(ticket, "completed")
         return expired + len(batch)
+
+    def _decode_group(self, version: str, group: List[Ticket]) -> None:
+        """Batched beam search for every ticket resolved to ``version``."""
+        recommender = self.registry.resolve(version)
+        insights = np.stack([t.insight for t in group])
+        widths = [t.k for t in group]
+        decoded = batched_beam_search(recommender.model, insights, widths)
+        names = recommender.catalog.names()
+        for ticket, candidates in zip(group, decoded):
+            result = [
+                Recommendation(
+                    recipe_set=bits,
+                    log_prob=log_prob,
+                    recipe_names=[
+                        names[i] for i, bit in enumerate(bits) if bit
+                    ],
+                )
+                for bits, log_prob in candidates
+            ]
+            ticket._result = result
+            self.cache.put(
+                self.cache.key(version, ticket.insight, ticket.k), result
+            )
 
     @staticmethod
     def _end_request_span(ticket: Ticket, outcome: str) -> None:

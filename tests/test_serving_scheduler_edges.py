@@ -1,0 +1,189 @@
+"""MicroBatcher edge cases (ISSUE 9 satellite).
+
+Three boundaries the mainline scheduler tests skip over:
+
+1. deadline expiry *racing* batch formation — a request whose deadline
+   lands exactly on the instant the batch becomes due must expire, never
+   decode, and must not poison the rest of the batch;
+2. admission at exactly ``max_queue_depth`` — the boundary submission is
+   the one that sheds, and one drain re-opens exactly one slot;
+3. ``max_wait_s=0`` — the zero-latency-budget configuration: whatever is
+   queued dispatches on the very next poll, batching only what arrived
+   together.
+
+Everything runs on a :class:`~repro.runtime.clock.VirtualClock`; no test
+sleeps on real wall time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import InsightAlignModel
+from repro.core.recommender import InsightAlign
+from repro.errors import DeadlineExceededError, QueueFullError
+from repro.insights.schema import INSIGHT_DIMS
+from repro.runtime.clock import VirtualClock
+from repro.serving import RecommendationService, ServingConfig
+from repro.serving.scheduler import MicroBatcher, RequestStatus, Ticket
+
+
+def make_ticket(request_id, now, deadline_s=None, rng=None):
+    rng = rng or np.random.default_rng(request_id)
+    return Ticket(
+        request_id=request_id,
+        insight=rng.normal(size=INSIGHT_DIMS),
+        k=3,
+        submitted_at=now,
+        deadline_at=None if deadline_s is None else now + deadline_s,
+    )
+
+
+def make_service(clock, **config):
+    config.setdefault("cache_capacity", 0)
+    recommender = InsightAlign(InsightAlignModel(seed=5, n_recipes=8, dim=16))
+    return RecommendationService(
+        recommender,
+        ServingConfig(**config),
+        clock=clock,
+        sleep=clock.sleep,
+    )
+
+
+class TestDeadlineRacesBatchFormation:
+    def test_deadline_exactly_at_dispatch_expires(self):
+        """deadline_at == now at take_batch time: expiry wins the race."""
+        batcher = MicroBatcher(
+            ServingConfig(max_batch_size=4, max_wait_s=0.01)
+        )
+        doomed = make_ticket(0, now=0.0, deadline_s=0.01)
+        survivor = make_ticket(1, now=0.0)
+        batcher.submit(doomed)
+        batcher.submit(survivor)
+        # At t=0.01 the oldest request has waited max_wait_s (batch due)
+        # AND its deadline has arrived.  The >= comparison must resolve
+        # the tie toward expiry: a request at its deadline is never decoded.
+        batch = batcher.take_batch(now=0.01)
+        assert doomed.status is RequestStatus.EXPIRED
+        assert batch == [survivor]
+
+    def test_expiry_does_not_block_batch_of_survivors(self):
+        batcher = MicroBatcher(ServingConfig(max_batch_size=2, max_wait_s=1.0))
+        doomed = make_ticket(0, now=0.0, deadline_s=0.5)
+        late_a = make_ticket(1, now=0.6)
+        late_b = make_ticket(2, now=0.6)
+        for ticket in (doomed, late_a, late_b):
+            batcher.submit(ticket)
+        # The expired head must not count toward batch formation, but the
+        # two live requests fill max_batch_size and dispatch immediately.
+        batch = batcher.take_batch(now=0.7)
+        assert doomed.status is RequestStatus.EXPIRED
+        assert batch == [late_a, late_b]
+
+    def test_next_due_in_is_capped_by_the_deadline(self):
+        """The driver must wake for an expiry, not sleep past it to the
+        batch-formation due time."""
+        batcher = MicroBatcher(
+            ServingConfig(max_batch_size=8, max_wait_s=10.0)
+        )
+        batcher.submit(make_ticket(0, now=0.0, deadline_s=0.25))
+        assert batcher.next_due_in(now=0.0) == pytest.approx(0.25)
+
+    def test_service_settles_expiry_and_batch_in_one_poll(self):
+        clock = VirtualClock()
+        service = make_service(
+            clock, max_batch_size=4, max_wait_s=0.05, default_deadline_s=None
+        )
+        rng = np.random.default_rng(0)
+        doomed = service.submit(rng.normal(size=INSIGHT_DIMS), deadline_s=0.05)
+        served = service.submit(rng.normal(size=INSIGHT_DIMS))
+        clock.advance(0.05)  # batch due and deadline hit on the same tick
+        settled = service.poll()
+        assert settled == 2
+        assert doomed.status is RequestStatus.EXPIRED
+        with pytest.raises(DeadlineExceededError):
+            doomed.result()
+        assert served.status is RequestStatus.COMPLETED
+        assert served.result()
+        stats = service.stats()
+        assert stats["requests"]["expired"] == 1
+        assert stats["requests"]["completed"] == 1
+
+
+class TestAdmissionBoundary:
+    def test_rejects_exactly_at_max_depth(self):
+        batcher = MicroBatcher(
+            ServingConfig(max_queue_depth=4, max_batch_size=2)
+        )
+        for i in range(4):
+            batcher.submit(make_ticket(i, now=0.0))  # fills to the brim
+        assert batcher.depth == 4
+        with pytest.raises(QueueFullError):
+            batcher.submit(make_ticket(99, now=0.0))
+        # The rejected request must not have been half-admitted.
+        assert batcher.depth == 4
+
+    def test_one_drain_reopens_exactly_batch_size_slots(self):
+        batcher = MicroBatcher(
+            ServingConfig(max_queue_depth=4, max_batch_size=2, max_wait_s=0.0)
+        )
+        for i in range(4):
+            batcher.submit(make_ticket(i, now=0.0))
+        assert len(batcher.take_batch(now=0.0)) == 2
+        batcher.submit(make_ticket(5, now=0.0))
+        batcher.submit(make_ticket(6, now=0.0))
+        with pytest.raises(QueueFullError):  # full again at exactly 4
+            batcher.submit(make_ticket(7, now=0.0))
+
+    def test_service_counts_boundary_rejection(self):
+        clock = VirtualClock()
+        service = make_service(
+            clock, max_queue_depth=2, max_batch_size=8, max_wait_s=1.0
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(2):
+            service.submit(rng.normal(size=INSIGHT_DIMS))
+        with pytest.raises(QueueFullError):
+            service.submit(rng.normal(size=INSIGHT_DIMS))
+        stats = service.stats()
+        assert stats["requests"]["rejected"] == 1
+        assert stats["requests"]["submitted"] == 2
+        # Backpressure is transient: one flush re-opens admission.
+        service.flush()
+        ticket = service.submit(rng.normal(size=INSIGHT_DIMS))
+        service.flush()
+        assert ticket.result()
+
+
+class TestZeroWaitBatching:
+    def test_single_request_dispatches_immediately(self):
+        batcher = MicroBatcher(ServingConfig(max_batch_size=8, max_wait_s=0.0))
+        ticket = make_ticket(0, now=3.0)
+        batcher.submit(ticket)
+        # Due the instant it arrives — no waiting for co-batchers.
+        assert batcher.ready(now=3.0)
+        assert batcher.next_due_in(now=3.0) == 0.0
+        assert batcher.take_batch(now=3.0) == [ticket]
+
+    def test_batches_only_what_arrived_together(self):
+        """max_wait_s=0 still batches: everything queued at poll time goes
+        out together, capped at max_batch_size."""
+        batcher = MicroBatcher(ServingConfig(max_batch_size=3, max_wait_s=0.0))
+        tickets = [make_ticket(i, now=0.0) for i in range(5)]
+        for ticket in tickets:
+            batcher.submit(ticket)
+        assert batcher.take_batch(now=0.0) == tickets[:3]
+        assert batcher.take_batch(now=0.0) == tickets[3:]
+        assert batcher.take_batch(now=0.0) == []
+
+    def test_service_zero_wait_never_sleeps(self):
+        clock = VirtualClock()
+        service = make_service(clock, max_batch_size=4, max_wait_s=0.0)
+        rng = np.random.default_rng(2)
+        tickets = [service.submit(rng.normal(size=INSIGHT_DIMS))
+                   for _ in range(6)]
+        settled = service.run_until_idle()
+        assert settled == 6
+        assert all(t.result() for t in tickets)
+        # Virtual time never advanced: zero-wait dispatch required no
+        # sleeping between polls.
+        assert clock.now() == 0.0
