@@ -16,10 +16,20 @@ warm-rerun speedup.
 Acceptance gate (ISSUE 3): >= 3x speedup at 8 workers on a 16-job batch.
 Set ``REPRO_PARALLEL_BENCH_TINY=1`` for the CI smoke configuration
 (2 workers, 4 jobs, >= 1.2x) — same assertions, smaller scale.
+
+``test_batch_flow_speedup`` (run with ``--batch`` or
+``REPRO_FLOW_BENCH_BATCH=1``) gates the *stacked* simulator instead: one
+``batch_size``-wide array-vectorized evaluation of real simulated flows
+vs. the scalar single-process loop, results asserted bit-identical.
+Acceptance gate (ISSUE 10): >= 3x at batch 16 on D3, or >= 1.3x in the
+tiny CI configuration (batch 8 on D10).
 """
 
 import os
+import pickle
 import time
+
+import pytest
 
 from repro.flow.parameters import FlowParameters, OptParams
 from repro.flow.result import FlowResult
@@ -191,5 +201,90 @@ def test_parallel_flow_speedup(benchmark, tmp_path):
             "tool_latency_s": TOOL_LATENCY_S,
             "chaos_restarts": chaos["restarts"],
             "chaos_redispatched": chaos["redispatched"],
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Stacked batch simulator vs. the scalar single-process loop (ISSUE 10).
+# ----------------------------------------------------------------------
+BATCH_TINY = os.environ.get("REPRO_FLOW_BENCH_BATCH_TINY", "") \
+    not in ("", "0")
+BATCH_DESIGN = "D10" if BATCH_TINY else "D3"
+BATCH_WIDTH = 8 if BATCH_TINY else 16
+BATCH_GATE = 1.3 if BATCH_TINY else 3.0
+
+
+def test_batch_flow_speedup(benchmark, request):
+    if not (request.config.getoption("--batch")
+            or os.environ.get("REPRO_FLOW_BENCH_BATCH")):
+        pytest.skip("batch bench: pass --batch or set "
+                    "REPRO_FLOW_BENCH_BATCH=1")
+    jobs = [
+        FlowJob(BATCH_DESIGN, FlowParameters(opt=OptParams(
+            vt_swap_bias=1.0 + 0.02 * index)), seed=5)
+        for index in range(BATCH_WIDTH)
+    ]
+
+    def run_all():
+        # Warm the pristine-netlist cache so neither side pays generation.
+        from repro.flow.runner import fresh_netlists
+
+        fresh_netlists(BATCH_DESIGN, 5, 1)
+
+        with ParallelFlowExecutor(workers=1) as scalar:
+            started = time.perf_counter()
+            scalar_results = scalar.execute_batch(jobs)
+            scalar_s = time.perf_counter() - started
+
+        with ParallelFlowExecutor(
+            workers=1, batch_size=BATCH_WIDTH
+        ) as stacked:
+            started = time.perf_counter()
+            stacked_results = stacked.execute_batch(jobs)
+            stacked_s = time.perf_counter() - started
+            stats = stacked.stats()
+
+        # The speedup only counts against the identical bits.
+        assert [pickle.dumps(r, 5) for r in stacked_results] == \
+            [pickle.dumps(r, 5) for r in scalar_results]
+        assert stats["batch_calls"] == 1
+        assert stats["batch_max_width"] == BATCH_WIDTH
+        return {
+            "scalar_s": scalar_s,
+            "stacked_s": stacked_s,
+            "speedup": scalar_s / stacked_s,
+            "padding_waste": stats["batch_padding_waste"],
+        }
+
+    table = run_once(benchmark, run_all)
+
+    print(f"\n=== Stacked batch simulator ({BATCH_DESIGN}, "
+          f"batch {BATCH_WIDTH}) ===")
+    print(f"scalar {table['scalar_s']:>7.2f}s   "
+          f"stacked {table['stacked_s']:>7.2f}s   "
+          f"speedup {table['speedup']:>5.2f}x   "
+          f"(gate >= {BATCH_GATE:.1f}x)   "
+          f"padding waste {table['padding_waste']:.3f}")
+
+    assert table["speedup"] >= BATCH_GATE, (
+        f"stacked simulator only {table['speedup']:.2f}x at batch "
+        f"{BATCH_WIDTH} on {BATCH_DESIGN} (gate {BATCH_GATE:.1f}x)"
+    )
+
+    record_bench(
+        "batch_flow",
+        gates={
+            "speedup": {"gate": BATCH_GATE, "measured": table["speedup"]},
+        },
+        medians={
+            "scalar_s": table["scalar_s"],
+            "stacked_s": table["stacked_s"],
+        },
+        config={
+            "tiny": BATCH_TINY,
+            "design": BATCH_DESIGN,
+            "batch_width": BATCH_WIDTH,
+            "padding_waste": table["padding_waste"],
         },
     )

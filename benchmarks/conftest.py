@@ -22,6 +22,13 @@ def pytest_addoption(parser):
         help="run the multi-replica serving-cluster SLO bench (same as "
              "setting REPRO_SERVING_BENCH_CLUSTER=1)",
     )
+    parser.addoption(
+        "--batch",
+        action="store_true",
+        default=False,
+        help="run the stacked batch-simulator speedup bench (same as "
+             "setting REPRO_FLOW_BENCH_BATCH=1)",
+    )
 
 
 def pytest_configure(config):

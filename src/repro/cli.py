@@ -79,6 +79,11 @@ def _add_supervision_flags(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--poison-retries", type=int, default=1,
                        help="re-dispatches of a job that killed its "
                             "worker before it is quarantined as poison")
+    group.add_argument("--batch-size", type=int, default=1,
+                       help="max jobs per stacked (array-vectorized) flow "
+                            "evaluation; compatible jobs — same design and "
+                            "netlist seed — are grouped per dispatch, with "
+                            "bit-identical results (1 = scalar path)")
 
 
 def _add_chaos_flags(parser: argparse.ArgumentParser) -> None:
@@ -110,6 +115,7 @@ def _runtime_from_args(args, **overrides):
         watchdog_s=getattr(args, "watchdog_s", 0.0) or None,
         max_respawns=getattr(args, "max_respawns", 8),
         poison_retries=getattr(args, "poison_retries", 1),
+        batch_size=getattr(args, "batch_size", 1),
     )
     settings.update(overrides)
     return RuntimeConfig(**settings)

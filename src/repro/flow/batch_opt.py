@@ -1,0 +1,154 @@
+"""Batched post-route optimization over N lanes of compiled designs.
+
+The scalar optimizer interleaves STA with in-place netlist moves; the batch
+version keeps the moves scalar (they mutate per-lane ``Netlist`` objects
+through the exact helpers in :mod:`repro.flow.opt`) and batches the STA
+calls, which dominate runtime.  Lanes start out sharing one
+:class:`CompiledDesign`; hold fixing splices buffer instances and therefore
+*diverges a lane's topology*, at which point that lane is recompiled and
+subsequent STA calls are grouped by design-object identity — diverged lanes
+run as width-1 stacks of the same vector kernel.
+
+Control flow mirrors ``optimize`` per lane bit for bit: per-lane pass
+budgets, the ``moved == 0 or wns >= 0`` break, and the re-STA-only-if-changed
+rules for hold fixing and power recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.cts.tree import ClockTree
+from repro.flow.opt import (
+    OptResult,
+    _apply_useful_skew,
+    _fix_hold,
+    _power_recovery_pass,
+    _setup_sizing_pass,
+)
+from repro.flow.parameters import OptParams, TradeoffWeights
+from repro.netlist.compiled import CompiledDesign, LaneState
+from repro.timing.constraints import TimingConstraints
+from repro.timing.sta import TimingReport
+from repro.timing.vector_sta import run_sta_batch
+
+
+def _sta_grouped(
+    pairs: Sequence[List],
+    constraints: TimingConstraints,
+    trees: Sequence[ClockTree],
+    scales: Sequence[float],
+    indices: Sequence[int],
+) -> Dict[int, TimingReport]:
+    """Run vector STA on ``indices``, grouping lanes by shared design."""
+    groups: Dict[int, List[int]] = {}
+    for b in indices:
+        groups.setdefault(id(pairs[b][0]), []).append(b)
+    out: Dict[int, TimingReport] = {}
+    for members in groups.values():
+        design = pairs[members[0]][0]
+        reports = run_sta_batch(
+            design,
+            [pairs[b][1] for b in members],
+            constraints,
+            [trees[b] for b in members],
+            [scales[b] for b in members],
+        )
+        for b, report in zip(members, reports):
+            out[b] = report
+    return out
+
+
+def optimize_batch(
+    pairs: Sequence[List],
+    constraints: TimingConstraints,
+    trees: Sequence[ClockTree],
+    params_list: Sequence[OptParams],
+    tradeoffs: Sequence[TradeoffWeights],
+) -> List[OptResult]:
+    """Optimize every lane in place; ``pairs[b]`` is a mutable
+    ``[CompiledDesign, LaneState]`` list that is rebound when lane ``b``'s
+    topology diverges (hold-buffer insertion)."""
+    B = len(pairs)
+    results = [OptResult() for _ in range(B)]
+    scales = [p.vt_swap_bias ** -0.25 for p in params_list]
+
+    reports = _sta_grouped(pairs, constraints, trees, scales, range(B))
+    for b in range(B):
+        results[b].pre_wns_ps = reports[b].wns_ps
+        results[b].pre_tns_ps = reports[b].tns_ps
+
+    skew_lanes = [b for b in range(B) if params_list[b].useful_skew_gain > 0.0]
+    for b in skew_lanes:
+        results[b].useful_skew_endpoints = _apply_useful_skew(
+            reports[b], trees[b], constraints, params_list[b].useful_skew_gain
+        )
+    if skew_lanes:
+        reports.update(
+            _sta_grouped(pairs, constraints, trees, scales, skew_lanes)
+        )
+
+    throttles = [
+        max(0.2, 1.0 - 0.5 * p.early_hold_weight) for p in params_list
+    ]
+    pending = [max(0, p.setup_passes) for p in params_list]
+    while True:
+        active = [b for b in range(B) if pending[b] > 0]
+        if not active:
+            break
+        moved: Dict[int, int] = {}
+        for b in active:
+            pending[b] -= 1
+            results[b].passes_run += 1
+            moved[b] = _setup_sizing_pass(
+                pairs[b][1].netlist, reports[b], params_list[b],
+                tradeoffs[b], throttles[b],
+            )
+            results[b].upsized += moved[b]
+            if moved[b]:
+                pairs[b][1].refresh_cell_params()
+        reports.update(
+            _sta_grouped(pairs, constraints, trees, scales, active)
+        )
+        for b in active:
+            results[b].pass_tns_ps.append(reports[b].tns_ps)
+            if moved[b] == 0 or reports[b].wns_ps >= 0:
+                pending[b] = 0
+
+    diverged: List[int] = []
+    for b in range(B):
+        if params_list[b].hold_effort > 0.0:
+            netlist = pairs[b][1].netlist
+            results[b].hold_fix_count = _fix_hold(
+                netlist, reports[b], constraints, params_list[b]
+            )
+            if results[b].hold_fix_count:
+                # Buffer splicing changed the topology: this lane no longer
+                # matches the shared compiled arrays, so recompile it.
+                design = CompiledDesign(netlist)
+                pairs[b][0] = design
+                pairs[b][1] = LaneState(design, netlist)
+                diverged.append(b)
+    if diverged:
+        reports.update(
+            _sta_grouped(pairs, constraints, trees, scales, diverged)
+        )
+
+    recovered: List[int] = []
+    for b in range(B):
+        if params_list[b].leakage_recovery > 0.0 and tradeoffs[b].power > 0.0:
+            results[b].downsized = _power_recovery_pass(
+                pairs[b][1].netlist, reports[b], constraints,
+                params_list[b], tradeoffs[b],
+            )
+            if results[b].downsized:
+                pairs[b][1].refresh_cell_params()
+                recovered.append(b)
+    if recovered:
+        reports.update(
+            _sta_grouped(pairs, constraints, trees, scales, recovered)
+        )
+
+    for b in range(B):
+        results[b].report = reports[b]
+    return results

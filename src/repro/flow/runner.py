@@ -86,6 +86,21 @@ def netlist_cache_limit(limit: int):
 
 
 def _fresh_netlist(profile: DesignProfile, seed: int) -> Netlist:
+    return fresh_netlists(profile, seed, 1)[0]
+
+
+def fresh_netlists(
+    design: Union[str, DesignProfile], seed: int, count: int
+) -> List[Netlist]:
+    """``count`` independent pristine netlists for one (profile, seed).
+
+    A batched evaluation needs one private netlist per lane; this costs one
+    cache lookup/admission and then unpickles each copy from the same bytes,
+    instead of ``count`` separate generate-or-fetch round trips.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    profile = get_profile(design) if isinstance(design, str) else design
     key = (profile.name, seed)
     cached = _NETLIST_CACHE.get(key)
     if cached is None:
@@ -97,7 +112,7 @@ def _fresh_netlist(profile: DesignProfile, seed: int) -> Netlist:
             _NETLIST_CACHE.popitem(last=False)
     else:
         _NETLIST_CACHE.move_to_end(key)
-    return pickle.loads(cached)
+    return [pickle.loads(cached) for _ in range(count)]
 
 
 # The metrics every signoff QoR dict must carry, finite, for downstream

@@ -58,6 +58,7 @@ from repro.observability.profiling import (
 )
 from repro.observability.report import (
     aggregate_spans,
+    render_batch,
     render_distributed,
     render_supervision,
     render_trace_report,
@@ -96,6 +97,7 @@ __all__ = [
     "profile_block",
     "profile_stats",
     "profiled",
+    "render_batch",
     "render_distributed",
     "render_supervision",
     "render_trace_report",

@@ -96,6 +96,30 @@ def render_supervision(metrics: Dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+# Batch-simulator families, rendered as their own section: how many
+# stacked evaluations ran, how many jobs they grouped, and the widest
+# stack seen.  (name, human label) in display order.
+BATCH_METRICS = (
+    ("flow_batch_calls_total", "stacked evaluations"),
+    ("flow_batch_jobs_total", "jobs in stacked evaluations"),
+    ("flow_batch_width", "widest stacked call"),
+)
+
+
+def render_batch(metrics: Dict[str, object]) -> str:
+    """The batch-simulator counters of a trace's metrics snapshot, or
+    ``""`` when the run never used stacked evaluation."""
+    lines: List[str] = []
+    for name, label in BATCH_METRICS:
+        family = metrics.get(name)
+        if not family:
+            continue
+        for labels, value in sorted(family.get("values", {}).items()):
+            shown = labels if labels != "{}" else ""
+            lines.append(f"{label + shown:<32} {value:g}")
+    return "\n".join(lines)
+
+
 # Actor/learner distributed-online families, rendered as their own
 # section: membership health, experience-stream accounting, staleness.
 # (name, human label) in display order.
@@ -197,6 +221,10 @@ def render_trace_report(trace: TraceFile, top: int = 12,
         if supervision:
             sections.append("\n=== worker supervision ===")
             sections.append(supervision)
+        batch = render_batch(trace.metrics)
+        if batch:
+            sections.append("\n=== batch simulator ===")
+            sections.append(batch)
         distributed = render_distributed(trace.metrics)
         if distributed:
             sections.append("\n=== online actor/learner ===")

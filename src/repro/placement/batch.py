@@ -1,0 +1,310 @@
+"""Stacked force-directed placement over N lanes of one compiled design.
+
+``place_batch`` runs the scalar placer's iteration loop on ``(B, n, 2)``
+position stacks: the elementwise force math (attraction step, spreading
+push, annealing, clipping) is evaluated once for all lanes, while the
+scatter/gather ops that must preserve per-bin accumulation order
+(``np.add.at`` centroids, density maps, RUDY refreshes) run per lane on the
+lane's slice — ``ufunc.at`` is sequential in index order, so per-lane calls
+reproduce the scalar bits exactly.
+
+Lanes differ only in :class:`PlacerParams` (and therefore iteration count);
+a lane whose iteration budget is exhausted is *frozen* — masked out of every
+update rather than padded through the math — and the frozen lane-iterations
+are reported as padding waste.  Legalization, row snapping and wirelength
+annotation reuse the scalar helpers verbatim per lane, consuming the lane's
+own RNG stream exactly where the scalar placer would.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.netlist.compiled import CompiledDesign, LaneState
+from repro.placement.congestion import (
+    classify_congestion,
+    congestion_summary,
+    rudy_map_fast,
+)
+from repro.placement.grid import PlacementGrid
+from repro.placement.placer import (
+    _CHECKPOINT_FRACTIONS,
+    _CHECKPOINT_NAMES,
+    PlacementResult,
+    PlacerParams,
+    _annotate_wirelengths,
+    _boxes_fast,
+    _cluster_seeds,
+    _initial_positions,
+    _routing_supply_per_bin,
+)
+from repro.utils.rng import derive_rng
+
+_RING_OFFSETS: Dict[int, list] = {}
+
+
+def _ring_offsets(radius: int) -> list:
+    """Chebyshev-ring offsets in the scalar scan order (dr outer, dc inner)."""
+    cached = _RING_OFFSETS.get(radius)
+    if cached is None:
+        cached = [
+            (dr, dc)
+            for dr in range(-radius, radius + 1)
+            for dc in range(-radius, radius + 1)
+            if max(abs(dr), abs(dc)) == radius
+        ]
+        _RING_OFFSETS[radius] = cached
+    return cached
+
+
+def _nearest_slack_bin_fast(load, capacity, r, c, min_slack, bins_y, bins_x):
+    """``placer._nearest_slack_bin`` over plain-Python rows: same bin, bit
+    for bit (IEEE doubles either way), without per-element ndarray overhead.
+    """
+    for radius in range(1, max(bins_y, bins_x)):
+        best = None
+        best_slack = min_slack
+        for dr, dc in _ring_offsets(radius):
+            rr, cc = r + dr, c + dc
+            if not (0 <= rr < bins_y and 0 <= cc < bins_x):
+                continue
+            slack = capacity[rr][cc] - load[rr][cc]
+            if slack >= best_slack:
+                best_slack = slack
+                best = (rr, cc)
+        if best is not None:
+            return best
+    return None
+
+
+def _legalize_fast(positions, grid: PlacementGrid, areas, width, height, rng):
+    """``placer._legalize`` with the spill bookkeeping on Python floats.
+
+    Every spill decision, RNG draw and snap matches the scalar helper; the
+    load/capacity grids are materialized to nested lists so the ring search
+    and the drain loop run without ndarray scalar-indexing overhead.
+    """
+    positions = positions.copy()
+    free = grid.bin_area_um2 * np.maximum(0.02, 1.0 - grid.blockage_fraction)
+    capacity = free * 1.05
+    cx, cy = grid.bin_centers()
+    bins_y, bins_x = grid.bins_y, grid.bins_x
+    cap_rows = capacity.tolist()
+    area_list = areas.tolist()
+
+    for _ in range(5):
+        rows, cols = grid.bin_indices(positions[:, 0], positions[:, 1])
+        load = np.zeros((bins_y, bins_x))
+        np.add.at(load, (rows, cols), areas)
+        if np.all(load <= capacity * 1.02):
+            break
+        load_rows = load.tolist()
+        cells_in_bin: Dict = {}
+        for index, (r, c) in enumerate(zip(rows.tolist(), cols.tolist())):
+            cells_in_bin.setdefault((r, c), []).append(index)
+        order = sorted(
+            cells_in_bin,
+            key=lambda rc: load_rows[rc[0]][rc[1]] - cap_rows[rc[0]][rc[1]],
+            reverse=True,
+        )
+        for (r, c) in order:
+            if load_rows[r][c] <= cap_rows[r][c]:
+                continue
+            movers = cells_in_bin[(r, c)]
+            movers.sort(key=lambda i: area_list[i])  # pop() moves biggest first
+            while load_rows[r][c] > cap_rows[r][c] and movers:
+                cell = movers.pop()
+                target = _nearest_slack_bin_fast(
+                    load_rows, cap_rows, r, c, area_list[cell], bins_y, bins_x
+                )
+                if target is None:
+                    break
+                tr, tc = target
+                load_rows[r][c] -= area_list[cell]
+                load_rows[tr][tc] += area_list[cell]
+                jitter = rng.normal(0.0, 0.2, size=2)
+                positions[cell, 0] = cx[tr, tc] + jitter[0] * grid.bin_width_um
+                positions[cell, 1] = cy[tr, tc] + jitter[1] * grid.bin_height_um
+        positions = np.clip(positions, 0.0, [width, height])
+    row_pitch = max(0.2, height / 200.0)
+    rows, _ = grid.bin_indices(positions[:, 0], positions[:, 1])
+    positions[:, 1] = np.round(positions[:, 1] / row_pitch) * row_pitch
+    positions[:, 1] = np.clip(
+        positions[:, 1],
+        rows * grid.bin_height_um,
+        (rows + 1) * grid.bin_height_um - 1e-9,
+    )
+    return np.clip(positions, 0.0, [width, height])
+
+
+def place_batch(
+    design: CompiledDesign,
+    lanes: Sequence[LaneState],
+    params_list: Sequence[PlacerParams],
+    seed: int = 0,
+    stats: Optional[Dict[str, int]] = None,
+) -> List[PlacementResult]:
+    """Place every lane's netlist in-place; one :class:`PlacementResult` each."""
+    B = len(lanes)
+    netlist0 = lanes[0].netlist
+    n = len(design.p_names)
+    width, height = netlist0.die_width_um, netlist0.die_height_um
+    target_bins = int(np.clip(np.sqrt(n) / 2.2, 4, 16))
+    grid = PlacementGrid.for_die(width, height, netlist0.blockages, target_bins)
+    areas = design.p_area
+    supply = _routing_supply_per_bin(netlist0, grid)
+
+    rngs = [derive_rng(seed, "placer", lane.netlist.name) for lane in lanes]
+    cells_per_lane = [
+        [lane.netlist.cells[name] for name in design.p_names] for lane in lanes
+    ]
+    positions = np.stack([
+        _initial_positions(cells_per_lane[b], lanes[b].netlist, rngs[b])
+        for b in range(B)
+    ])
+    cluster_seeds = _cluster_seeds(cells_per_lane[0], netlist0, rngs[0])
+
+    pin_cell = design.pin_cell
+    pin_net = design.pin_net
+    net_sizes = design.p_net_sizes
+    n_nets = len(net_sizes)
+    net_weights = [
+        (1.0 + p.timing_net_weight * design.p_net_crit) / np.sqrt(net_sizes - 1)
+        for p in params_list
+    ]
+    inv_net_sizes = 1.0 / np.maximum(1, net_sizes)
+    steiner_factor = 1.0 + 0.18 * np.log2(np.maximum(2, net_sizes) / 2.0)
+
+    iters = [max(8, int(round(36 * p.effort))) for p in params_list]
+    checkpoints = [
+        [max(1, int(round(f * iters[b]))) for f in _CHECKPOINT_FRACTIONS]
+        for b in range(B)
+    ]
+    results = [
+        PlacementResult(grid=grid, total_hpwl_um=0.0, peak_density=0.0)
+        for _ in range(B)
+    ]
+
+    cell_weight_sums = np.empty((B, n))
+    for b in range(B):
+        sums = np.zeros(n)
+        np.add.at(sums, pin_cell, net_weights[b][pin_net])
+        cell_weight_sums[b] = np.maximum(sums, 1e-9)
+
+    if netlist0.blockages:
+        blk_gy, blk_gx = np.gradient(grid.blockage_fraction)
+    cong_field = np.zeros((B, grid.bins_y, grid.bins_x))
+    max_iter = max(iters)
+    for iteration in range(1, max_iter + 1):
+        act = [b for b in range(B) if iteration <= iters[b]]
+        if stats is not None:
+            stats["lane_steps"] = stats.get("lane_steps", 0) + len(act)
+            stats["frozen_steps"] = stats.get("frozen_steps", 0) + (B - len(act))
+        k = len(act)
+        sub = positions[act]
+        progress = [iteration / iters[b] for b in act]
+        prog = np.array(progress)[:, None, None]
+
+        centroids = np.zeros((k, n_nets, 2))
+        for j in range(k):
+            np.add.at(centroids[j], pin_net, sub[j][pin_cell])
+        centroids *= inv_net_sizes[None, :, None]
+        target = np.zeros((k, n, 2))
+        for j, b in enumerate(act):
+            np.add.at(
+                target[j], pin_cell,
+                centroids[j][pin_net] * net_weights[b][pin_net, None],
+            )
+        target /= cell_weight_sums[act][:, :, None]
+
+        step = 0.55 * (1.0 - 0.5 * prog)
+        new_positions = sub + step * (target - sub)
+
+        for j, b in enumerate(act):
+            cluster_gain = params_list[b].cluster_attraction * max(
+                0.0, 1.0 - 2.5 * progress[j]
+            )
+            if cluster_gain > 0.0:
+                new_positions[j] += cluster_gain * 0.3 * (
+                    cluster_seeds - new_positions[j]
+                )
+
+        density = np.empty((k, grid.bins_y, grid.bins_x))
+        for j in range(k):
+            density[j] = grid.density_map(sub[j][:, 0], sub[j][:, 1], areas)
+        dtargets = np.array(
+            [params_list[b].density_target for b in act]
+        )[:, None, None]
+        overflow = np.maximum(0.0, density - dtargets)
+        if iteration % 5 == 0 or iteration == 1:
+            for j, b in enumerate(act):
+                boxes, lengths = _boxes_fast(
+                    sub[j], pin_cell, pin_net, n_nets, steiner_factor
+                )
+                rudy = rudy_map_fast(grid, boxes, lengths, supply)
+                cong_field[b] = np.maximum(0.0, rudy - 0.8)
+        spreads = np.array(
+            [params_list[b].spread_strength for b in act]
+        )[:, None, None]
+        overflow = overflow + spreads * 0.5 * cong_field[act]
+        gy, gx = np.gradient(overflow, axis=(1, 2))
+        rows, cols = grid.bin_indices(
+            new_positions[:, :, 0], new_positions[:, :, 1]
+        )
+        lane_ix = np.arange(k)[:, None]
+        push = spreads[:, :, 0] * (0.5 + np.array(progress)[:, None])
+        new_positions[:, :, 0] -= push * gx[lane_ix, rows, cols] * grid.bin_width_um
+        new_positions[:, :, 1] -= push * gy[lane_ix, rows, cols] * grid.bin_height_um
+
+        if netlist0.blockages:
+            new_positions[:, :, 0] -= 2.0 * blk_gx[rows, cols] * grid.bin_width_um
+            new_positions[:, :, 1] -= 2.0 * blk_gy[rows, cols] * grid.bin_height_um
+
+        for j, b in enumerate(act):
+            temperature = (
+                params_list[b].perturbation * 0.02 * width
+                * (1.0 - progress[j]) ** 2
+            )
+            if temperature > 0.0:
+                new_positions[j] += rngs[b].normal(0.0, temperature, size=(n, 2))
+
+        positions[act] = np.clip(new_positions, 0.0, [width, height])
+
+        for b in act:
+            if iteration in checkpoints[b]:
+                name = _CHECKPOINT_NAMES[checkpoints[b].index(iteration)]
+                boxes, lengths = _boxes_fast(
+                    positions[b], pin_cell, pin_net, n_nets, steiner_factor
+                )
+                snapshot = congestion_summary(
+                    rudy_map_fast(grid, boxes, lengths, supply)
+                )
+                results[b].congestion_checkpoints[name] = snapshot
+                results[b].congestion_levels[name] = classify_congestion(
+                    snapshot["peak"]
+                )
+
+    for b in range(B):
+        final = _legalize_fast(positions[b], grid, areas, width, height, rngs[b])
+        positions[b] = final
+        for cell, xy in zip(cells_per_lane[b], final):
+            cell.position = (float(xy[0]), float(xy[1]))
+        results[b].iterations_run = iters[b]
+        boxes, lengths = _boxes_fast(final, pin_cell, pin_net, n_nets, steiner_factor)
+        results[b].total_hpwl_um = _annotate_wirelengths(
+            lanes[b].netlist, design.p_net_names, lengths
+        )
+        density = grid.density_map(
+            final[:, 0], final[:, 1], areas, blockage_penalty=False
+        )
+        results[b].peak_density = float(density.max())
+        results[b].final_congestion = congestion_summary(
+            rudy_map_fast(grid, boxes, lengths, supply)
+        )
+        results[b].congestion_levels["final"] = classify_congestion(
+            results[b].final_congestion["peak"]
+        )
+        lanes[b].refresh_wire_state()
+    return results

@@ -126,6 +126,39 @@ class FlowJob:
 
 
 @dataclass(frozen=True)
+class _JobGroup:
+    """A stack of compatible jobs dispatched as one batched evaluation.
+
+    Members share a (profile, seed) pair — one pristine netlist — and
+    differ only in parameters, so ``run_flow_batch`` can evaluate them as
+    lanes of one compiled design.  The group travels through the supervisor
+    as a single task keyed by its first member's batch index.
+    """
+
+    jobs: Tuple[Tuple[int, FlowJob], ...]
+
+    @property
+    def index(self) -> int:
+        return self.jobs[0][0]
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+class _GroupResult:
+    """Envelope for a batched dispatch: one report per member job, plus
+    the stacked kernels' lane/frozen step counters (so padding waste is
+    observable even when the group ran inside a pool worker)."""
+
+    __slots__ = ("reports", "stats")
+
+    def __init__(self, reports: List[Tuple[int, FlowRunReport]],
+                 stats: Optional[Dict[str, int]] = None) -> None:
+        self.reports = reports
+        self.stats = stats or {}
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Picklable recipe for per-job fault injection inside pool workers.
 
@@ -205,6 +238,59 @@ def _execute_job(settings: _RunnerSettings, index: int,
     return executor.try_execute(job.design, job.params, seed=job.seed)
 
 
+def _execute_group(settings: _RunnerSettings, group: _JobGroup,
+                   dispatch: int = 0,
+                   stats: Optional[Dict[str, int]] = None) -> _GroupResult:
+    """Run one compatible job group through the stacked batch pipeline.
+
+    The batch kernels are bit-identical to the scalar flow, so on *any*
+    failure inside the stacked evaluation the whole group is re-run through
+    the per-job scalar supervision path, which deterministically reproduces
+    the exact per-job outcome — including each member's typed error and
+    retry schedule.  Success reports carry one zero-error attempt whose
+    elapsed time is the group wall clock amortized over its lanes.
+    """
+    from repro.flow.batch_runner import run_flow_batch
+
+    local: Dict[str, int] = {}
+    start = time.monotonic()
+    try:
+        results = run_flow_batch(
+            [(job.design, job.params, job.seed) for _, job in group.jobs],
+            stats=local,
+        )
+        if settings.min_snapshots is not None:
+            from repro.errors import CorruptQoR
+
+            for result in results:
+                if len(result.snapshots) < settings.min_snapshots:
+                    raise CorruptQoR(
+                        f"flow run on {result.design} returned only "
+                        f"{len(result.snapshots)} stage snapshots "
+                        f"(expected >= {settings.min_snapshots}): "
+                        f"partial report"
+                    )
+    except (KeyboardInterrupt, SystemExit, SimulatedWorkerDeath):
+        raise
+    except Exception:  # noqa: BLE001 - scalar path reproduces the outcome
+        return _GroupResult([
+            (index, _execute_job(settings, index, job, dispatch))
+            for index, job in group.jobs
+        ])
+    if stats is not None:
+        for key, value in local.items():
+            stats[key] = stats.get(key, 0) + value
+    elapsed = (time.monotonic() - start) / max(1, len(results))
+    return _GroupResult([
+        (index, FlowRunReport(
+            design=str(job.design),
+            result=result,
+            attempts=[FlowAttempt(index=0, error=None, elapsed_s=elapsed)],
+        ))
+        for (index, job), result in zip(group.jobs, results)
+    ], stats=local)
+
+
 # ----------------------------------------------------------------------
 # Pool worker plumbing (module-level so it pickles under any start method).
 # ----------------------------------------------------------------------
@@ -280,12 +366,22 @@ def _supervised_worker(task_queue, result_conn,
             return
         epoch, index, job, dispatch = task
         try:
-            payload: object = _execute_job(settings, index, job, dispatch)
+            if isinstance(job, _JobGroup):
+                payload: object = _execute_group(settings, job, dispatch)
+            else:
+                payload = _execute_job(settings, index, job, dispatch)
         except (KeyboardInterrupt, SystemExit):
             raise
         except BaseException as err:  # noqa: BLE001 - shipped to the parent
             payload = _RemoteError(err)
         result_conn.send((epoch, index, payload))
+
+
+def _task_members(index: int, job) -> List[Tuple[int, FlowJob]]:
+    """The logical (index, job) members of one dispatch unit."""
+    if isinstance(job, _JobGroup):
+        return list(job.jobs)
+    return [(index, job)]
 
 
 def _quarantine_report(job: FlowJob, kills: int) -> FlowRunReport:
@@ -373,6 +469,7 @@ class _WorkerSupervisor:
         on_redispatch: Callable[[], None],
         on_poison: Callable[[], None],
         on_degrade: Callable[[], None],
+        batch_stats: Optional[Dict[str, int]] = None,
     ) -> None:
         self._ctx = context
         self._settings = settings
@@ -387,6 +484,7 @@ class _WorkerSupervisor:
         self._on_redispatch = on_redispatch
         self._on_poison = on_poison
         self._on_degrade = on_degrade
+        self._batch_stats = batch_stats
         self._epoch = 0
         self._next_id = 0
         self.respawns = 0
@@ -454,7 +552,11 @@ class _WorkerSupervisor:
         )
         kills: Dict[int, int] = {}
         done: Set[int] = set()
-        total = len(backlog)
+        # A _JobGroup task is one dispatch unit but several logical jobs.
+        total = sum(
+            len(job) if isinstance(job, _JobGroup) else 1
+            for _, job in tasks
+        )
         finished = 0
         while finished < total:
             if self.degraded or not self._members:
@@ -478,9 +580,21 @@ class _WorkerSupervisor:
                     member.inflight = None
                 if isinstance(payload, _RemoteError):
                     raise payload.error
-                done.add(index)
-                finished += 1
-                yield index, payload
+                if isinstance(payload, _GroupResult):
+                    if self._batch_stats is not None:
+                        for key, value in payload.stats.items():
+                            self._batch_stats[key] = (
+                                self._batch_stats.get(key, 0) + value
+                            )
+                    done.add(index)
+                    for job_index, report in payload.reports:
+                        done.add(job_index)
+                        finished += 1
+                        yield job_index, report
+                else:
+                    done.add(index)
+                    finished += 1
+                    yield index, payload
             # Watchdog: kill workers stuck past the wall-clock budget.
             if self.watchdog_s is not None:
                 now = time.monotonic()
@@ -497,8 +611,12 @@ class _WorkerSupervisor:
                     self._update_live_gauge()
                     if index not in done:
                         done.add(index)
-                        finished += 1
-                        yield index, _watchdog_report(job, self.watchdog_s)
+                        for job_index, member_job in _task_members(index, job):
+                            done.add(job_index)
+                            finished += 1
+                            yield job_index, _watchdog_report(
+                                member_job, self.watchdog_s
+                            )
             # Liveness: a dead worker's in-flight job was lost with it.
             for member in list(self._members.values()):
                 if member.process.is_alive():
@@ -518,8 +636,12 @@ class _WorkerSupervisor:
                 if kills[index] > self.poison_retries:
                     self._on_poison()
                     done.add(index)
-                    finished += 1
-                    yield index, _quarantine_report(job, kills[index])
+                    for job_index, member_job in _task_members(index, job):
+                        done.add(job_index)
+                        finished += 1
+                        yield job_index, _quarantine_report(
+                            member_job, kills[index]
+                        )
                 else:
                     self._on_redispatch()
                     backlog.appendleft((index, job, kills[index]))
@@ -580,8 +702,12 @@ class _WorkerSupervisor:
             )
         while backlog:
             index, job, _ = backlog.popleft()
-            yield index, self._run_inprocess(index, job,
-                                             kills.get(index, 0))
+            # Groups degrade to their scalar members: the batch kernels are
+            # bit-identical, so the serial path reproduces each outcome.
+            for job_index, member_job in _task_members(index, job):
+                yield job_index, self._run_inprocess(
+                    job_index, member_job, kills.get(index, 0)
+                )
 
     # -- shutdown ------------------------------------------------------
     def shutdown(self, timeout_s: float = 5.0) -> None:
@@ -810,9 +936,17 @@ class ParallelFlowExecutor:
         poison_retries: int = 1,
         watchdog_s: Optional[float] = None,
         degrade_to_serial: bool = True,
+        batch_size: int = 1,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if batch_size > 1 and flow_fn is not None:
+            raise ValueError(
+                "batch_size > 1 vectorizes the built-in run_flow; it cannot "
+                "be combined with a custom flow_fn"
+            )
         if max_respawns < 0:
             raise ValueError(
                 f"max_respawns must be >= 0, got {max_respawns}"
@@ -826,6 +960,7 @@ class ParallelFlowExecutor:
                 f"watchdog_s must be positive or None, got {watchdog_s}"
             )
         self.workers = int(workers)
+        self.batch_size = int(batch_size)
         self.max_respawns = int(max_respawns)
         self.poison_retries = int(poison_retries)
         self.watchdog_s = watchdog_s
@@ -854,6 +989,10 @@ class ParallelFlowExecutor:
         self.jobs_redispatched = 0
         self.poison_jobs = 0
         self.degraded = False
+        self.batch_calls = 0
+        self.batch_grouped_jobs = 0
+        self.batch_max_width = 0
+        self._batch_stats: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -861,6 +1000,58 @@ class ParallelFlowExecutor:
         # A fault plan makes outcomes depend on the injector, not just the
         # (design, params, seed) key — never persist those as real QoR.
         return self.cache is not None and self._settings.fault_plan is None
+
+    @property
+    def _batch_enabled(self) -> bool:
+        """Whether stacked evaluation applies to this executor's jobs.
+
+        Fault injection, per-attempt deadlines and custom flow callables
+        are strictly per-job semantics; any of them forces the scalar
+        reference path (fault-injected jobs always run per job).
+        """
+        return (
+            self.batch_size > 1
+            and self._settings.flow_fn is None
+            and self._settings.fault_plan is None
+            and self._settings.deadline_s is None
+        )
+
+    def _plan_tasks(
+        self, pending: Sequence[Tuple[int, FlowJob]]
+    ) -> List[Tuple[int, object]]:
+        """Fold compatible pending jobs into ``_JobGroup`` dispatch units.
+
+        Jobs sharing a (profile, seed) pair — one pristine netlist — are
+        stacked, in submission order, into groups of at most
+        ``batch_size``; singletons stay scalar tasks.  Group tasks are
+        keyed by their first member's batch index.
+        """
+        buckets: Dict[Tuple[str, int], List[Tuple[int, FlowJob]]] = {}
+        for index, job in pending:
+            name = getattr(job.design, "name", None) or str(job.design)
+            buckets.setdefault((name, job.seed), []).append((index, job))
+        tasks: List[Tuple[int, object]] = []
+        for members in buckets.values():
+            for at in range(0, len(members), self.batch_size):
+                chunk = members[at:at + self.batch_size]
+                if len(chunk) == 1:
+                    tasks.append(chunk[0])
+                else:
+                    tasks.append((chunk[0][0], _JobGroup(jobs=tuple(chunk))))
+        tasks.sort(key=lambda task: task[0])
+        widths = [
+            len(job) for _, job in tasks if isinstance(job, _JobGroup)
+        ]
+        if widths:
+            registry = get_registry()
+            registry.counter("flow_batch_calls_total").inc(len(widths))
+            registry.counter("flow_batch_jobs_total").inc(sum(widths))
+            registry.gauge("flow_batch_width").set(max(widths))
+            with self._counter_lock:
+                self.batch_calls += len(widths)
+                self.batch_grouped_jobs += sum(widths)
+                self.batch_max_width = max(self.batch_max_width, max(widths))
+        return tasks
 
     def run_batch(self, jobs: Sequence[FlowJob]) -> List[FlowRunReport]:
         """Evaluate ``jobs``; reports come back in submission order.
@@ -894,12 +1085,27 @@ class ParallelFlowExecutor:
             try:
                 if pending:
                     queue_depth.set(len(pending))
+                    tasks = (
+                        self._plan_tasks(pending) if self._batch_enabled
+                        else list(pending)
+                    )
                     if self.workers == 1 or self.degraded:
-                        for index, job in pending:
-                            reports[index] = self._run_supervised_inprocess(
-                                index, job
-                            )
-                            queue_depth.dec()
+                        for index, task in tasks:
+                            if isinstance(task, _JobGroup):
+                                grouped = _execute_group(
+                                    self._settings, task,
+                                    stats=self._batch_stats,
+                                )
+                                for job_index, report in grouped.reports:
+                                    reports[job_index] = report
+                                    queue_depth.dec()
+                            else:
+                                reports[index] = (
+                                    self._run_supervised_inprocess(
+                                        index, task
+                                    )
+                                )
+                                queue_depth.dec()
                     else:
                         supervisor = self._ensure_pool(jobs)
                         before = self._supervision_counters()
@@ -911,7 +1117,7 @@ class ParallelFlowExecutor:
                             # stragglers never stall finished results, and
                             # submission order is restored from the index,
                             # so completion order is unobservable.
-                            for index, report in supervisor.run(pending):
+                            for index, report in supervisor.run(tasks):
                                 reports[index] = report
                                 queue_depth.dec()
                             after = self._supervision_counters()
@@ -1089,6 +1295,7 @@ class ParallelFlowExecutor:
                 on_redispatch=self._note_redispatch,
                 on_poison=self._note_poison,
                 on_degrade=self._note_degraded,
+                batch_stats=self._batch_stats,
             )
         return self._pool
 
@@ -1122,8 +1329,21 @@ class ParallelFlowExecutor:
             restarts = self.worker_restarts
             redispatched = self.jobs_redispatched
             poisoned = self.poison_jobs
+            batch_calls = self.batch_calls
+            batch_grouped = self.batch_grouped_jobs
+            batch_max_width = self.batch_max_width
+        lane_steps = self._batch_stats.get("lane_steps", 0)
+        frozen_steps = self._batch_stats.get("frozen_steps", 0)
+        total_steps = lane_steps + frozen_steps
         out: Dict[str, object] = {
             "workers": self.workers,
+            "batch_size": self.batch_size,
+            "batch_calls": batch_calls,
+            "batch_grouped_jobs": batch_grouped,
+            "batch_max_width": batch_max_width,
+            "batch_padding_waste": (
+                frozen_steps / total_steps if total_steps else 0.0
+            ),
             "jobs_run": jobs_run,
             "batches_run": batches_run,
             "pool_live": self._pool is not None,

@@ -112,6 +112,14 @@ class RuntimeConfig:
         degrade_to_serial: Finish batches in-process when the pool cannot
             keep workers alive (default) instead of raising
             :class:`~repro.errors.WorkerPoolError`.
+        batch_size: Maximum jobs per stacked (array-vectorized) flow
+            evaluation.  ``1`` (default) runs the scalar reference path.
+            Values ``> 1`` group compatible jobs — same design profile
+            and netlist seed — into one stacked ``run_flow_batch`` call
+            per worker dispatch; results are bit-identical to the scalar
+            path.  Incompatible with a ``fault_plan``, a ``deadline_s``
+            or a custom ``flow_fn`` (those force the per-job scalar
+            path; the session rejects the contradiction up front).
     """
 
     workers: int = 1
@@ -127,6 +135,7 @@ class RuntimeConfig:
     poison_retries: int = 1
     watchdog_s: Optional[float] = None
     degrade_to_serial: bool = True
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if not isinstance(self.workers, int) or isinstance(self.workers, bool):
@@ -198,6 +207,28 @@ class RuntimeConfig:
                 f"degrade_to_serial must be a bool, got "
                 f"{type(self.degrade_to_serial).__name__}"
             )
+        if not isinstance(self.batch_size, int) \
+                or isinstance(self.batch_size, bool):
+            raise RuntimeConfigError(
+                f"batch_size must be an int, got "
+                f"{type(self.batch_size).__name__}"
+            )
+        if self.batch_size < 1:
+            raise RuntimeConfigError(
+                f"batch_size must be >= 1, got {self.batch_size}"
+            )
+        if self.batch_size > 1:
+            if self.fault_plan is not None:
+                raise RuntimeConfigError(
+                    "fault injection is rehearsed on the scalar reference "
+                    "path; batch_size > 1 cannot be combined with a "
+                    "fault_plan"
+                )
+            if self.deadline_s is not None:
+                raise RuntimeConfigError(
+                    "per-attempt deadlines apply to scalar jobs; "
+                    "batch_size > 1 cannot be combined with deadline_s"
+                )
 
     def replace(self, **overrides) -> "RuntimeConfig":
         """A copy with ``overrides`` applied (re-validated)."""
@@ -280,6 +311,17 @@ class FlowSession:
                     "workers; an injected executor bypasses it — drop "
                     "watchdog_s or the executor"
                 )
+            if config.batch_size > 1:
+                raise RuntimeConfigError(
+                    "an injected executor runs jobs one at a time; it "
+                    "cannot be combined with batch_size="
+                    f"{config.batch_size}"
+                )
+        if flow_fn is not None and config.batch_size > 1:
+            raise RuntimeConfigError(
+                "batch_size > 1 vectorizes the built-in run_flow; it "
+                "cannot be combined with a custom flow_fn"
+            )
         self.config = config
         self._injected = executor
         self._parallel: Optional[ParallelFlowExecutor] = None
@@ -298,6 +340,7 @@ class FlowSession:
                 poison_retries=config.poison_retries,
                 watchdog_s=config.watchdog_s,
                 degrade_to_serial=config.degrade_to_serial,
+                batch_size=config.batch_size,
             )
 
     # ------------------------------------------------------------------

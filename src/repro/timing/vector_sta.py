@@ -1,0 +1,241 @@
+"""Array-vectorized multi-lane STA over a :class:`CompiledDesign`.
+
+``run_sta_batch`` evaluates N lanes (jobs sharing one compiled topology) in
+stacked ``(B, V)`` arrays and materializes per-lane :class:`TimingReport`
+objects that are **bitwise identical** to :func:`repro.timing.sta.run_sta`
+on the same netlist state.  The equivalence rests on three observations:
+
+- Every scalar float expression is mirrored with the same operation order
+  (``(intrinsic + R*C) * scale``, ``(((period + capture) - setup) - unc) -
+  arr``), so elementwise array ops reproduce the exact bits.
+- ``max``/``min`` reductions over the same float values are exact and
+  associative, so ``np.maximum.reduceat`` over dst-grouped arc segments
+  matches the scalar first-to-last scan *in value*; the scan's tie-break
+  (first strict max) only matters for the traced critical paths, which are
+  replayed lazily per endpoint in original arc order.
+- The backward required-time pass is a pure min-accumulation, order-free,
+  so per-level ``np.minimum.at`` sweeps in descending level order reproduce
+  the scalar reversed-topological pass (a sink's level strictly exceeds its
+  driver's, so each level's required times are final before they propagate).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cts.tree import ClockTree
+from repro.netlist.compiled import CompiledDesign, LaneState
+from repro.timing.constraints import TimingConstraints
+from repro.timing.sta import (
+    TimingReport,
+    _latency_lookup,
+    _summarize,
+    _trace_critical,
+)
+
+
+class _LazyPredMax:
+    """Replays the scalar forward pass's first-strict-max driver choice.
+
+    Only the <= ``trace_paths`` traced chains ever query this, so the scan
+    runs over a handful of cells instead of the whole graph.
+    """
+
+    def __init__(self, design: CompiledDesign, a_max: np.ndarray, wire: np.ndarray):
+        self._design = design
+        self._a = a_max
+        self._w = wire
+        self._cache: Dict[str, Optional[str]] = {}
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        if name in self._cache:
+            return self._cache[name]
+        d = self._design
+        i = d.index.get(name)
+        result: Optional[str] = None
+        if i is not None and i >= d.S:
+            start = int(d.fanin_start[i])
+            end = int(d.fanin_end[i])
+            best = -np.inf
+            for k in range(start, end):
+                arr = self._a[d.fanin_src[k]] + self._w[d.fanin_net[k]]
+                if arr > best:
+                    best = arr
+                    result = d.cell_names[d.fanin_src[k]]
+        self._cache[name] = result
+        return result
+
+
+class _LazyWorstDriver:
+    """Replays the scalar endpoint ``max(..., key=t[0])`` driver choice."""
+
+    def __init__(
+        self,
+        design: CompiledDesign,
+        seq_pos: Dict[str, int],
+        a_max: np.ndarray,
+        wire: np.ndarray,
+    ):
+        self._design = design
+        self._seq_pos = seq_pos
+        self._a = a_max
+        self._w = wire
+
+    def get(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        d = self._design
+        j = self._seq_pos.get(name)
+        if j is None:
+            return default
+        best = -np.inf
+        result = default
+        for k in range(int(d.ep_off[j]), int(d.ep_off[j + 1])):
+            arr = self._a[d.ep_src[k]] + self._w[d.ep_net[k]]
+            if arr > best:
+                best = arr
+                result = d.cell_names[d.ep_src[k]]
+        return result
+
+
+def _level_arc_dst(level: dict) -> np.ndarray:
+    arc_dst = level.get("arc_dst")
+    if arc_dst is None:
+        counts = np.diff(np.r_[level["seg"], level["src"].shape[0]])
+        arc_dst = np.repeat(level["dst"], counts)
+        level["arc_dst"] = arc_dst
+    return arc_dst
+
+
+def run_sta_batch(
+    design: CompiledDesign,
+    lanes: Sequence[LaneState],
+    constraints: TimingConstraints,
+    clock_trees: Sequence[Optional[ClockTree]],
+    delay_scales: Sequence[float],
+    trace_paths: int = 10,
+) -> List[TimingReport]:
+    """Setup+hold STA for all lanes at once; one report per lane."""
+    B = len(lanes)
+    V = design.V
+    S = design.S
+    period = constraints.period_ps
+    unc = constraints.clock_uncertainty_ps
+
+    own = np.stack(
+        [lane.gate_delays(delay_scales[b]) for b, lane in enumerate(lanes)]
+    ) if B else np.zeros((0, V))
+    wire = np.stack([lane.wire_delay for lane in lanes]) if B else np.zeros((0, 1))
+
+    lat = np.zeros((B, S))
+    useful_arr = np.zeros((B, S))
+    for b, tree in enumerate(clock_trees):
+        if tree is None:
+            continue
+        table = tree.latency_ps
+        skews = tree.useful_skew_ps
+        for j, name in enumerate(design.seq_names):
+            lat[b, j] = table.get(name, 0.0)
+            us = skews.get(name)
+            if us is not None:
+                useful_arr[b, j] = us
+
+    # -- forward arrival propagation ------------------------------------
+    a_max = np.zeros((B, V))
+    a_min = np.zeros((B, V))
+    if S:
+        a_max[:, :S] = lat + own[:, :S]
+        a_min[:, :S] = a_max[:, :S]
+    if design.nodrv_idx.size:
+        nd = design.nodrv_idx
+        a_max[:, nd] = constraints.input_delay_ps + own[:, nd]
+        a_min[:, nd] = a_max[:, nd]
+    for level in design.levels:
+        src = level["src"]
+        net = level["net"]
+        dst = level["dst"]
+        seg = level["seg"]
+        arr = a_max[:, src] + wire[:, net]
+        amn = a_min[:, src] + wire[:, net]
+        a_max[:, dst] = np.maximum.reduceat(arr, seg, axis=1) + own[:, dst]
+        a_min[:, dst] = np.minimum.reduceat(amn, seg, axis=1) + own[:, dst]
+
+    # -- endpoint and primary-output slacks -----------------------------
+    act = design.ep_active_idx
+    if design.ep_src.size:
+        arr_ep = a_max[:, design.ep_src] + wire[:, design.ep_net]
+        amn_ep = a_min[:, design.ep_src] + wire[:, design.ep_net]
+        arr_max = np.maximum.reduceat(arr_ep, design.ep_seg, axis=1)
+        arr_min = np.minimum.reduceat(amn_ep, design.ep_seg, axis=1)
+        capture = lat[:, act] + useful_arr[:, act]
+        setup_ep = (((period + capture) - constraints.setup_ps) - unc) - arr_max
+        hold_ep = ((arr_min - capture) - constraints.hold_ps) - unc
+    else:
+        setup_ep = np.zeros((B, 0))
+        hold_ep = np.zeros((B, 0))
+
+    if design.po_driver.size:
+        setup_po = (period - constraints.output_delay_ps) - a_max[:, design.po_driver]
+        hold_po = a_min[:, design.po_driver] - constraints.hold_ps
+    else:
+        setup_po = np.zeros((B, 0))
+        hold_po = np.zeros((B, 0))
+
+    # -- backward required times -> per-cell worst setup slack ----------
+    required = np.full((B, V), np.inf)
+    if design.ep_src.size:
+        cap_all = lat + useful_arr
+        req_at_pin = ((period + cap_all) - constraints.setup_ps) - unc
+        bounds = req_at_pin[:, design.ep_owner] - wire[:, design.ep_net]
+        for b in range(B):
+            np.minimum.at(required[b], design.ep_src, bounds[b])
+    if design.po_req_driver.size:
+        po_bound = period - constraints.output_delay_ps
+        for b in range(B):
+            np.minimum.at(required[b], design.po_req_driver, po_bound)
+    for level in reversed(design.levels):
+        arc_dst = _level_arc_dst(level)
+        src = level["src"]
+        net = level["net"]
+        bounds = (required[:, arc_dst] - own[:, arc_dst]) - wire[:, net]
+        for b in range(B):
+            np.minimum.at(required[b], src, bounds[b])
+    finite = np.isfinite(required)
+    cell_slack = required - a_max
+
+    # -- materialize per-lane reports -----------------------------------
+    act_names = [design.seq_names[j] for j in act.tolist()]
+    seq_pos = {name: j for j, name in enumerate(design.seq_names)}
+    reports: List[TimingReport] = []
+    for b in range(B):
+        setup_slack: Dict[str, float] = {}
+        hold_slack: Dict[str, float] = {}
+        s_ep = setup_ep[b].tolist()
+        h_ep = hold_ep[b].tolist()
+        for k, name in enumerate(act_names):
+            setup_slack[name] = s_ep[k]
+            hold_slack[name] = h_ep[k]
+        s_po = setup_po[b].tolist()
+        h_po = hold_po[b].tolist()
+        for k, key in enumerate(design.po_keys):
+            setup_slack[key] = s_po[k]
+            hold_slack[key] = h_po[k]
+        report = _summarize(setup_slack, hold_slack)
+
+        tree = clock_trees[b]
+        latency_fn = _latency_lookup(lanes[b].netlist, tree)
+        useful = tree.useful_skew_ps if tree is not None else {}
+        pred = _LazyPredMax(design, a_max[b], wire[b])
+        worst = _LazyWorstDriver(design, seq_pos, a_max[b], wire[b])
+        _trace_critical(
+            report, lanes[b].netlist, None, pred, worst, latency_fn,
+            useful, unc, trace_paths,
+        )
+
+        slack_row = cell_slack[b].tolist()
+        cs: Dict[str, float] = {}
+        for i in np.flatnonzero(finite[b]).tolist():
+            cs[design.cell_names[i]] = slack_row[i]
+        report.cell_slack_ps = cs
+        reports.append(report)
+    return reports

@@ -1,0 +1,359 @@
+"""Stacked (batch) flow simulator vs the scalar reference: bit-identical.
+
+The batch kernels are required to reproduce the scalar ``run_flow`` down
+to the last bit — QoR dicts compared as ordered item lists, trajectory
+snapshots stage by stage, and whole ``FlowResult`` objects by pickle
+bytes.  The session-level tests assert the ``batch_size`` door on
+``RuntimeConfig`` grows no observable behavior: grouped evaluation at
+workers 1 and 4 returns the same bytes as the scalar path, QoR cache
+hits are identical, fault injection forces the scalar path, and
+contradictory knobs are rejected as typed ``RuntimeConfigError``\\ s.
+"""
+
+import pickle
+
+import pytest
+
+from conftest import tiny_profile
+from repro.errors import CorruptQoR, RuntimeConfigError
+from repro.flow.batch_runner import run_flow_batch
+from repro.flow.parameters import (
+    CtsParams,
+    FlowParameters,
+    OptParams,
+    PlacerParams,
+    RouteParams,
+    TradeoffWeights,
+)
+from repro.flow.runner import run_flow
+from repro.netlist.profiles import design_profiles
+from repro.runtime import (
+    FaultKind,
+    FaultPlan,
+    FlowExecutor,
+    FlowSession,
+    ParallelFlowExecutor,
+    RuntimeConfig,
+)
+
+RECIPES = {
+    "default": FlowParameters(),
+    "timing": FlowParameters(
+        placer=PlacerParams(effort=1.2, timing_net_weight=2.0),
+        opt=OptParams(setup_passes=4, useful_skew_gain=0.4, hold_effort=0.6),
+        tradeoff=TradeoffWeights(timing=2.0, power=0.5),
+    ),
+    "power": FlowParameters(
+        opt=OptParams(leakage_recovery=1.2, vt_swap_bias=0.8,
+                      clock_gating_efficiency=0.6, hold_effort=0.3),
+        tradeoff=TradeoffWeights(timing=0.6, power=2.0),
+        route=RouteParams(effort=0.7, layer_promotion=0.15),
+        cts=CtsParams(max_cluster_size=6, buffer_drive=8),
+    ),
+}
+RECIPE_NAMES = tuple(RECIPES)
+
+
+def assert_results_identical(ref, got, tag=""):
+    """Scalar vs batch FlowResult: ordered-item and pickle-byte equality."""
+    assert ref.design == got.design, tag
+    assert list(ref.qor.items()) == list(got.qor.items()), tag
+    assert len(ref.snapshots) == len(got.snapshots), tag
+    for want, have in zip(ref.snapshots, got.snapshots):
+        assert want.stage == have.stage, tag
+        assert list(want.metrics.items()) == list(have.metrics.items()), (
+            f"{tag}: {want.stage}"
+        )
+    assert pickle.dumps(ref, 5) == pickle.dumps(got, 5), (
+        f"{tag}: pickle bytes differ"
+    )
+
+
+# ----------------------------------------------------------------------
+# Kernel level: run_flow_batch vs run_flow, no session involved.
+# ----------------------------------------------------------------------
+class TestKernelEquivalence:
+    @pytest.mark.parametrize(
+        "design", [p.name for p in design_profiles()]
+    )
+    def test_width3_all_profiles(self, design):
+        """Every shipped profile, one width-3 mixed-recipe stack."""
+        triples = [(design, RECIPES[name], 1) for name in RECIPE_NAMES]
+        refs = [run_flow(d, p, seed=s) for d, p, s in triples]
+        gots = run_flow_batch(triples)
+        for name, ref, got in zip(RECIPE_NAMES, refs, gots):
+            assert_results_identical(ref, got, f"{design}/{name}")
+
+    @pytest.mark.parametrize("width", (1, 8))
+    @pytest.mark.parametrize("design", ("D6", "D10"))
+    def test_other_widths(self, design, width):
+        triples = [
+            (design, RECIPES[RECIPE_NAMES[i % len(RECIPE_NAMES)]], 2)
+            for i in range(width)
+        ]
+        refs = [run_flow(d, p, seed=s) for d, p, s in triples]
+        gots = run_flow_batch(triples)
+        assert len(gots) == width
+        for i, (ref, got) in enumerate(zip(refs, gots)):
+            assert_results_identical(ref, got, f"{design}/w{width}[{i}]")
+
+    def test_mixed_profile_batch_reassembles_in_submission_order(self):
+        triples = [
+            ("D11", RECIPES["timing"], 0),
+            ("D16", RECIPES["default"], 0),
+            ("D11", RECIPES["power"], 0),
+            ("D16", RECIPES["timing"], 0),
+            ("D11", RECIPES["default"], 3),
+        ]
+        refs = [run_flow(d, p, seed=s) for d, p, s in triples]
+        gots = run_flow_batch(triples)
+        for i, (ref, got) in enumerate(zip(refs, gots)):
+            assert_results_identical(ref, got, f"mixed[{i}]")
+
+    def test_stats_accounting(self):
+        stats = {}
+        run_flow_batch(
+            [("D10", RECIPES[name], 1) for name in RECIPE_NAMES],
+            stats=stats,
+        )
+        assert stats["jobs"] == 3
+        assert stats["calls"] == 1
+        assert stats["max_width"] == 3
+
+
+# ----------------------------------------------------------------------
+# Session level: the batch_size door on RuntimeConfig.
+# ----------------------------------------------------------------------
+class TestSessionBatchEquivalence:
+    @staticmethod
+    def _jobs():
+        profile = tiny_profile()
+        return [
+            (profile, RECIPES[name], seed)
+            for seed in (0, 1)
+            for name in RECIPE_NAMES
+        ]
+
+    @pytest.fixture(scope="class")
+    def reference(self):
+        with FlowSession(RuntimeConfig(workers=1)) as session:
+            outcomes = session.evaluate(self._jobs())
+        return [pickle.dumps(o.result, 5) for o in outcomes]
+
+    @pytest.mark.parametrize("workers", (1, 4))
+    @pytest.mark.parametrize("cached", (False, True))
+    def test_bit_identical(self, reference, tmp_path, workers, cached):
+        config = RuntimeConfig(
+            workers=workers,
+            batch_size=8,
+            qor_cache_path=(
+                str(tmp_path / f"qor-{workers}") if cached else None
+            ),
+        )
+        with FlowSession(config) as session:
+            got = session.evaluate(self._jobs())
+            stats = session.stats()
+        if workers == 1:
+            # In-process transport: the very same bytes as the scalar
+            # reference session.
+            assert [pickle.dumps(o.result, 5) for o in got] == reference
+        else:
+            # Pool transport round-trips results through pickle, which
+            # re-lays out the memo exactly as the scalar pool path does;
+            # compare against a scalar session at the same worker count.
+            with FlowSession(RuntimeConfig(workers=workers)) as scalar:
+                want = scalar.evaluate(self._jobs())
+            assert [pickle.dumps(o.result, 5) for o in got] == [
+                pickle.dumps(o.result, 5) for o in want
+            ]
+        assert stats["batch_size"] == 8
+        assert stats["batch_calls"] == 2          # one stack per seed
+        assert stats["batch_grouped_jobs"] == 6
+        assert stats["batch_max_width"] == 3
+
+    def test_cache_hit_parity(self, tmp_path):
+        jobs = self._jobs()
+        sessions = {
+            1: FlowSession(RuntimeConfig(
+                batch_size=1, qor_cache_path=str(tmp_path / "scalar")
+            )),
+            8: FlowSession(RuntimeConfig(
+                batch_size=8, qor_cache_path=str(tmp_path / "batch")
+            )),
+        }
+        try:
+            first = {
+                k: s.evaluate(jobs) for k, s in sessions.items()
+            }
+            assert [pickle.dumps(o.result, 5) for o in first[1]] == \
+                [pickle.dumps(o.result, 5) for o in first[8]]
+            for session in sessions.values():
+                before = session.cache.hits
+                again = session.evaluate(jobs)
+                assert session.cache.hits - before == len(jobs)
+                assert all(o.cached for o in again)
+            # A batch-warmed cache serves a scalar session and vice versa:
+            # the keys and stored results are identical.
+            crossed = FlowSession(RuntimeConfig(
+                batch_size=1, qor_cache_path=str(tmp_path / "batch")
+            ))
+            try:
+                assert all(o.cached for o in crossed.evaluate(jobs))
+            finally:
+                crossed.close()
+        finally:
+            for session in sessions.values():
+                session.close()
+
+    def test_fault_plan_forces_scalar_path(self):
+        """At the executor layer a fault plan disables grouping entirely:
+        fault-injected jobs always run the per-job scalar path, with
+        outcomes identical to a batch_size=1 executor."""
+        plan = FaultPlan(
+            rate=0.6, kinds=(FaultKind.CRASH,), seed=17
+        )
+        profile = tiny_profile()
+        jobs = [
+            (profile, FlowParameters(opt=OptParams(vt_swap_bias=b)), 0)
+            for b in (0.9, 1.0, 1.1, 1.2)
+        ]
+        outcomes = {}
+        for batch_size in (1, 4):
+            executor = ParallelFlowExecutor(
+                workers=1, fault_plan=plan, seed=17,
+                batch_size=batch_size,
+            )
+            try:
+                outcomes[batch_size] = executor.run_batch(jobs)
+                assert executor.batch_calls == 0
+            finally:
+                executor.close()
+        for got, want in zip(outcomes[4], outcomes[1]):
+            assert got.ok == want.ok
+            if want.ok:
+                assert got.result.qor == want.result.qor
+            else:
+                assert type(got.error) is type(want.error)
+                assert str(got.error) == str(want.error)
+
+    def test_group_failure_falls_back_to_scalar_errors(self):
+        """A stacked evaluation that fails mid-flight re-runs its members
+        through the scalar supervision path, reproducing each member's
+        typed error exactly."""
+        jobs = [(tiny_profile(), RECIPES[n], 0) for n in RECIPE_NAMES]
+        reports = {}
+        for batch_size in (1, 8):
+            config = RuntimeConfig(batch_size=batch_size, min_snapshots=99)
+            with FlowSession(config) as session:
+                reports[batch_size] = session.evaluate(jobs)
+        for got, want in zip(reports[8], reports[1]):
+            assert not want.ok and not got.ok
+            assert type(got.error) is CorruptQoR
+            assert type(got.error) is type(want.error)
+            assert str(got.error) == str(want.error)
+            assert len(got.attempts) == len(want.attempts)
+
+
+# ----------------------------------------------------------------------
+# Knob validation: contradictory configurations are typed errors.
+# ----------------------------------------------------------------------
+class TestKnobRejection:
+    @pytest.mark.parametrize("bad", (0, -1, 2.5, True, "8"))
+    def test_invalid_batch_size(self, bad):
+        with pytest.raises(RuntimeConfigError):
+            RuntimeConfig(batch_size=bad)
+
+    def test_fault_plan_contradicts_batch(self):
+        with pytest.raises(RuntimeConfigError, match="fault"):
+            RuntimeConfig(batch_size=2, fault_plan=FaultPlan(rate=0.5))
+
+    def test_deadline_contradicts_batch(self):
+        with pytest.raises(RuntimeConfigError, match="deadline"):
+            RuntimeConfig(batch_size=2, deadline_s=1.0)
+
+    def test_custom_flow_fn_contradicts_batch(self):
+        from test_parallel_executor import toy_flow
+
+        with pytest.raises(RuntimeConfigError, match="flow_fn"):
+            FlowSession(RuntimeConfig(batch_size=2), flow_fn=toy_flow)
+
+    def test_injected_executor_contradicts_batch(self):
+        with pytest.raises(RuntimeConfigError, match="batch_size"):
+            FlowSession(
+                RuntimeConfig(batch_size=2), executor=FlowExecutor()
+            )
+
+    def test_executor_layer_rejects_flow_fn(self):
+        from test_parallel_executor import toy_flow
+
+        with pytest.raises(ValueError, match="flow_fn"):
+            ParallelFlowExecutor(batch_size=2, flow_fn=toy_flow)
+        with pytest.raises(ValueError, match="batch_size"):
+            ParallelFlowExecutor(batch_size=0)
+
+
+# ----------------------------------------------------------------------
+# CLI: --batch-size rides the shared runtime flag builder.
+# ----------------------------------------------------------------------
+class TestCliBatchFlag:
+    @pytest.mark.parametrize("argv", (
+        ["build-dataset", "--out", "x.pkl", "--batch-size", "8"],
+        ["sweep", "D6", "--axis", "opt.vt_swap_bias=0.9,1.1",
+         "--batch-size", "8"],
+        ["evaluate", "--dataset", "d.pkl", "--model", "m.npz",
+         "--batch-size", "8"],
+        ["online", "D6", "--dataset", "d.pkl", "--batch-size", "8"],
+    ))
+    def test_flag_parses_and_maps(self, argv):
+        from repro.cli import _runtime_from_args, build_parser
+
+        args = build_parser().parse_args(argv)
+        assert args.batch_size == 8
+        assert _runtime_from_args(args).batch_size == 8
+
+    def test_contradiction_is_typed(self):
+        from repro.cli import _runtime_from_args, build_parser
+
+        args = build_parser().parse_args(
+            ["evaluate", "--dataset", "d.pkl", "--model", "m.npz",
+             "--batch-size", "4", "--chaos-rate", "0.5"]
+        )
+        with pytest.raises(RuntimeConfigError):
+            _runtime_from_args(args, fault_plan=FaultPlan(rate=0.5))
+
+
+# ----------------------------------------------------------------------
+# Observability: the batch simulator report section.
+# ----------------------------------------------------------------------
+class TestBatchReportSection:
+    METRICS = {
+        "flow_batch_calls_total": {
+            "kind": "counter", "values": {"{}": 4}
+        },
+        "flow_batch_jobs_total": {
+            "kind": "counter", "values": {"{}": 12}
+        },
+        "flow_batch_width": {
+            "kind": "gauge", "values": {"{}": 3}
+        },
+    }
+
+    def test_render_batch(self):
+        from repro.observability import render_batch
+
+        text = render_batch(self.METRICS)
+        assert "stacked evaluations" in text
+        assert "jobs in stacked evaluations" in text
+        assert "widest stacked call" in text
+        assert render_batch({}) == ""
+
+    def test_session_stats_surface(self):
+        with FlowSession(RuntimeConfig(batch_size=4)) as session:
+            session.evaluate(
+                [(tiny_profile(), RECIPES[n], 0) for n in RECIPE_NAMES]
+            )
+            stats = session.stats()
+        assert stats["batch_calls"] == 1
+        assert stats["batch_grouped_jobs"] == 3
+        assert stats["batch_max_width"] == 3
+        assert 0.0 <= stats["batch_padding_waste"] < 1.0
